@@ -1,0 +1,307 @@
+// Benchmark harness regenerating the paper's evaluation:
+//
+//	BenchmarkTableI_Ring / BenchmarkTableI_Tree   — Table I (E1): one
+//	  membership change's propagation cost in both hierarchies; the
+//	  hops/op metric is the table's HCN column.
+//	BenchmarkTableII_MonteCarlo                   — Table II (E2): the
+//	  fw/op metric is the Function-Well probability estimate.
+//	BenchmarkAblationDissemination                — E4: full vs
+//	  path-only propagation.
+//	BenchmarkAblationAggregation                  — E5: MQ aggregation
+//	  on/off under bursty churn (ops/op = carried operations).
+//	BenchmarkQuerySchemes                         — E6: TMS/IMS/BMS
+//	  query cost (msgs/op).
+//	BenchmarkHandoff                              — E7: handoff with
+//	  and without neighbor lists.
+//	BenchmarkRepair                               — E8: crash
+//	  detection + local ring repair cycle.
+//	BenchmarkTokenRound / BenchmarkMQInsert       — microbenchmarks of
+//	  the two hot paths.
+//
+// Run: go test -bench=. -benchmem
+package rgb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/core"
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mq"
+	"github.com/rgbproto/rgb/internal/reliability"
+	"github.com/rgbproto/rgb/internal/simnet"
+)
+
+// fastConfig returns a quiet constant-latency configuration so hop
+// counts are exact and rounds are cheap.
+func fastConfig(h, r int) Config {
+	cfg := DefaultConfig(h, r)
+	cfg.Latency = simnet.ConstantLatency(time.Millisecond)
+	return cfg
+}
+
+// BenchmarkTableI_Ring measures one full dissemination per iteration
+// for every ring-side configuration of Table I. hops/op reproduces
+// the HCN_Ring column (35, 185, 935, 120, 1220, 12220).
+func BenchmarkTableI_Ring(b *testing.B) {
+	for _, cfg := range []struct{ h, r int }{
+		{2, 5}, {3, 5}, {4, 5}, {2, 10}, {3, 10}, {4, 10},
+	} {
+		name := fmt.Sprintf("n=%d/h=%d/r=%d", pow(cfg.r, cfg.h), cfg.h, cfg.r)
+		b.Run(name, func(b *testing.B) {
+			sys := New(fastConfig(cfg.h, cfg.r))
+			ap := sys.APs()[0]
+			var hops uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hops = sys.MeasureDisseminationHops(GUID(i+1), ap)
+			}
+			b.ReportMetric(float64(hops), "hops/op")
+		})
+	}
+}
+
+// BenchmarkTableI_Tree measures one proposal round per iteration in
+// the tree baseline. hops/op reproduces the HCN_Tree column
+// (29, 149, 750*, 109, 1099, 11000*; the h=5 rows measure one hop
+// less — see EXPERIMENTS.md).
+func BenchmarkTableI_Tree(b *testing.B) {
+	for _, cfg := range []struct{ h, r int }{
+		{3, 5}, {4, 5}, {5, 5}, {3, 10}, {4, 10}, {5, 10},
+	} {
+		name := fmt.Sprintf("n=%d/h=%d/r=%d", pow(cfg.r, cfg.h-1), cfg.h, cfg.r)
+		b.Run(name, func(b *testing.B) {
+			svc := NewTreeService(cfg.h, cfg.r, true, 1)
+			leaf := svc.Tree().Leaves()[0]
+			var hops uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hops = svc.MeasureRound(GUID(i+1), leaf).FloodHops
+			}
+			b.ReportMetric(float64(hops), "hops/op")
+		})
+	}
+}
+
+// BenchmarkTableII_MonteCarlo estimates each Table II cell; fw/op is
+// the Function-Well estimate (compare with the published percents).
+func BenchmarkTableII_MonteCarlo(b *testing.B) {
+	const trialsPerOp = 2000
+	for _, cfg := range []struct {
+		r int
+		f float64
+		k int
+	}{
+		{5, 0.001, 1}, {5, 0.005, 1}, {5, 0.02, 1}, {5, 0.02, 3},
+		{10, 0.001, 1}, {10, 0.005, 1}, {10, 0.02, 1}, {10, 0.02, 3},
+	} {
+		name := fmt.Sprintf("n=%d/f=%.1f%%/k=%d", pow(cfg.r, 3), cfg.f*100, cfg.k)
+		b.Run(name, func(b *testing.B) {
+			est := reliability.NewEstimator(3, cfg.r, 7)
+			var fw float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fw = est.Estimate(cfg.f, []int{cfg.k}, trialsPerOp)[0].FW
+			}
+			b.ReportMetric(fw*100, "fw%")
+			b.ReportMetric(trialsPerOp, "trials/op")
+		})
+	}
+}
+
+// BenchmarkAblationDissemination contrasts full dissemination (every
+// ring; BMS-grade knowledge everywhere) with path-only propagation
+// (TMS maintenance; the §6 efficiency remark).
+func BenchmarkAblationDissemination(b *testing.B) {
+	for _, mode := range []DisseminationMode{DisseminateFull, DisseminatePathOnly} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := fastConfig(3, 5)
+			cfg.Dissemination = mode
+			sys := New(cfg)
+			ap := sys.APs()[0]
+			var hops uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hops = sys.MeasureDisseminationHops(GUID(i+1), ap)
+			}
+			b.ReportMetric(float64(hops), "hops/op")
+		})
+	}
+}
+
+// BenchmarkAblationAggregation drives a churn burst through one AP
+// with the MQ aggregation on and off; ops/op counts the operations
+// the token rounds actually carried.
+func BenchmarkAblationAggregation(b *testing.B) {
+	for _, aggregate := range []bool{true, false} {
+		name := "aggregated"
+		if !aggregate {
+			name = "fifo"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := fastConfig(2, 5)
+			cfg.Aggregate = aggregate
+			sys := New(cfg)
+			ap := sys.APs()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A burst of 16 join/leave flips before the network
+				// can start the round.
+				g := GUID(i + 1)
+				for j := 0; j < 8; j++ {
+					sys.JoinMemberAt(g, ap)
+					sys.LeaveMember(g)
+				}
+				sys.Run()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(sys.OpsCarried())/float64(b.N), "ops/op")
+		})
+	}
+}
+
+// BenchmarkQuerySchemes measures Membership-Query cost per scheme
+// (E6): msgs/op and the virtual latency.
+func BenchmarkQuerySchemes(b *testing.B) {
+	sys := New(fastConfig(3, 5))
+	aps := sys.APs()
+	for g := 1; g <= 50; g++ {
+		sys.JoinMemberAt(GUID(g), aps[(g*7)%len(aps)])
+	}
+	sys.Run()
+	for level := 0; level < 3; level++ {
+		name := fmt.Sprintf("IMS-%d", level)
+		if level == 0 {
+			name = "TMS"
+		}
+		if level == 2 {
+			name = "BMS"
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs uint64
+			var lat time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := sys.RunQuery(aps[i%len(aps)], IMS(level))
+				msgs = res.Messages
+				lat = res.Latency
+			}
+			b.ReportMetric(float64(msgs), "msgs/op")
+			b.ReportMetric(float64(lat.Microseconds()), "vlat_us/op")
+		})
+	}
+}
+
+// BenchmarkHandoff measures a roam across neighboring cells with the
+// ListOfNeighborMembers fast path on and off (E7); hit/op reports the
+// fast-handoff hit rate.
+func BenchmarkHandoff(b *testing.B) {
+	for _, neighbors := range []bool{true, false} {
+		name := "neighbor-lists"
+		if !neighbors {
+			name = "no-neighbor-lists"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := fastConfig(2, 5)
+			cfg.NeighborLists = neighbors
+			sys := New(cfg)
+			ring0 := sys.Node(sys.APs()[0]).Roster()
+			sys.JoinMemberAt(GUID(1), ring0[0])
+			sys.Run()
+			hits := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				target := ring0[(i+1)%len(ring0)]
+				if sys.FastHandoffHit(GUID(1), target) {
+					hits++
+				}
+				sys.HandoffMember(GUID(1), target)
+				sys.Run()
+			}
+			b.ReportMetric(float64(hits)/float64(b.N), "hit/op")
+		})
+	}
+}
+
+// BenchmarkRepair measures a full crash-detect-repair-rejoin cycle
+// (E8): token retransmission timeout, local exclusion, convergence
+// round, NE-Join readmission.
+func BenchmarkRepair(b *testing.B) {
+	cfg := fastConfig(2, 5)
+	sys := New(cfg)
+	apNode := sys.Node(sys.APs()[0])
+	roster := apNode.Roster()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := roster[2]
+		sys.CrashNE(victim)
+		sys.JoinMemberAt(GUID(i+1), roster[0])
+		sys.Run() // detection + repair + propagation
+		sys.RestoreNE(victim)
+		sys.Run() // rejoin
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(sys.Repairs()))/float64(b.N), "repairs/op")
+}
+
+// BenchmarkTokenRound measures one complete one-round token pass in a
+// single ring of size r (the protocol's innermost loop).
+func BenchmarkTokenRound(b *testing.B) {
+	for _, r := range []int{5, 10, 25, 50} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			sys := New(fastConfig(1, r))
+			ap := sys.APs()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.JoinMemberAt(GUID(i+1), ap)
+				sys.Run()
+			}
+		})
+	}
+}
+
+// BenchmarkMQInsert measures the aggregating queue's insert path.
+func BenchmarkMQInsert(b *testing.B) {
+	for _, aggregate := range []bool{true, false} {
+		name := "aggregated"
+		if !aggregate {
+			name = "fifo"
+		}
+		b.Run(name, func(b *testing.B) {
+			q := mq.New(aggregate)
+			ap := ids.MakeNodeID(ids.TierAP, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Insert(mq.Change{
+					Op:     mq.OpMemberJoin,
+					Member: ids.MemberInfo{GUID: ids.GUID(i % 64), AP: ap},
+					Origin: ap,
+				})
+				if i%128 == 127 {
+					q.DrainBatch(0)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHierarchyBuild measures deployment construction cost.
+func BenchmarkHierarchyBuild(b *testing.B) {
+	for _, cfg := range []struct{ h, r int }{{3, 5}, {3, 10}} {
+		b.Run(fmt.Sprintf("h=%d/r=%d", cfg.h, cfg.r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := core.NewSystem(fastConfig(cfg.h, cfg.r))
+				_ = sys
+			}
+		})
+	}
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+// Quickstart: build a small RGB hierarchy, join a few mobile hosts,
+// inspect the membership from several vantage points, and run a
+// Membership-Query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"github.com/rgbproto/rgb"
+)
+
+func main() {
+	// A height-3 hierarchy with 5 entities per ring: 1 BR ring, 5 AG
+	// rings, 25 AP rings, 125 access proxies.
+	sys := rgb.New(rgb.DefaultConfig(3, 5))
+	fmt.Printf("hierarchy: %d rings, %d network entities, %d access proxies\n",
+		sys.Hierarchy().NumRings(), sys.Hierarchy().NumNodes(), sys.Hierarchy().NumAPs())
+
+	// Three mobile hosts join the group at different access proxies.
+	aps := sys.APs()
+	sys.JoinMemberAt(rgb.GUID(1), aps[0])
+	sys.JoinMemberAt(rgb.GUID(2), aps[30])
+	sys.JoinMemberAt(rgb.GUID(3), aps[99])
+	sys.Run() // drain the one-round token propagation
+
+	fmt.Println("\nglobal membership (topmost ring's view):")
+	for _, m := range sys.GlobalMembership() {
+		fmt.Printf("  %s attached at %s (%s)\n", m.GUID, m.AP, m.LUID)
+	}
+
+	// The serving AP tracks the member locally; its ring-mates track
+	// it in their ring list.
+	ap0 := sys.Node(aps[0])
+	fmt.Printf("\n%s local members: %s\n", ap0.ID(), ap0.LocalMembers())
+	fmt.Printf("%s ring members:  %s\n", ap0.ID(), ap0.RingMembers())
+
+	// Membership-Query with the TMS scheme (answer from the top ring).
+	res := sys.RunQuery(aps[7], rgb.TMS())
+	fmt.Printf("\nTMS query: %d members, %d messages, %v latency\n",
+		len(res.Members), res.Messages, res.Latency)
+
+	// Host 1 leaves; the membership shrinks everywhere.
+	sys.LeaveMember(rgb.GUID(1))
+	sys.Run()
+	fmt.Printf("\nafter mh-1 leaves: %d members remain\n", len(sys.GlobalMembership()))
+}

@@ -1,0 +1,110 @@
+package analytic
+
+import (
+	"math"
+
+	"github.com/rgbproto/rgb/internal/mathx"
+)
+
+// ProbFWRing returns formula (7): the Function-Well probability t of a
+// single logical ring of r nodes under independent node-fault
+// probability f. A ring functions well when at most one node is
+// faulty (a single fault is detected by token retransmission and
+// repaired locally; two or more faults partition the ring):
+//
+//	t = Σ_{i=0}^{1} C(r,i) (1−f)^{r−i} f^i = (1 − f + r·f)(1 − f)^{r−1}
+func ProbFWRing(r int, f float64) float64 {
+	if r < 1 {
+		panic("analytic: ring size must be positive")
+	}
+	if f < 0 || f > 1 {
+		panic("analytic: fault probability out of range")
+	}
+	return (1 - f + float64(r)*f) * math.Pow(1-f, float64(r-1))
+}
+
+// ProbFWHierarchy returns formula (8): the Function-Well probability
+// of the full ring-based hierarchy with height h, ring size r, node
+// fault probability f, and at most k partitions allowed. The
+// hierarchy contains tn = Σ_{i=0}^{h−1} r^i disjoint rings whose
+// failures are independent, and it functions well when fewer than k
+// rings are partitioned:
+//
+//	fw = Σ_{i=0}^{k-1} C(tn,i) t^{tn−i} (1−t)^i
+func ProbFWHierarchy(h, r int, f float64, k int) float64 {
+	if k < 1 {
+		panic("analytic: k must be at least 1")
+	}
+	t := ProbFWRing(r, f)
+	tn := RingCount(h, r)
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += mathx.BinomialPMF(tn, i, 1-t)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// ProbFWHierarchyPublished returns the quantity actually tabulated in
+// the paper's Table II. Reverse-engineering the published numbers
+// (all 18 cells match to the printed 3 decimals) shows they equal
+// formula (8) multiplied by one extra factor of t:
+//
+//	fw_published = t · Σ_{i=0}^{k-1} C(tn,i) t^{tn−i} (1−t)^i
+//
+// i.e. the authors evaluated the model with one additional ring that
+// must always function well — consistent with counting the root node
+// of the §5.2 transformation hierarchy as a must-function entity —
+// while the partition budget k still ranges over the tn ordinary
+// rings. We reproduce both: this function regenerates the published
+// table exactly; ProbFWHierarchy implements formula (8) as printed.
+// The Monte-Carlo fault injector validates formula (8); the small gap
+// to the published numbers is documented in EXPERIMENTS.md.
+func ProbFWHierarchyPublished(h, r int, f float64, k int) float64 {
+	return ProbFWRing(r, f) * ProbFWHierarchy(h, r, f, k)
+}
+
+// TableIIRow is one row of Table II: Function-Well probability of the
+// hierarchy for a given AP count, fault probability and partition
+// budget.
+type TableIIRow struct {
+	N           int     // bottommost APs (r^h)
+	H           int     // hierarchy height
+	R           int     // ring size
+	F           float64 // node fault probability
+	K           int     // maximum allowed partitions
+	FW          float64 // formula (8) as printed, in [0,1]
+	FWPublished float64 // the value tabulated in the paper, in [0,1]
+}
+
+// TableII regenerates both halves of Table II of the paper:
+// the left half (h=3, r=5, n=125) and the right half (h=3, r=10,
+// n=1000), each for f ∈ {0.1%, 0.5%, 2.0%} and k ∈ {1, 2, 3}.
+func TableII() []TableIIRow {
+	var rows []TableIIRow
+	for _, cfg := range []struct{ h, r int }{{3, 5}, {3, 10}} {
+		for _, f := range []float64{0.001, 0.005, 0.02} {
+			for k := 1; k <= 3; k++ {
+				rows = append(rows, TableIIRow{
+					N:           RingAPs(cfg.h, cfg.r),
+					H:           cfg.h,
+					R:           cfg.r,
+					F:           f,
+					K:           k,
+					FW:          ProbFWHierarchy(cfg.h, cfg.r, f, k),
+					FWPublished: ProbFWHierarchyPublished(cfg.h, cfg.r, f, k),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// FWPercent renders a probability as the paper's percentage with three
+// decimal places (e.g. 0.995 -> 99.500). Values are truncated the way
+// the published table rounds, i.e. standard rounding to 3 decimals.
+func FWPercent(p float64) float64 {
+	return math.Round(p*100*1000) / 1000
+}

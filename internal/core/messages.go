@@ -1,0 +1,99 @@
+package core
+
+import (
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mq"
+	"github.com/rgbproto/rgb/internal/ring"
+	"github.com/rgbproto/rgb/internal/token"
+)
+
+// memberMsg is the MH -> AP membership change submission
+// (Member-Join/Leave/Handoff/Failure observed at the access proxy).
+type memberMsg struct {
+	Op     mq.Op
+	Member ids.MemberInfo
+}
+
+// notifyMsg carries a batch across a ring boundary: up as
+// Notification-to-Parent (Up=true, From = notifying ring) or down as
+// Notification-to-Child. LeaderUpdate announces a leader change to the
+// parent so the parent can fix its Child pointer.
+type notifyMsg struct {
+	Batch        mq.Batch
+	From         ring.ID
+	Up           bool
+	LeaderUpdate bool
+	NewLeader    ids.NodeID
+	Seq          uint64 // sender-local sequence for ack matching
+}
+
+// notifyAck acknowledges a notifyMsg (control plane).
+type notifyAck struct {
+	Seq uint64
+}
+
+// passAck acknowledges receipt of a token pass (control plane; this is
+// the signal whose absence triggers the paper's token retransmission
+// scheme).
+type passAck struct {
+	Ring  ring.ID
+	Round uint64
+}
+
+// holderAck is the Holder-Acknowledgement of Figure 3, sent by the
+// round holder to every entity that contributed original messages.
+type holderAck struct {
+	Ring  ring.ID
+	Round uint64
+	Count int // changes covered by this acknowledgement
+}
+
+// tokenMsg wraps the circulating token.
+type tokenMsg struct {
+	Tok *token.Token
+}
+
+// joinRequest asks a ring leader to admit a (re)joining network entity
+// (NE-Join).
+type joinRequest struct {
+	Node ids.NodeID
+}
+
+// stateSnapshot initializes a rejoining node: current roster, leader
+// and ring membership list.
+type stateSnapshot struct {
+	Roster  []ids.NodeID
+	Leader  ids.NodeID
+	Members []ids.MemberInfo
+}
+
+// mergeRequest carries one ring fragment's state to the leader of
+// another fragment for the Membership-Merge extension.
+type mergeRequest struct {
+	Roster  []ids.NodeID
+	Members []ids.MemberInfo
+}
+
+// queryMsg implements the Membership-Query algorithm. Phase "up"
+// climbs to the topmost ring; phase "down" fans out to the target
+// maintenance level whose ring leaders reply with their
+// ListOfRingMembers.
+type queryMsg struct {
+	ID      uint64
+	Level   int        // maintenance level to answer from (0 = TMS, H-1 = BMS)
+	ReplyTo ids.NodeID // requesting application endpoint
+	Down    bool       // false while climbing, true while fanning out
+
+	// Entry and EntryRing identify the node that introduced the
+	// downward copy into its current ring, so the ring circulation
+	// stops after one full pass regardless of where it entered.
+	Entry     ids.NodeID
+	EntryRing ring.ID
+}
+
+// queryReply returns one ring's membership to the requester.
+type queryReply struct {
+	ID      uint64
+	From    ring.ID
+	Members []ids.MemberInfo
+}

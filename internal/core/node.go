@@ -1,0 +1,656 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rgbproto/rgb/internal/des"
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mq"
+	"github.com/rgbproto/rgb/internal/ring"
+	"github.com/rgbproto/rgb/internal/simnet"
+	"github.com/rgbproto/rgb/internal/token"
+)
+
+// Node is one network entity (AP, AG or BR) of the ring-based
+// hierarchy, holding exactly the per-entity state of Section 4.2.
+type Node struct {
+	sys *System
+
+	id     ids.NodeID
+	level  int     // ring level, 0 = topmost
+	ringID ring.ID // the logical ring this entity belongs to
+
+	// roster is the node's view of its ring in cycle order (every
+	// entity knows the full ring roster — required anyway to maintain
+	// ListOfRingMembers). leader is the current ring leader.
+	roster []ids.NodeID
+	leader ids.NodeID
+
+	// parent is the node in the level above that this ring reports to
+	// (zero for the topmost ring); childLeader is the current leader
+	// of this node's child ring (zero for bottommost nodes).
+	parent      ids.NodeID
+	childLeader ids.NodeID
+	childRing   ring.ID
+	hasChild    bool
+
+	// Function-Well booleans of Section 4.2.
+	ringOK   bool
+	parentOK bool
+	childOK  bool
+
+	// The membership lists of Section 4.2.
+	local     *ids.MemberList // ListOfLocalMembers (bottommost tier)
+	ringMems  *ids.MemberList // ListOfRingMembers (coverage of this ring)
+	neighbors *ids.MemberList // ListOfNeighborMembers (fast handoff)
+	global    *ids.MemberList // full membership under DisseminateFull
+
+	// queue is the MQ of Section 4.2.
+	queue *mq.Queue
+
+	// Token engine state.
+	roundSeq   uint64
+	inFlight   *token.PassState // outstanding pass awaiting passAck
+	passTimer  *des.Event
+	notifySeq  uint64
+	notifyWait map[uint64]*notifyRetry
+
+	// lastTok identifies the most recently processed token so a
+	// duplicate delivery (lost passAck followed by retransmission)
+	// executes only once.
+	lastTokHolder ids.NodeID
+	lastTokRound  uint64
+
+	// ackSent / rounds counters for tests and metrics.
+	roundsStarted   uint64
+	roundsCompleted uint64
+	repairsDone     uint64
+}
+
+// notifyRetry tracks an unacknowledged notification.
+type notifyRetry struct {
+	msg     notifyMsg
+	to      ids.NodeID
+	retries int
+	timer   *des.Event
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() ids.NodeID { return n.id }
+
+// Level returns the node's ring level (0 = topmost).
+func (n *Node) Level() int { return n.level }
+
+// Ring returns the node's ring identity.
+func (n *Node) Ring() ring.ID { return n.ringID }
+
+// Leader returns the node's current view of its ring leader.
+func (n *Node) Leader() ids.NodeID { return n.leader }
+
+// Parent returns the parent node of this ring (zero at the top).
+func (n *Node) Parent() ids.NodeID { return n.parent }
+
+// Roster returns a copy of the node's current ring roster.
+func (n *Node) Roster() []ids.NodeID {
+	out := make([]ids.NodeID, len(n.roster))
+	copy(out, n.roster)
+	return out
+}
+
+// RingOK reports the node's Function-Well view of its own ring.
+func (n *Node) RingOK() bool { return n.ringOK }
+
+// ParentOK reports whether the parent link is believed healthy.
+func (n *Node) ParentOK() bool { return n.parentOK }
+
+// ChildOK reports whether the child link is believed healthy.
+func (n *Node) ChildOK() bool { return n.childOK }
+
+// LocalMembers returns the ListOfLocalMembers.
+func (n *Node) LocalMembers() *ids.MemberList { return n.local }
+
+// RingMembers returns the ListOfRingMembers.
+func (n *Node) RingMembers() *ids.MemberList { return n.ringMems }
+
+// NeighborMembers returns the ListOfNeighborMembers.
+func (n *Node) NeighborMembers() *ids.MemberList { return n.neighbors }
+
+// GlobalMembers returns the node's full-group list (maintained under
+// DisseminateFull).
+func (n *Node) GlobalMembers() *ids.MemberList { return n.global }
+
+// Queue exposes the node's MQ (primarily for tests and metrics).
+func (n *Node) Queue() *mq.Queue { return n.queue }
+
+// RoundsCompleted returns how many rounds this node closed as holder.
+func (n *Node) RoundsCompleted() uint64 { return n.roundsCompleted }
+
+// Repairs returns how many faulty successors this node excluded.
+func (n *Node) Repairs() uint64 { return n.repairsDone }
+
+// isLeader reports whether this node currently believes it leads its
+// ring.
+func (n *Node) isLeader() bool { return n.leader == n.id }
+
+// nextLive returns the successor of `after` in the roster.
+func (n *Node) nextLive(after ids.NodeID) ids.NodeID {
+	for i, m := range n.roster {
+		if m == after {
+			return n.roster[(i+1)%len(n.roster)]
+		}
+	}
+	// After a repair the reference node may already be gone; fall
+	// back to the leader, which is always in the roster.
+	return n.leader
+}
+
+// prevLive returns the predecessor of `of` in the roster.
+func (n *Node) prevLive(of ids.NodeID) ids.NodeID {
+	for i, m := range n.roster {
+		if m == of {
+			return n.roster[(i-1+len(n.roster))%len(n.roster)]
+		}
+	}
+	return n.leader
+}
+
+// rosterContains reports roster membership.
+func (n *Node) rosterContains(id ids.NodeID) bool {
+	for _, m := range n.roster {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// excludeFromRoster removes a faulty/departed entity from the node's
+// ring view, electing the successor if the leader is excluded — the
+// deterministic repair rule every ring member applies identically.
+func (n *Node) excludeFromRoster(dead ids.NodeID) {
+	if !n.rosterContains(dead) || len(n.roster) == 1 {
+		return
+	}
+	successor := n.nextLive(dead)
+	out := n.roster[:0]
+	for _, m := range n.roster {
+		if m != dead {
+			out = append(out, m)
+		}
+	}
+	n.roster = out
+	if n.leader == dead {
+		n.leader = successor
+		if n.leader == n.id && !n.parent.IsZero() {
+			// New leader announces itself so the parent can repair
+			// its Child pointer.
+			n.sendNotify(n.parent, notifyMsg{
+				From:         n.ringID,
+				Up:           true,
+				LeaderUpdate: true,
+				NewLeader:    n.id,
+			})
+		}
+	}
+}
+
+// insertIntoRoster admits a (re)joining entity immediately after the
+// leader — the same deterministic position at every member.
+func (n *Node) insertIntoRoster(joined ids.NodeID) {
+	if n.rosterContains(joined) {
+		return
+	}
+	for i, m := range n.roster {
+		if m == n.leader {
+			rest := append([]ids.NodeID{joined}, n.roster[i+1:]...)
+			n.roster = append(n.roster[:i+1], rest...)
+			return
+		}
+	}
+	n.roster = append(n.roster, joined)
+}
+
+// HandleMessage implements simnet.Endpoint.
+func (n *Node) HandleMessage(msg simnet.Message) {
+	switch body := msg.Body.(type) {
+	case tokenMsg:
+		n.receiveToken(body.Tok, msg.From)
+	case memberMsg:
+		n.receiveMemberMsg(body, msg.From)
+	case notifyMsg:
+		n.receiveNotify(body, msg.From)
+	case notifyAck:
+		n.receiveNotifyAck(body)
+	case passAck:
+		n.receivePassAck(body)
+	case queryMsg:
+		n.receiveQuery(body)
+	case joinRequest:
+		n.receiveJoinRequest(body)
+	case stateSnapshot:
+		n.receiveSnapshot(body)
+	case mergeRequest:
+		n.receiveMergeRequest(body)
+	case holderAck:
+		// Informational at NEs; MH endpoints consume theirs directly.
+	default:
+		panic(fmt.Sprintf("core: %s got unknown message %T", n.id, msg.Body))
+	}
+}
+
+// receiveMemberMsg queues an MH-observed membership change
+// (Member-Join/Leave/Handoff/Failure) into the MQ and requests a round.
+func (n *Node) receiveMemberMsg(m memberMsg, from ids.NodeID) {
+	n.queue.Insert(mq.Change{
+		Op:      m.Op,
+		Member:  m.Member,
+		Origin:  n.id,
+		Seq:     n.nextSeq(),
+		ReplyTo: from,
+	})
+	n.sys.requestRound(n, token.FromLocal, ring.ID{})
+}
+
+var seqCounter uint64
+
+func (n *Node) nextSeq() uint64 {
+	seqCounter++
+	return seqCounter
+}
+
+// startRound begins one execution of the one-round algorithm with this
+// node as holder. extra carries a batch delivered by a notification
+// (nil for locally-queued work); the holder's own MQ is always folded
+// in when the direction allows it.
+func (n *Node) startRound(dir token.Direction, source ring.ID, extra mq.Batch) {
+	n.roundSeq++
+	n.roundsStarted++
+	tok := token.Fresh(n.sys.cfg.GID, n.ringID, n.id, n.roundSeq, nil, dir, source)
+	if len(extra) > 0 {
+		tok.Ops = append(tok.Ops, extra...)
+		tok.Contributors = append(tok.Contributors, n.id)
+	}
+	if dir == token.FromLocal {
+		tok.Fold(n.id, n.queue.DrainBatch(0))
+	}
+	// Execute first: NE-Failure/NE-Join operations in the batch prune
+	// or extend the holder's roster, and the itinerary must reflect
+	// that (a convergence round must not revisit excluded entities).
+	n.execute(tok)
+	// Fix the itinerary: the holder's (now updated) view of the ring,
+	// rotated to start here, so the round's coverage does not depend
+	// on other members' possibly-divergent views.
+	route := make([]ids.NodeID, 0, len(n.roster))
+	start := 0
+	for i, m := range n.roster {
+		if m == n.id {
+			start = i
+			break
+		}
+	}
+	for i := 0; i < len(n.roster); i++ {
+		route = append(route, n.roster[(start+i)%len(n.roster)])
+	}
+	tok.SetRoute(route)
+	n.passToken(tok)
+}
+
+// receiveToken is the per-node body of Figure 3 for a token arriving
+// from the predecessor.
+func (n *Node) receiveToken(tok *token.Token, from ids.NodeID) {
+	// Acknowledge the pass so the sender's retransmission timer stops.
+	n.sys.send(n.id, from, simnet.KindControl, passAck{Ring: tok.Ring, Round: tok.Round})
+
+	// Retransmission can deliver the same token twice (the first copy
+	// arrived but its acknowledgement was lost); execute only once.
+	if tok.Holder == n.lastTokHolder && tok.Round == n.lastTokRound {
+		return
+	}
+	n.lastTokHolder, n.lastTokRound = tok.Holder, tok.Round
+
+	if tok.Holder == n.id {
+		// Full circle: the round is complete.
+		n.completeRound(tok)
+		return
+	}
+	// Note: a node with pending local work does NOT fold it into a
+	// passing token — ops folded mid-round would be missed by the
+	// members (and the leader's parent notification) that already
+	// executed this token. Pending work waits for its own round,
+	// which the System dispatches when this one completes.
+	n.execute(tok)
+	n.passToken(tok)
+}
+
+// execute applies Token.OP at this node: updates the membership lists,
+// maintains the Function-Well booleans, and emits the notifications of
+// Figure 3.
+func (n *Node) execute(tok *token.Token) {
+	n.ringOK = true // Figure 3 line 9
+	for _, c := range tok.Ops {
+		n.applyChange(c, tok.Dir)
+	}
+	if tok.Carrying() {
+		// Notification-to-Parent: only the leader, only for changes
+		// climbing the hierarchy.
+		if n.isLeader() && tok.Dir != token.FromParent && !n.parent.IsZero() && n.parentOK {
+			n.sendNotify(n.parent, notifyMsg{Batch: rewriteReplyTo(tok.Ops, n.id), From: n.ringID, Up: true})
+		}
+		// Notification-to-Child: full dissemination sends every batch
+		// down every child ring except the one it came from.
+		if n.sys.cfg.Dissemination == DisseminateFull && n.hasChild && n.childOK {
+			if !(tok.Dir == token.FromChild && tok.Source == n.childRing) {
+				n.sendNotify(n.childLeader, notifyMsg{Batch: rewriteReplyTo(tok.Ops, n.id), From: n.ringID, Up: false})
+			}
+		}
+	}
+}
+
+// rewriteReplyTo readdresses Holder-Acknowledgements hop by hop: once
+// a batch crosses a ring boundary, acknowledgements for it are owed to
+// the forwarding entity, not the original mobile host.
+func rewriteReplyTo(ops mq.Batch, forwarder ids.NodeID) mq.Batch {
+	out := make(mq.Batch, len(ops))
+	copy(out, ops)
+	for i := range out {
+		out[i].ReplyTo = forwarder
+	}
+	return out
+}
+
+// applyChange updates the membership lists for one operation.
+func (n *Node) applyChange(c mq.Change, dir token.Direction) {
+	switch c.Op {
+	case mq.OpMemberJoin, mq.OpMemberHandoff:
+		n.applyMemberPut(c, dir)
+	case mq.OpMemberLeave, mq.OpMemberFailure:
+		n.applyMemberRemove(c, dir)
+	case mq.OpNEFailure, mq.OpNELeave:
+		// Roster surgery applies only inside the failed entity's own
+		// ring; other rings just observe (and fix Child pointers).
+		if c.NE != n.id && n.sys.sameRing(c.NE, n.id) {
+			n.excludeFromRoster(c.NE)
+		}
+		if n.hasChild && n.childLeader == c.NE {
+			n.childOK = false
+		}
+	case mq.OpNEJoin:
+		if n.sys.sameRing(c.NE, n.id) {
+			n.insertIntoRoster(c.NE)
+		}
+	}
+}
+
+func (n *Node) applyMemberPut(c mq.Change, dir token.Direction) {
+	m := c.Member
+	m.Status = ids.StatusOperational
+	if n.sys.cfg.Dissemination == DisseminateFull {
+		n.global.Put(m)
+	}
+	// ListOfRingMembers covers this ring's subtree: batches arriving
+	// from the parent concern other subtrees unless the member's AP is
+	// covered here.
+	covered := n.sys.covers(n.ringID, m.AP)
+	if covered {
+		n.ringMems.Put(m)
+	} else if dir == token.FromParent {
+		// A handoff can move a member out of this ring's coverage.
+		n.ringMems.Remove(m.GUID)
+	}
+	// Bottom-tier bookkeeping.
+	if n.level == n.sys.cfg.H-1 {
+		if m.AP == n.id {
+			n.local.Put(m)
+		} else {
+			n.local.Remove(m.GUID) // handoff away from this AP
+		}
+		if n.sys.cfg.NeighborLists {
+			if m.AP == n.nextLive(n.id) || m.AP == n.prevLive(n.id) {
+				n.neighbors.Put(m)
+			} else {
+				n.neighbors.Remove(m.GUID)
+			}
+		}
+	}
+}
+
+func (n *Node) applyMemberRemove(c mq.Change, dir token.Direction) {
+	g := c.Member.GUID
+	if n.sys.cfg.Dissemination == DisseminateFull {
+		n.global.Remove(g)
+	}
+	n.ringMems.Remove(g)
+	if n.level == n.sys.cfg.H-1 {
+		n.local.Remove(g)
+		n.neighbors.Remove(g)
+	}
+}
+
+// passToken forwards the token to the itinerary successor with
+// retransmission protection.
+func (n *Node) passToken(tok *token.Token) {
+	if len(tok.Route) <= 1 {
+		// Single-entity round: trivially complete.
+		n.completeRound(tok)
+		return
+	}
+	next := tok.NextOnRoute(n.id)
+	if next == n.id {
+		n.completeRound(tok)
+		return
+	}
+	tok.Hops++
+	n.inFlight = &token.PassState{Token: tok, To: next}
+	n.sendTokenAttempt()
+}
+
+// sendTokenAttempt (re)sends the in-flight token and arms the
+// retransmission timer.
+func (n *Node) sendTokenAttempt() {
+	ps := n.inFlight
+	if ps == nil {
+		return
+	}
+	n.sys.send(n.id, ps.To, simnet.KindToken, tokenMsg{Tok: ps.Token})
+	n.passTimer = n.sys.kernel.After(n.sys.cfg.RetransmitTimeout, func() { n.passTimedOut() })
+}
+
+// passTimedOut implements the token retransmission scheme: resend up
+// to the policy budget, then declare the successor faulty, repair the
+// ring locally, and route around it.
+func (n *Node) passTimedOut() {
+	ps := n.inFlight
+	if ps == nil {
+		return
+	}
+	if !ps.Exhausted(n.sys.cfg.Retransmit) {
+		ps.Retries++
+		n.sendTokenAttempt()
+		return
+	}
+	// Local repair (§5.2): exclude the dead successor, tell the rest
+	// of the ring via an NE-Failure operation folded into this very
+	// token, and continue the round at the next live entity.
+	dead := ps.To
+	n.repairsDone++
+	n.sys.noteRepair(n.ringID, dead)
+	n.excludeFromRoster(dead)
+	tok := ps.Token
+	tok.Repaired = true
+	tok.DropFromRoute(dead)
+	tok.Ops = append(tok.Ops, mq.Change{Op: mq.OpNEFailure, NE: dead, Origin: n.id, Seq: n.nextSeq()})
+	if tok.Holder == dead {
+		// The round's holder died: this node adopts the round so it
+		// still terminates.
+		tok.Holder = n.id
+	}
+	if len(tok.Route) <= 1 {
+		n.inFlight = nil
+		n.completeRound(tok)
+		return
+	}
+	next := tok.NextOnRoute(n.id)
+	if next == n.id {
+		n.inFlight = nil
+		n.completeRound(tok)
+		return
+	}
+	n.inFlight = &token.PassState{Token: tok, To: next}
+	n.sendTokenAttempt()
+}
+
+// receivePassAck clears the retransmission state.
+func (n *Node) receivePassAck(passAck) {
+	if n.passTimer != nil {
+		n.sys.kernel.Cancel(n.passTimer)
+		n.passTimer = nil
+	}
+	n.inFlight = nil
+}
+
+// completeRound closes the round at the holder: Holder-Acknowledgement
+// to every contributor of original messages, a convergence round if a
+// repair happened mid-round, and release of the ring for the next
+// round.
+func (n *Node) completeRound(tok *token.Token) {
+	n.roundsCompleted++
+	n.ringOK = true
+	// Acknowledge distinct originators (Figure 3 lines 17-20).
+	acked := map[ids.NodeID]bool{}
+	for _, c := range tok.Ops {
+		if c.ReplyTo.IsZero() || acked[c.ReplyTo] || c.ReplyTo == n.id {
+			continue
+		}
+		acked[c.ReplyTo] = true
+		n.sys.send(n.id, c.ReplyTo, simnet.KindAck, holderAck{Ring: n.ringID, Round: tok.Round, Count: len(tok.Ops)})
+	}
+	n.sys.roundDone(n, tok, tok.Repaired)
+}
+
+// receiveNotify handles Notification-to-Parent / Notification-to-Child.
+func (n *Node) receiveNotify(m notifyMsg, from ids.NodeID) {
+	n.sys.send(n.id, from, simnet.KindControl, notifyAck{Seq: m.Seq})
+	if m.Up {
+		// From a child ring below this node.
+		n.childOK = true
+		if m.LeaderUpdate {
+			n.childLeader = m.NewLeader
+			return
+		}
+		n.sys.requestRoundWithBatch(n, token.FromChild, m.From, m.Batch)
+		return
+	}
+	// From the parent: this node is (or was) the child-ring leader.
+	n.parentOK = true
+	n.sys.requestRoundWithBatch(n, token.FromParent, m.From, m.Batch)
+}
+
+// sendNotify sends a notification with retransmission protection.
+func (n *Node) sendNotify(to ids.NodeID, m notifyMsg) {
+	n.notifySeq++
+	m.Seq = n.notifySeq
+	retry := &notifyRetry{msg: m, to: to}
+	n.notifyWait[m.Seq] = retry
+	n.sendNotifyAttempt(retry)
+}
+
+func (n *Node) sendNotifyAttempt(retry *notifyRetry) {
+	n.sys.send(n.id, retry.to, simnet.KindNotify, retry.msg)
+	retry.timer = n.sys.kernel.After(n.sys.cfg.RetransmitTimeout, func() {
+		if retry.retries < n.sys.cfg.Retransmit.MaxRetries {
+			retry.retries++
+			n.sendNotifyAttempt(retry)
+			return
+		}
+		delete(n.notifyWait, retry.msg.Seq)
+		// Mark the failed direction.
+		if retry.msg.Up {
+			n.parentOK = false
+		} else if retry.to == n.childLeader {
+			n.childOK = false
+		}
+	})
+}
+
+func (n *Node) receiveNotifyAck(a notifyAck) {
+	if retry, ok := n.notifyWait[a.Seq]; ok {
+		n.sys.kernel.Cancel(retry.timer)
+		delete(n.notifyWait, a.Seq)
+	}
+}
+
+// receiveJoinRequest admits a rejoining entity: the leader queues an
+// NE-Join operation (propagated by the normal one-round algorithm) and
+// sends the joiner a state snapshot. A node that is itself stale
+// (restored, awaiting its own snapshot) must not answer — its
+// pre-crash view may wrongly claim leadership — so it re-routes to a
+// current ring-mate.
+func (n *Node) receiveJoinRequest(req joinRequest) {
+	if n.sys.neStale(n.id) {
+		for _, peer := range n.roster {
+			if peer != n.id && peer != req.Node && !n.sys.net.Crashed(peer) && !n.sys.neStale(peer) {
+				n.sys.send(n.id, peer, simnet.KindControl, req)
+				return
+			}
+		}
+		return
+	}
+	if !n.isLeader() {
+		n.sys.send(n.id, n.leader, simnet.KindControl, req)
+		return
+	}
+	n.queue.Insert(mq.Change{Op: mq.OpNEJoin, NE: req.Node, Origin: n.id, Seq: n.nextSeq()})
+	n.sys.send(n.id, req.Node, simnet.KindControl, stateSnapshot{
+		Roster:  n.Roster(),
+		Leader:  n.leader,
+		Members: n.ringMems.Snapshot(),
+	})
+	n.sys.requestRound(n, token.FromLocal, ring.ID{})
+}
+
+// receiveSnapshot initializes this node from a leader's state after
+// rejoin and lifts the staleness quarantine.
+func (n *Node) receiveSnapshot(s stateSnapshot) {
+	n.roster = append([]ids.NodeID(nil), s.Roster...)
+	// Adopt the current leader BEFORE self-insertion: the insert
+	// position (right after the leader) must match where the other
+	// members' NE-Join application will place this node.
+	n.leader = s.Leader
+	n.insertIntoRoster(n.id)
+	n.ringMems.Clear()
+	for _, m := range s.Members {
+		n.ringMems.Put(m)
+	}
+	n.ringOK = true
+	n.sys.clearStale(n.id)
+}
+
+// receiveMergeRequest folds a ring fragment into this one
+// (Membership-Merge): absorb the fragment's membership list, admit
+// its entities, snapshot the merged state back to them (so the very
+// next token can traverse the united ring), and circulate NE-Join
+// operations so every member of the kept fragment converges too.
+func (n *Node) receiveMergeRequest(req mergeRequest) {
+	if !n.isLeader() {
+		n.sys.send(n.id, n.leader, simnet.KindControl, req)
+		return
+	}
+	incoming := ids.NewMemberList()
+	for _, m := range req.Members {
+		incoming.Put(m)
+	}
+	n.ringMems.MergeFrom(incoming)
+	var joiners []ids.NodeID
+	for _, joined := range req.Roster {
+		if !n.rosterContains(joined) {
+			joiners = append(joiners, joined)
+			n.insertIntoRoster(joined)
+		}
+	}
+	snap := stateSnapshot{Roster: n.Roster(), Leader: n.id, Members: n.ringMems.Snapshot()}
+	for _, j := range joiners {
+		n.sys.send(n.id, j, simnet.KindControl, snap)
+		n.queue.Insert(mq.Change{Op: mq.OpNEJoin, NE: j, Origin: n.id, Seq: n.nextSeq()})
+	}
+	n.sys.requestRound(n, token.FromLocal, ring.ID{})
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/simnet"
+)
+
+// This file implements the Membership-Partition/Merge extension that
+// the paper lists as future work (§6): explicit ring partitioning —
+// the state the §5.2 analysis declares when two or more entities of a
+// ring fail — and the merge procedure that reunites fragments, "which
+// will merge with other partitions later" (§5.2).
+
+// PartitionRing splits a ring's surviving membership views in two:
+// the entities in `fragment` consider only each other ring-mates, and
+// the remainder likewise. Each fragment elects its first member (in
+// old cycle order) as leader. The fragment containing the old
+// leader's successor keeps the parent link; both fragments mark
+// RingOK=false until their next completed round.
+//
+// Returns the leaders of the two fragments (kept, split-off).
+func (s *System) PartitionRing(ringID fmt.Stringer, fragment map[ids.NodeID]bool) (ids.NodeID, ids.NodeID) {
+	// Locate the ring in the hierarchy.
+	var members []ids.NodeID
+	for _, rg := range s.hier.Rings() {
+		if rg.ID().String() == ringID.String() {
+			members = rg.Nodes()
+		}
+	}
+	if members == nil {
+		panic("core: unknown ring " + ringID.String())
+	}
+	var keep, split []ids.NodeID
+	for _, m := range members {
+		n := s.nodes[m]
+		if n == nil || !n.rosterContains(m) {
+			continue
+		}
+		if fragment[m] {
+			split = append(split, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	if len(keep) == 0 || len(split) == 0 {
+		panic("core: partition must leave two non-empty fragments")
+	}
+	assign := func(group []ids.NodeID) ids.NodeID {
+		leader := group[0]
+		for _, m := range group {
+			n := s.nodes[m]
+			n.roster = append([]ids.NodeID(nil), group...)
+			n.leader = leader
+			n.ringOK = false
+		}
+		return leader
+	}
+	keepLeader := assign(keep)
+	splitLeader := assign(split)
+	// The split fragment's leader loses its parent link: the fragment
+	// is disconnected from the hierarchy until merged back.
+	for _, m := range split {
+		s.nodes[m].parentOK = false
+	}
+	// The kept fragment announces its (possibly new) leader upward.
+	kn := s.nodes[keepLeader]
+	if !kn.parent.IsZero() {
+		kn.sendNotify(kn.parent, notifyMsg{From: kn.ringID, Up: true, LeaderUpdate: true, NewLeader: keepLeader})
+	}
+	return keepLeader, splitLeader
+}
+
+// MergeFragments reunites a split-off fragment with the fragment that
+// kept the parent link: the fragment leader ships its roster and
+// membership to the kept leader (one control message), which admits
+// every fragment entity through NE-Join operations circulated by the
+// normal one-round algorithm and then snapshots state back to the
+// joiners.
+func (s *System) MergeFragments(fragmentLeader, keptLeader ids.NodeID) {
+	fl := s.nodes[fragmentLeader]
+	if fl == nil {
+		panic("core: unknown fragment leader")
+	}
+	s.send(fragmentLeader, keptLeader, simnet.KindControl, mergeRequest{
+		Roster:  fl.Roster(),
+		Members: fl.ringMems.Snapshot(),
+	})
+	// The joining entities adopt the kept fragment's identity once the
+	// NE-Join round completes; prime them to accept a snapshot.
+	for _, m := range fl.roster {
+		if n := s.nodes[m]; n != nil {
+			n.parentOK = true
+		}
+	}
+}
+
+// FunctionWellRings counts rings whose every surviving node currently
+// reports RingOK — the protocol-level Function-Well census used by
+// tests and the failover example.
+func (s *System) FunctionWellRings() (ok, total int) {
+	for _, rg := range s.hier.Rings() {
+		total++
+		well := true
+		for _, m := range rg.Nodes() {
+			if s.net.Crashed(m) {
+				continue
+			}
+			n := s.nodes[m]
+			if !n.ringOK || !n.rosterContains(m) {
+				well = false
+				break
+			}
+		}
+		if well {
+			ok++
+		}
+	}
+	return ok, total
+}
+
+// RosterAgreement checks that every live member of every ring agrees
+// on the roster and leader, returning the number of disagreeing
+// rings. Zero means the hierarchy's views converged.
+func (s *System) RosterAgreement() int {
+	disagree := 0
+	for _, rg := range s.hier.Rings() {
+		var ref *Node
+		bad := false
+		for _, m := range rg.Nodes() {
+			if s.net.Crashed(m) {
+				continue
+			}
+			n := s.nodes[m]
+			if ref == nil {
+				ref = n
+				continue
+			}
+			if !sameRoster(ref.roster, n.roster) || ref.leader != n.leader {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			disagree++
+		}
+	}
+	return disagree
+}
+
+func sameRoster(a, b []ids.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Rosters are cycles: compare as rotations with identical order.
+	if len(a) == 0 {
+		return true
+	}
+	start := -1
+	for i, m := range b {
+		if m == a[0] {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[(start+i)%len(b)] {
+			return false
+		}
+	}
+	return true
+}

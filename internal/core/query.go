@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/des"
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mathx"
+	"github.com/rgbproto/rgb/internal/ring"
+	"github.com/rgbproto/rgb/internal/simnet"
+)
+
+// QueryScheme names the membership maintenance/query schemes of
+// Section 4.4. They are all instances of a level-parameterized query:
+// TMS answers from the topmost ring (level 0), BMS gathers from every
+// bottommost ring (level H−1), and IMS answers from an intermediate
+// level.
+type QueryScheme struct {
+	// Level is the ring level whose ListOfRingMembers answers the
+	// query: 0 = TMS, H-1 = BMS, anything between = IMS.
+	Level int
+}
+
+// TMS returns the Topmost Membership Scheme.
+func TMS() QueryScheme { return QueryScheme{Level: 0} }
+
+// BMS returns the Bottommost Membership Scheme for a hierarchy of
+// height h.
+func BMS(h int) QueryScheme { return QueryScheme{Level: h - 1} }
+
+// IMS returns an Intermediate Membership Scheme at the given level.
+func IMS(level int) QueryScheme { return QueryScheme{Level: level} }
+
+// String names the scheme.
+func (q QueryScheme) String() string {
+	return fmt.Sprintf("level-%d", q.Level)
+}
+
+// QueryResult reports one Membership-Query execution.
+type QueryResult struct {
+	Members  []ids.MemberInfo // aggregated membership answer
+	Messages uint64           // query+reply messages on the wire
+	Latency  time.Duration    // virtual time from request to last reply
+	Replies  int              // ring leaders that answered
+}
+
+// GUIDs returns the member identities in the answer.
+func (r QueryResult) GUIDs() []ids.GUID {
+	out := make([]ids.GUID, 0, len(r.Members))
+	for _, m := range r.Members {
+		out = append(out, m.GUID)
+	}
+	return out
+}
+
+// queryApp is the ephemeral requesting-application endpoint.
+type queryApp struct {
+	sys      *System
+	node     ids.NodeID
+	id       uint64
+	expected int
+	members  *ids.MemberList
+	replies  int
+	done     bool
+	doneAt   des.Time
+}
+
+// HandleMessage collects replies.
+func (a *queryApp) HandleMessage(msg simnet.Message) {
+	rep, ok := msg.Body.(queryReply)
+	if !ok || rep.ID != a.id || a.done {
+		return
+	}
+	a.replies++
+	for _, m := range rep.Members {
+		if m.Status.Operational() {
+			a.members.Put(m)
+		}
+	}
+	if a.replies >= a.expected {
+		a.done = true
+		a.doneAt = a.sys.kernel.Now()
+	}
+}
+
+// RunQuery executes one Membership-Query from an application attached
+// at the given entry AP, using the scheme's maintenance level. It
+// advances the simulation until the query completes (or the event
+// queue drains) and returns the aggregated answer with its cost.
+func (s *System) RunQuery(entry ids.NodeID, scheme QueryScheme) QueryResult {
+	if scheme.Level < 0 || scheme.Level >= s.cfg.H {
+		panic(fmt.Sprintf("core: query level %d out of range", scheme.Level))
+	}
+	s.mustAP(entry)
+	s.querySeq++
+	app := &queryApp{
+		sys:      s,
+		node:     ids.MakeNodeID(ids.TierMH, 1<<20+int(s.querySeq)),
+		id:       s.querySeq,
+		expected: len(s.hier.Level(scheme.Level)),
+		members:  ids.NewMemberList(),
+	}
+	s.net.Register(app.node, app)
+	defer s.net.Unregister(app.node)
+
+	before := s.net.Stats()
+	start := s.kernel.Now()
+	s.send(app.node, entry, simnet.KindQuery, queryMsg{
+		ID:      app.id,
+		Level:   scheme.Level,
+		ReplyTo: app.node,
+	})
+	// Drive the simulation until the app has all replies or nothing
+	// is left to deliver.
+	for !app.done && s.kernel.Step() {
+	}
+	after := s.net.Stats()
+	latency := app.doneAt.Sub(start)
+	if !app.done {
+		latency = s.kernel.Now().Sub(start)
+	}
+	return QueryResult{
+		Members:  app.members.Snapshot(),
+		Messages: (after.DeliveredOf(simnet.KindQuery) - before.DeliveredOf(simnet.KindQuery)) + (after.DeliveredOf(simnet.KindReply) - before.DeliveredOf(simnet.KindReply)),
+		Latency:  latency,
+		Replies:  app.replies,
+	}
+}
+
+// receiveQuery implements the routing of the Membership-Query
+// algorithm at a network entity.
+//
+// Upward phase: the query climbs — node to its ring leader, leader to
+// its parent — until it reaches the topmost ring.
+//
+// Downward phase: from the topmost ring (or once the query is at its
+// target level) the query fans out: each ring circulates it so every
+// node forwards one copy to its child ring's leader, until leaders at
+// the target level reply with their ListOfRingMembers.
+func (n *Node) receiveQuery(q queryMsg) {
+	if !q.Down {
+		// Climbing toward the top.
+		if n.level > 0 {
+			if !n.isLeader() {
+				n.forwardQuery(n.leader, q)
+				return
+			}
+			n.forwardQuery(n.parent, q)
+			return
+		}
+		// Reached the topmost ring: switch to the downward phase.
+		q.Down = true
+	}
+	if n.level == q.Level {
+		// Answer from this ring's membership list. Exactly one node
+		// per target-level ring receives the query (the downward copy
+		// goes to ring leaders; a level-0 query answers at whichever
+		// top node the climb reached).
+		n.sys.send(n.id, q.ReplyTo, simnet.KindReply, queryReply{
+			ID:      q.ID,
+			From:    n.ringID,
+			Members: n.ringMems.Snapshot(),
+		})
+		return
+	}
+	// Fan out below: circulate one copy around this ring — each node
+	// forwards one copy to its child ring's leader — and stop after a
+	// full pass.
+	if q.EntryRing != n.ringID {
+		q.EntryRing = n.ringID
+		q.Entry = n.id
+	}
+	if n.hasChild {
+		down := q
+		down.EntryRing = ring.ID{} // next ring re-stamps its entry
+		down.Entry = ids.NoNode
+		n.forwardQuery(n.childLeader, down)
+	}
+	if next := n.nextLive(n.id); next != q.Entry {
+		n.forwardQuery(next, q)
+	}
+}
+
+func (n *Node) forwardQuery(to ids.NodeID, q queryMsg) {
+	if to.IsZero() {
+		return
+	}
+	n.sys.send(n.id, to, simnet.KindQuery, q)
+}
+
+// ExpectedQueryReplies returns how many ring leaders answer a query at
+// the given level — r^level.
+func (s *System) ExpectedQueryReplies(level int) int {
+	return mathx.PowInt(s.cfg.R, level)
+}
+
+// VerifyQueryAnswer checks a query result against the authoritative
+// top-ring membership, returning the number of missing and extra
+// members. Used by tests and the rgbquery tool.
+func (s *System) VerifyQueryAnswer(res QueryResult) (missing, extra int) {
+	truth := map[ids.GUID]bool{}
+	for _, m := range s.GlobalMembership() {
+		if m.Status.Operational() {
+			truth[m.GUID] = true
+		}
+	}
+	got := map[ids.GUID]bool{}
+	for _, m := range res.Members {
+		got[m.GUID] = true
+	}
+	for g := range truth {
+		if !got[g] {
+			missing++
+		}
+	}
+	for g := range got {
+		if !truth[g] {
+			extra++
+		}
+	}
+	return missing, extra
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rgbproto/rgb/internal/ids"
+)
+
+// populate joins n members across the APs deterministically and runs
+// to quiescence.
+func populate(t *testing.T, sys *System, n int) {
+	t.Helper()
+	aps := sys.APs()
+	for g := 1; g <= n; g++ {
+		sys.JoinMemberAt(ids.GUID(g), aps[(g*3)%len(aps)])
+	}
+	sys.Run()
+}
+
+func TestQueryTMSComplete(t *testing.T) {
+	sys := NewSystem(quietConfig(3, 5))
+	populate(t, sys, 25)
+	res := sys.RunQuery(sys.APs()[0], TMS())
+	if len(res.Members) != 25 {
+		t.Fatalf("TMS answered %d members, want 25", len(res.Members))
+	}
+	missing, extra := sys.VerifyQueryAnswer(res)
+	if missing != 0 || extra != 0 {
+		t.Fatalf("TMS wrong: missing=%d extra=%d", missing, extra)
+	}
+	if res.Replies != 1 {
+		t.Fatalf("TMS replies = %d, want 1", res.Replies)
+	}
+}
+
+func TestQueryBMSComplete(t *testing.T) {
+	sys := NewSystem(quietConfig(3, 5))
+	populate(t, sys, 25)
+	res := sys.RunQuery(sys.APs()[7], BMS(3))
+	missing, extra := sys.VerifyQueryAnswer(res)
+	if missing != 0 || extra != 0 {
+		t.Fatalf("BMS wrong: missing=%d extra=%d", missing, extra)
+	}
+	// One reply per bottommost ring: r^(h-1) = 25.
+	if res.Replies != 25 {
+		t.Fatalf("BMS replies = %d, want 25", res.Replies)
+	}
+}
+
+func TestQueryIMSComplete(t *testing.T) {
+	sys := NewSystem(quietConfig(3, 5))
+	populate(t, sys, 25)
+	res := sys.RunQuery(sys.APs()[3], IMS(1))
+	missing, extra := sys.VerifyQueryAnswer(res)
+	if missing != 0 || extra != 0 {
+		t.Fatalf("IMS wrong: missing=%d extra=%d", missing, extra)
+	}
+	if res.Replies != 5 {
+		t.Fatalf("IMS(1) replies = %d, want 5", res.Replies)
+	}
+}
+
+// TestQueryCostOrdering is the §4.4 claim: "The Membership-Query
+// algorithm with the TMS scheme is more efficient than that with the
+// BMS scheme with regard to the requesting application".
+func TestQueryCostOrdering(t *testing.T) {
+	sys := NewSystem(quietConfig(3, 5))
+	populate(t, sys, 25)
+	tms := sys.RunQuery(sys.APs()[0], TMS())
+	ims := sys.RunQuery(sys.APs()[0], IMS(1))
+	bms := sys.RunQuery(sys.APs()[0], BMS(3))
+	if !(tms.Messages < ims.Messages && ims.Messages < bms.Messages) {
+		t.Errorf("message cost should order TMS < IMS < BMS: %d, %d, %d",
+			tms.Messages, ims.Messages, bms.Messages)
+	}
+	if tms.Latency > bms.Latency {
+		t.Errorf("TMS latency %v should not exceed BMS latency %v", tms.Latency, bms.Latency)
+	}
+}
+
+func TestQueryCostScalesWithLevelWidth(t *testing.T) {
+	sys := NewSystem(quietConfig(3, 5))
+	populate(t, sys, 10)
+	if got := sys.ExpectedQueryReplies(0); got != 1 {
+		t.Errorf("level 0 rings = %d", got)
+	}
+	if got := sys.ExpectedQueryReplies(2); got != 25 {
+		t.Errorf("level 2 rings = %d", got)
+	}
+}
+
+func TestQueryFromEveryEntryPoint(t *testing.T) {
+	sys := NewSystem(quietConfig(2, 5))
+	populate(t, sys, 10)
+	for _, ap := range sys.APs() {
+		res := sys.RunQuery(ap, TMS())
+		if missing, extra := sys.VerifyQueryAnswer(res); missing != 0 || extra != 0 {
+			t.Fatalf("entry %s: missing=%d extra=%d", ap, missing, extra)
+		}
+	}
+}
+
+func TestQueryReflectsChurn(t *testing.T) {
+	sys := NewSystem(quietConfig(2, 5))
+	populate(t, sys, 10)
+	sys.LeaveMember(ids.GUID(4))
+	sys.LeaveMember(ids.GUID(7))
+	sys.Run()
+	res := sys.RunQuery(sys.APs()[0], TMS())
+	if len(res.Members) != 8 {
+		t.Fatalf("after leaves: %d members, want 8", len(res.Members))
+	}
+	for _, m := range res.Members {
+		if m.GUID == 4 || m.GUID == 7 {
+			t.Fatalf("departed member %s still in answer", m.GUID)
+		}
+	}
+}
+
+func TestQueryLevelValidation(t *testing.T) {
+	sys := NewSystem(quietConfig(2, 5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range level")
+		}
+	}()
+	sys.RunQuery(sys.APs()[0], IMS(5))
+}
+
+func TestQuerySchemeNames(t *testing.T) {
+	if TMS().Level != 0 || BMS(4).Level != 3 || IMS(2).Level != 2 {
+		t.Error("scheme constructors wrong")
+	}
+	if TMS().String() != "level-0" {
+		t.Errorf("String = %q", TMS().String())
+	}
+}
+
+func TestQueryResultGUIDs(t *testing.T) {
+	sys := NewSystem(quietConfig(2, 5))
+	populate(t, sys, 3)
+	res := sys.RunQuery(sys.APs()[0], TMS())
+	if len(res.GUIDs()) != 3 {
+		t.Fatalf("GUIDs = %v", res.GUIDs())
+	}
+}

@@ -1,0 +1,528 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/des"
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mathx"
+	"github.com/rgbproto/rgb/internal/mq"
+	"github.com/rgbproto/rgb/internal/ring"
+	"github.com/rgbproto/rgb/internal/simnet"
+	"github.com/rgbproto/rgb/internal/token"
+	"github.com/rgbproto/rgb/internal/topology"
+)
+
+// Member is the data structure an MH keeps (Section 4.2): group,
+// attached AP, global and local identities, and status.
+type Member struct {
+	GID    ids.GroupID
+	AP     ids.NodeID
+	GUID   ids.GUID
+	LUID   ids.LUID
+	Status ids.Status
+
+	node    ids.NodeID // the MH's own message endpoint
+	sys     *System
+	ackedAt des.Time // when the last Holder-Acknowledgement arrived
+	acks    int
+}
+
+// Node returns the MH's message endpoint identity.
+func (m *Member) Node() ids.NodeID { return m.node }
+
+// Acks returns how many Holder-Acknowledgements this MH received.
+func (m *Member) Acks() int { return m.acks }
+
+// LastAckAt returns the virtual time of the latest acknowledgement.
+func (m *Member) LastAckAt() des.Time { return m.ackedAt }
+
+// HandleMessage lets the MH consume Holder-Acknowledgements.
+func (m *Member) HandleMessage(msg simnet.Message) {
+	if _, ok := msg.Body.(holderAck); ok {
+		m.acks++
+		m.ackedAt = m.sys.kernel.Now()
+	}
+}
+
+// pendingRound is a deferred round start for a busy ring.
+type pendingRound struct {
+	at     ids.NodeID
+	dir    token.Direction
+	source ring.ID
+	batch  mq.Batch
+}
+
+// RepairEvent records one local ring repair for observability.
+type RepairEvent struct {
+	Ring ring.ID
+	Dead ids.NodeID
+}
+
+// System is a complete simulated RGB deployment: the hierarchy, all
+// network entities, the mobile hosts, and the event kernel driving
+// them.
+type System struct {
+	cfg    Config
+	kernel *des.Kernel
+	net    *simnet.Network
+	hier   *topology.RingHierarchy
+	rng    *mathx.RNG
+
+	nodes   map[ids.NodeID]*Node
+	members map[ids.GUID]*Member
+
+	ringBusy    map[ring.ID]bool
+	ringPending map[ring.ID][]pendingRound
+
+	mhOrdinal int
+	luidSeq   map[ids.NodeID]uint32
+
+	// staleNE marks restored-but-not-yet-rejoined entities whose ring
+	// state predates their crash; they must not answer join requests
+	// or be chosen as rejoin contacts until a snapshot refreshes them.
+	staleNE map[ids.NodeID]bool
+
+	repairs    []RepairEvent
+	rounds     uint64
+	opsCarried uint64
+	querySeq   uint64
+
+	heartbeats []*des.Ticker
+}
+
+// NewSystem builds and wires a full deployment for the configuration.
+func NewSystem(cfg Config) *System {
+	cfg.validate()
+	kernel := des.NewKernel()
+	net := simnet.New(kernel, cfg.Latency, cfg.Seed)
+	if cfg.Loss > 0 {
+		net.SetLoss(cfg.Loss)
+	}
+	s := &System{
+		cfg:         cfg,
+		kernel:      kernel,
+		net:         net,
+		hier:        topology.NewRingHierarchy(cfg.H, cfg.R),
+		rng:         mathx.NewRNG(cfg.Seed ^ 0x9b2e5f4ac3d17086),
+		nodes:       make(map[ids.NodeID]*Node),
+		members:     make(map[ids.GUID]*Member),
+		ringBusy:    make(map[ring.ID]bool),
+		ringPending: make(map[ring.ID][]pendingRound),
+		luidSeq:     make(map[ids.NodeID]uint32),
+		staleNE:     make(map[ids.NodeID]bool),
+	}
+	for level := 0; level < s.hier.NumLevels(); level++ {
+		for _, rg := range s.hier.Level(level) {
+			parent := s.hier.ParentOf(rg.ID())
+			for _, id := range rg.Nodes() {
+				n := &Node{
+					sys:        s,
+					id:         id,
+					level:      level,
+					ringID:     rg.ID(),
+					roster:     rg.Nodes(),
+					leader:     rg.Leader(),
+					parent:     parent,
+					ringOK:     true,
+					parentOK:   !parent.IsZero(),
+					local:      ids.NewMemberList(),
+					ringMems:   ids.NewMemberList(),
+					neighbors:  ids.NewMemberList(),
+					global:     ids.NewMemberList(),
+					queue:      mq.New(cfg.Aggregate),
+					notifyWait: make(map[uint64]*notifyRetry),
+				}
+				if child, ok := s.hier.ChildRingOf(id); ok {
+					n.hasChild = true
+					n.childRing = child
+					n.childOK = true
+					// The child ring's initial leader.
+					for _, crg := range s.hier.Level(level + 1) {
+						if crg.ID() == child {
+							n.childLeader = crg.Leader()
+						}
+					}
+				}
+				s.nodes[id] = n
+				net.Register(id, n)
+			}
+		}
+	}
+	if cfg.HeartbeatInterval > 0 {
+		s.startHeartbeats()
+	}
+	return s
+}
+
+// Kernel returns the simulation kernel.
+func (s *System) Kernel() *des.Kernel { return s.kernel }
+
+// Net returns the simulated network.
+func (s *System) Net() *simnet.Network { return s.net }
+
+// Hierarchy returns the static topology.
+func (s *System) Hierarchy() *topology.RingHierarchy { return s.hier }
+
+// Config returns the active configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Node returns the network entity with the given identity.
+func (s *System) Node(id ids.NodeID) *Node { return s.nodes[id] }
+
+// APs returns the bottommost access proxies.
+func (s *System) APs() []ids.NodeID { return s.hier.APs() }
+
+// Repairs returns every local ring repair performed so far.
+func (s *System) Repairs() []RepairEvent { return s.repairs }
+
+// Rounds returns the total number of completed token rounds.
+func (s *System) Rounds() uint64 { return s.rounds }
+
+// OpsCarried returns the total membership operations carried across
+// all completed rounds — the workload metric the MQ aggregation
+// ablation (E5) compares.
+func (s *System) OpsCarried() uint64 { return s.opsCarried }
+
+// send is the single funnel for protocol sends.
+func (s *System) send(from, to ids.NodeID, kind simnet.Kind, body any) {
+	s.net.SendKind(from, to, kind, body)
+}
+
+// sameRing reports whether two entities belong to the same logical
+// ring of the static hierarchy.
+func (s *System) sameRing(a, b ids.NodeID) bool {
+	ra, rb := s.hier.RingOf(a), s.hier.RingOf(b)
+	return ra != nil && rb != nil && ra.ID() == rb.ID()
+}
+
+// covers reports whether the access proxy ap lies under the coverage
+// of the given ring (the ring itself for bottom rings, or its subtree
+// for upper rings).
+func (s *System) covers(id ring.ID, ap ids.NodeID) bool {
+	rg := s.hier.RingOf(ap)
+	if rg == nil {
+		return false
+	}
+	cur := rg.ID()
+	for {
+		if cur == id {
+			return true
+		}
+		p := s.hier.ParentOf(cur)
+		if p.IsZero() {
+			return false
+		}
+		cur = s.hier.RingOf(p).ID()
+	}
+}
+
+// requestRound asks to start a round at node n fed from its own MQ.
+func (s *System) requestRound(n *Node, dir token.Direction, source ring.ID) {
+	s.requestRoundWithBatch(n, dir, source, nil)
+}
+
+// requestRoundWithBatch schedules a round at node n. If the ring is
+// busy the request queues until the current round completes — the
+// System brokers token ownership so that "at any time there is at most
+// one membership change message propagated along a ring" (§4.3).
+func (s *System) requestRoundWithBatch(n *Node, dir token.Direction, source ring.ID, batch mq.Batch) {
+	if s.net.Crashed(n.id) {
+		// A crashed entity cannot start a round; park the request so
+		// it runs if the entity is restored.
+		s.ringPending[n.ringID] = append(s.ringPending[n.ringID], pendingRound{at: n.id, dir: dir, source: source, batch: batch})
+		return
+	}
+	if s.ringBusy[n.ringID] {
+		s.ringPending[n.ringID] = append(s.ringPending[n.ringID], pendingRound{at: n.id, dir: dir, source: source, batch: batch})
+		return
+	}
+	if dir == token.FromLocal && batch == nil && n.queue.Len() == 0 {
+		return // nothing to do
+	}
+	s.ringBusy[n.ringID] = true
+	n.startRound(dir, source, batch)
+}
+
+// roundDone is called by the holder when a round completes. It
+// releases the ring and dispatches any deferred rounds; a mid-round
+// repair first triggers a convergence round so every surviving member
+// learns the exclusion.
+func (s *System) roundDone(holder *Node, tok *token.Token, repaired bool) {
+	s.rounds++
+	s.opsCarried += uint64(len(tok.Ops))
+	s.ringBusy[holder.ringID] = false
+	if repaired && len(tok.Ops) > 0 {
+		// A mid-round repair means some members executed the token
+		// before the exclusion was folded in — and, if the old leader
+		// died, nobody forwarded the batch upward. Re-circulate the
+		// whole batch once: membership operations are idempotent, the
+		// NE-Failure reaches every survivor, and the (new) leader
+		// forwards the batch up the hierarchy.
+		s.requestRoundWithBatch(holder, token.FromLocal, ring.ID{}, tok.Ops)
+		return
+	}
+	s.dispatchPending(holder.ringID)
+}
+
+// dispatchPending starts the next deferred round of a ring, if any.
+// Local requests whose queue was already drained by en-route folding
+// are skipped rather than run as empty rounds.
+func (s *System) dispatchPending(id ring.ID) {
+	queue := s.ringPending[id]
+	for len(queue) > 0 {
+		next := queue[0]
+		queue = queue[1:]
+		n := s.nodes[next.at]
+		if n == nil || s.net.Crashed(next.at) {
+			continue
+		}
+		if next.dir == token.FromLocal && next.batch == nil && n.queue.Len() == 0 {
+			continue
+		}
+		s.ringPending[id] = queue
+		s.ringBusy[id] = true
+		n.startRound(next.dir, next.source, next.batch)
+		return
+	}
+	s.ringPending[id] = queue
+}
+
+// noteRepair records a repair event.
+func (s *System) noteRepair(id ring.ID, dead ids.NodeID) {
+	s.repairs = append(s.repairs, RepairEvent{Ring: id, Dead: dead})
+}
+
+// startHeartbeats arms one periodic empty round per ring for failure
+// detection in the absence of membership traffic.
+func (s *System) startHeartbeats() {
+	for _, rg := range s.hier.Rings() {
+		id := rg.ID()
+		initial := rg.Leader()
+		t := s.kernel.Every(s.cfg.HeartbeatInterval, func() {
+			if s.ringBusy[id] {
+				return
+			}
+			leaderNode := s.currentLeaderOf(id, initial)
+			if leaderNode == nil {
+				return
+			}
+			s.ringBusy[id] = true
+			leaderNode.startRound(token.FromLocal, ring.ID{}, nil)
+		})
+		s.heartbeats = append(s.heartbeats, t)
+	}
+}
+
+// currentLeaderOf finds a live node of the ring and returns its view
+// of the leader (falling back across crashed entities).
+func (s *System) currentLeaderOf(id ring.ID, seed ids.NodeID) *Node {
+	probe := s.nodes[seed]
+	if probe == nil {
+		return nil
+	}
+	if !s.net.Crashed(probe.leader) {
+		if l := s.nodes[probe.leader]; l != nil {
+			return l
+		}
+	}
+	for _, m := range probe.roster {
+		if !s.net.Crashed(m) {
+			return s.nodes[m]
+		}
+	}
+	return nil
+}
+
+// --- Mobile host operations -----------------------------------------
+
+// newMemberAt registers the MH bookkeeping for a join at the given AP.
+func (s *System) newMemberAt(guid ids.GUID, ap ids.NodeID) *Member {
+	m, ok := s.members[guid]
+	if !ok {
+		m = &Member{
+			GID:  s.cfg.GID,
+			GUID: guid,
+			node: ids.MakeNodeID(ids.TierMH, s.mhOrdinal),
+			sys:  s,
+		}
+		s.mhOrdinal++
+		s.members[guid] = m
+		s.net.Register(m.node, m)
+	}
+	s.luidSeq[ap]++
+	m.AP = ap
+	m.LUID = ids.LUID{AP: ap, Local: s.luidSeq[ap]}
+	m.Status = ids.StatusOperational
+	return m
+}
+
+// Member returns the MH record for a GUID, if known.
+func (s *System) Member(guid ids.GUID) (*Member, bool) {
+	m, ok := s.members[guid]
+	return m, ok
+}
+
+// JoinMemberAt submits a Member-Join for guid at the given AP: the MH
+// contacts the AP (one wireless message), the AP queues the change,
+// and the one-round algorithm propagates it.
+func (s *System) JoinMemberAt(guid ids.GUID, ap ids.NodeID) *Member {
+	s.mustAP(ap)
+	m := s.newMemberAt(guid, ap)
+	s.send(m.node, ap, simnet.KindMemberMsg, memberMsg{Op: mq.OpMemberJoin, Member: s.infoOf(m)})
+	return m
+}
+
+// JoinMember joins at a deterministic-pseudorandom AP.
+func (s *System) JoinMember(guid ids.GUID) *Member {
+	aps := s.APs()
+	return s.JoinMemberAt(guid, aps[s.rng.Intn(len(aps))])
+}
+
+// LeaveMember submits a voluntary Member-Leave from the MH's current
+// AP.
+func (s *System) LeaveMember(guid ids.GUID) {
+	m := s.mustMember(guid)
+	m.Status = ids.StatusVoluntaryDisc
+	s.send(m.node, m.AP, simnet.KindMemberMsg, memberMsg{Op: mq.OpMemberLeave, Member: s.infoOf(m)})
+}
+
+// FailMember injects a Member-Failure detected by the serving AP
+// (faulty disconnection).
+func (s *System) FailMember(guid ids.GUID) {
+	m := s.mustMember(guid)
+	m.Status = ids.StatusFailed
+	ap := s.nodes[m.AP]
+	ap.queue.Insert(mq.Change{Op: mq.OpMemberFailure, Member: s.infoOf(m), Origin: ap.id, Seq: ap.nextSeq()})
+	s.requestRound(ap, token.FromLocal, ring.ID{})
+}
+
+// HandoffMember moves the MH to a new AP: the MH registers at the new
+// AP (Member-Handoff) and deregisters at the old one, which updates
+// only its local list — the location change itself propagates from
+// the new AP.
+func (s *System) HandoffMember(guid ids.GUID, newAP ids.NodeID) {
+	s.mustAP(newAP)
+	m := s.mustMember(guid)
+	oldAP := m.AP
+	if oldAP == newAP {
+		return
+	}
+	m.AP = newAP
+	s.luidSeq[newAP]++
+	m.LUID = ids.LUID{AP: newAP, Local: s.luidSeq[newAP]}
+	s.send(m.node, newAP, simnet.KindMemberMsg, memberMsg{Op: mq.OpMemberHandoff, Member: s.infoOf(m)})
+}
+
+// FastHandoffHit reports whether the destination AP already knows the
+// member through its ListOfNeighborMembers — the fast-handoff path.
+func (s *System) FastHandoffHit(guid ids.GUID, newAP ids.NodeID) bool {
+	n := s.nodes[newAP]
+	return n != nil && s.cfg.NeighborLists && n.neighbors.Contains(guid)
+}
+
+func (s *System) infoOf(m *Member) ids.MemberInfo {
+	return ids.MemberInfo{GID: m.GID, GUID: m.GUID, LUID: m.LUID, AP: m.AP, Status: m.Status}
+}
+
+func (s *System) mustMember(guid ids.GUID) *Member {
+	m, ok := s.members[guid]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown member %s", guid))
+	}
+	return m
+}
+
+func (s *System) mustAP(ap ids.NodeID) {
+	if s.hier.LevelOf(ap) != s.cfg.H-1 {
+		panic(fmt.Sprintf("core: %s is not a bottom-tier access proxy", ap))
+	}
+}
+
+// --- Failure injection ----------------------------------------------
+
+// CrashNE makes a network entity faulty (it stops sending/receiving).
+func (s *System) CrashNE(id ids.NodeID) { s.net.Crash(id) }
+
+// RestoreNE revives a previously crashed entity and re-admits it to
+// its ring via the NE-Join protocol: it asks a live, *current* ring
+// member to route the join request to the leader. The restored entity
+// itself is quarantined as stale — its pre-crash state must not answer
+// join requests — until a state snapshot refreshes it.
+func (s *System) RestoreNE(id ids.NodeID) {
+	s.net.Restore(id)
+	n := s.nodes[id]
+	if n == nil {
+		return
+	}
+	s.staleNE[id] = true
+	for _, rg := range s.hier.Rings() {
+		if rg.ID() != n.ringID {
+			continue
+		}
+		for _, peer := range rg.Nodes() {
+			if peer != id && !s.net.Crashed(peer) && !s.staleNE[peer] {
+				s.send(id, peer, simnet.KindControl, joinRequest{Node: id})
+				return
+			}
+		}
+	}
+}
+
+// neStale reports whether the entity awaits a post-restore snapshot.
+func (s *System) neStale(id ids.NodeID) bool { return s.staleNE[id] }
+
+// clearStale lifts the quarantine once fresh ring state arrived.
+func (s *System) clearStale(id ids.NodeID) { delete(s.staleNE, id) }
+
+// --- Running ---------------------------------------------------------
+
+// Run drains all pending events (to quiescence). With heartbeats
+// enabled this would never return, so it stops tickers first if the
+// caller asks for quiescence via Run; use RunFor for heartbeat runs.
+func (s *System) Run() {
+	if s.cfg.HeartbeatInterval > 0 {
+		s.kernel.RunFor(10 * s.cfg.HeartbeatInterval)
+		return
+	}
+	s.kernel.Run()
+}
+
+// RunFor advances virtual time by d.
+func (s *System) RunFor(d time.Duration) { s.kernel.RunFor(d) }
+
+// StopHeartbeats cancels all ring heartbeat tickers (so Run can reach
+// quiescence).
+func (s *System) StopHeartbeats() {
+	for _, t := range s.heartbeats {
+		t.Stop()
+	}
+	s.heartbeats = nil
+}
+
+// GlobalMembership returns the authoritative group membership as seen
+// by the topmost ring (its ListOfRingMembers covers the whole
+// hierarchy).
+func (s *System) GlobalMembership() []ids.MemberInfo {
+	top := s.hier.Level(0)[0]
+	for _, id := range top.Nodes() {
+		if !s.net.Crashed(id) {
+			return s.nodes[id].ringMems.Snapshot()
+		}
+	}
+	return nil
+}
+
+// MeasureDisseminationHops injects a single Member-Join at the given
+// AP into a quiet system, runs to quiescence and returns the number of
+// propagation messages (token passes + notifications) — the measured
+// counterpart of HCN_Ring (formula (6)) under DisseminateFull, or the
+// path-only cost under DisseminatePathOnly.
+func (s *System) MeasureDisseminationHops(guid ids.GUID, ap ids.NodeID) uint64 {
+	s.net.ResetStats()
+	s.JoinMemberAt(guid, ap)
+	s.kernel.Run()
+	st := s.net.Stats()
+	return st.PropagationHops()
+}

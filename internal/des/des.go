@@ -1,0 +1,267 @@
+// Package des is a deterministic discrete-event simulation kernel: a
+// virtual clock and a priority queue of timestamped events. All of the
+// RGB protocol machinery (token circulation, retransmission timers,
+// message delivery latency, mobility) runs on top of this kernel, which
+// guarantees that a simulation with a fixed seed is bit-reproducible.
+//
+// Determinism rules:
+//   - events fire in non-decreasing virtual-time order;
+//   - ties are broken by scheduling sequence number (FIFO among equal
+//     timestamps), never by map iteration or goroutine scheduling;
+//   - the kernel is single-threaded by design — parallelism in the
+//     simulated protocol is *modeled* (concurrent tokens in different
+//     rings are interleaved events), which is how discrete-event
+//     simulators for parallel systems conventionally work.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is virtual simulation time. The zero Time is the simulation
+// epoch. Durations are time.Duration so call sites read naturally
+// (5*time.Millisecond etc.); virtual time has no relation to the wall
+// clock.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier.
+func (t Time) Sub(earlier Time) time.Duration { return time.Duration(t - earlier) }
+
+// Before reports whether t precedes other.
+func (t Time) Before(other Time) bool { return t < other }
+
+// String renders the time as a duration since the epoch.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Event is a scheduled callback.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	fired  bool
+	cancel bool
+	index  int // heap index, -1 once popped
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Fired reports whether the event has already run.
+func (e *Event) Fired() bool { return e.fired }
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine. The zero value is not usable; call
+// NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stepped uint64 // events executed so far
+	stopped bool
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending returns the number of events still queued (including
+// cancelled events not yet discarded).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Executed returns the number of events run so far.
+func (k *Kernel) Executed() uint64 { return k.stepped }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling
+// in the past (before Now) panics: that is always a protocol bug, and
+// silently clamping it would hide causality violations.
+func (k *Kernel) At(at Time, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("des: scheduling at %v which is before now %v", at, k.now))
+	}
+	if fn == nil {
+		panic("des: scheduling nil callback")
+	}
+	e := &Event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time. Negative d
+// panics.
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic("des: negative delay")
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Cancel marks the event so it will not fire. Cancelling an event that
+// already fired (or is already cancelled) is a harmless no-op, which is
+// the convenient semantics for retransmission timers.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.fired {
+		return
+	}
+	e.cancel = true
+}
+
+// Step runs the single earliest pending event. It reports false when
+// the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		k.now = e.at
+		e.fired = true
+		k.stepped++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+// It returns the number of events executed by this call.
+func (k *Kernel) Run() uint64 {
+	k.stopped = false
+	start := k.stepped
+	for !k.stopped && k.Step() {
+	}
+	return k.stepped - start
+}
+
+// RunUntil executes events with timestamps <= deadline (stopping early
+// if the queue drains or Stop is called) and then advances the clock
+// to deadline. It returns the number of events executed.
+func (k *Kernel) RunUntil(deadline Time) uint64 {
+	k.stopped = false
+	start := k.stepped
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return k.stepped - start
+}
+
+// RunFor is RunUntil(Now+d).
+func (k *Kernel) RunFor(d time.Duration) uint64 {
+	return k.RunUntil(k.now.Add(d))
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event
+// completes. Intended to be called from inside an event callback.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// peek returns the timestamp of the earliest live event.
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.queue) > 0 {
+		if k.queue[0].cancel {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return k.queue[0].at, true
+	}
+	return 0, false
+}
+
+// NextEventTime returns the virtual time of the next live event, and
+// false if none is pending.
+func (k *Kernel) NextEventTime() (Time, bool) { return k.peek() }
+
+// Ticker repeatedly schedules fn every interval until cancelled.
+// Returned by Every.
+type Ticker struct {
+	k        *Kernel
+	interval time.Duration
+	fn       func()
+	event    *Event
+	stopped  bool
+	fires    int
+}
+
+// Every schedules fn to run every interval, first firing one interval
+// from now. Interval must be positive.
+func (k *Kernel) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("des: non-positive ticker interval")
+	}
+	t := &Ticker{k: k, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.event = t.k.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fires++
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. Safe to call multiple times and from
+// within the ticker callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.k.Cancel(t.event)
+}
+
+// Fires returns how many times the ticker has fired.
+func (t *Ticker) Fires() int { return t.fires }

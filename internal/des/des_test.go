@@ -1,0 +1,293 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/mathx"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.After(30*time.Millisecond, func() { got = append(got, 3) })
+	k.After(10*time.Millisecond, func() { got = append(got, 1) })
+	k.After(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if k.Now() != Time(30*time.Millisecond) {
+		t.Fatalf("final time = %v", k.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	at := Time(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(at, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO tie-break violated: %v", got)
+		}
+	}
+}
+
+func TestSchedulingInsidePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.After(10*time.Millisecond, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	k.At(Time(5*time.Millisecond), func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKernel().After(time.Millisecond, nil)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKernel().After(-time.Millisecond, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	e := k.After(time.Millisecond, func() { ran = true })
+	k.Cancel(e)
+	k.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	// Cancelling nil and already-fired events must be no-ops.
+	k.Cancel(nil)
+	e2 := k.After(time.Millisecond, func() {})
+	k.Run()
+	k.Cancel(e2)
+	if !e2.Fired() {
+		t.Fatal("fired flag lost")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.After(time.Millisecond, func() {
+		got = append(got, "a")
+		k.After(time.Millisecond, func() { got = append(got, "b") })
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+	if k.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("Now = %v", k.Now())
+	}
+}
+
+func TestRunUntilRespectsDeadline(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.After(time.Duration(i)*time.Second, func() { count++ })
+	}
+	n := k.RunUntil(Time(5 * time.Second))
+	if n != 5 || count != 5 {
+		t.Fatalf("executed %d events, count=%d", n, count)
+	}
+	if k.Now() != Time(5*time.Second) {
+		t.Fatalf("clock = %v, want 5s", k.Now())
+	}
+	// Remaining events still run afterwards.
+	k.Run()
+	if count != 10 {
+		t.Fatalf("count after Run = %d", count)
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	k := NewKernel()
+	k.RunUntil(Time(3 * time.Second))
+	if k.Now() != Time(3*time.Second) {
+		t.Fatalf("clock = %v", k.Now())
+	}
+}
+
+func TestRunForRelative(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.Every(time.Second, func() { fired++ })
+	k.RunFor(3500 * time.Millisecond)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	k.RunFor(time.Second)
+	if fired != 4 {
+		t.Fatalf("fired = %d, want 4", fired)
+	}
+}
+
+func TestStopFromCallback(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.After(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	// A fresh Run resumes.
+	k.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	k := NewKernel()
+	tick := (*Ticker)(nil)
+	fired := 0
+	tick = k.Every(time.Second, func() {
+		fired++
+		if fired == 5 {
+			tick.Stop()
+		}
+	})
+	k.Run()
+	if fired != 5 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if tick.Fires() != 5 {
+		t.Fatalf("Fires() = %d", tick.Fires())
+	}
+}
+
+func TestTickerZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKernel().Every(0, func() {})
+}
+
+func TestExecutedCounter(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 7; i++ {
+		k.After(time.Millisecond, func() {})
+	}
+	k.Run()
+	if k.Executed() != 7 {
+		t.Fatalf("Executed = %d", k.Executed())
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	k := NewKernel()
+	if _, ok := k.NextEventTime(); ok {
+		t.Fatal("empty kernel should have no next event")
+	}
+	e := k.After(5*time.Millisecond, func() {})
+	k.After(9*time.Millisecond, func() {})
+	if at, ok := k.NextEventTime(); !ok || at != Time(5*time.Millisecond) {
+		t.Fatalf("next = %v, %v", at, ok)
+	}
+	k.Cancel(e)
+	if at, ok := k.NextEventTime(); !ok || at != Time(9*time.Millisecond) {
+		t.Fatalf("next after cancel = %v, %v", at, ok)
+	}
+}
+
+// TestDeterminismProperty drives two kernels with an identical random
+// schedule and checks the execution traces match exactly.
+func TestDeterminismProperty(t *testing.T) {
+	run := func(seed uint64) []int {
+		r := mathx.NewRNG(seed)
+		k := NewKernel()
+		var trace []int
+		for i := 0; i < 200; i++ {
+			i := i
+			k.After(time.Duration(r.Intn(1000))*time.Millisecond, func() {
+				trace = append(trace, i)
+			})
+		}
+		k.Run()
+		return trace
+	}
+	f := func(seed uint64) bool {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(time.Second)
+	if t1.Sub(t0) != time.Second {
+		t.Fatal("Add/Sub mismatch")
+	}
+	if !t0.Before(t1) || t1.Before(t0) {
+		t.Fatal("Before wrong")
+	}
+	if t1.String() != "1s" {
+		t.Fatalf("String = %q", t1.String())
+	}
+}
+
+func TestHeapStressOrdering(t *testing.T) {
+	k := NewKernel()
+	r := mathx.NewRNG(99)
+	last := Time(-1)
+	violations := 0
+	for i := 0; i < 5000; i++ {
+		k.After(time.Duration(r.Intn(10000))*time.Microsecond, func() {
+			if k.Now() < last {
+				violations++
+			}
+			last = k.Now()
+		})
+	}
+	k.Run()
+	if violations != 0 {
+		t.Fatalf("%d time-order violations", violations)
+	}
+}

@@ -1,0 +1,319 @@
+// Package ids defines the identifier scheme and membership data
+// structures of the RGB protocol (Section 4.2 of the paper): group
+// identities shaped like IP multicast Class-D addresses, node
+// identities shaped like IP addresses, globally/locally unique mobile
+// host identities shaped like Mobile IP home and care-of addresses,
+// member status, and the MemberInfo records stored in the membership
+// lists of every network entity.
+package ids
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// GroupID identifies a communication group. The paper obtains it from
+// "some group addressing scheme, e.g. Class D address in IP multicast"
+// (RFC 1112); we keep it an opaque 32-bit value whose printed form is a
+// Class-D dotted quad.
+type GroupID uint32
+
+// NewGroupID builds a GroupID inside the Class-D range 224.0.0.0/4
+// from an arbitrary 28-bit group number.
+func NewGroupID(n uint32) GroupID {
+	return GroupID(0xE0000000 | (n & 0x0FFFFFFF))
+}
+
+// String renders the group as a dotted-quad multicast address.
+func (g GroupID) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d",
+		byte(g>>24), byte(g>>16), byte(g>>8), byte(g))
+}
+
+// Valid reports whether g lies in the IPv4 multicast range.
+func (g GroupID) Valid() bool {
+	return g>>28 == 0xE
+}
+
+// Tier enumerates the four tiers of the mobile Internet architecture
+// (Section 3 / Figure 2). Higher values are higher tiers.
+type Tier uint8
+
+// The four tiers, bottom to top.
+const (
+	TierMH Tier = iota // Mobile Host Tier
+	TierAP             // Access Proxy Tier (wireless access networks)
+	TierAG             // Access Gateway Tier (intra-AS)
+	TierBR             // Border Router Tier (inter-AS)
+)
+
+// String returns the paper's abbreviation for the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierMH:
+		return "MH"
+	case TierAP:
+		return "AP"
+	case TierAG:
+		return "AG"
+	case TierBR:
+		return "BR"
+	default:
+		return "Tier(" + strconv.Itoa(int(t)) + ")"
+	}
+}
+
+// Valid reports whether t is one of the four defined tiers.
+func (t Tier) Valid() bool { return t <= TierBR }
+
+// NodeID identifies a network entity (AP, AG or BR) in the hierarchy,
+// "e.g. its IP address". The zero value NoNode means "no such
+// neighbor" (e.g. the topmost ring's leader has no parent).
+//
+// The encoding packs the tier and a per-tier ordinal so that IDs are
+// stable, comparable and cheaply hashable:
+//
+//	bits 62-63: tier  (AP=1, AG=2, BR=3)
+//	bits  0-61: ordinal within the tier
+type NodeID uint64
+
+// NoNode is the absent-neighbor sentinel.
+const NoNode NodeID = 0
+
+// MakeNodeID builds the NodeID for the ordinal-th entity of a tier.
+// Ordinals start at 0. Mobile hosts get TierMH NodeIDs so they can be
+// addressed as message endpoints; network entities use AP/AG/BR.
+func MakeNodeID(t Tier, ordinal int) NodeID {
+	if !t.Valid() {
+		panic("ids: MakeNodeID for invalid tier " + t.String())
+	}
+	if ordinal < 0 {
+		panic("ids: negative NodeID ordinal")
+	}
+	return NodeID(uint64(t)<<62 | uint64(ordinal+1))
+}
+
+// Tier extracts the tier of the node.
+func (n NodeID) Tier() Tier { return Tier(n >> 62) }
+
+// Ordinal extracts the per-tier ordinal of the node.
+func (n NodeID) Ordinal() int { return int(n&(1<<62-1)) - 1 }
+
+// IsZero reports whether n is the NoNode sentinel.
+func (n NodeID) IsZero() bool { return n == NoNode }
+
+// String renders e.g. "AP-17", "AG-3", "BR-0", or "none".
+func (n NodeID) String() string {
+	if n.IsZero() {
+		return "none"
+	}
+	return n.Tier().String() + "-" + strconv.Itoa(n.Ordinal())
+}
+
+// GUID is the globally unique identity of a mobile host, "available
+// from some globally unique identity scheme, e.g. Mobile IP Home
+// Address" (RFC 2002). It never changes while the MH roams.
+type GUID uint64
+
+// String renders the GUID as a home-address-like string.
+func (g GUID) String() string { return "mh-" + strconv.FormatUint(uint64(g), 10) }
+
+// LUID is the locally unique identity of a mobile host under its
+// current attachment, "e.g. Mobile IP Care-of Address". It changes on
+// every handoff. The encoding pairs the serving AP with a local index.
+type LUID struct {
+	AP    NodeID // serving access proxy
+	Local uint32 // index unique under that AP
+}
+
+// String renders e.g. "coa(AP-4/7)".
+func (l LUID) String() string {
+	return "coa(" + l.AP.String() + "/" + strconv.FormatUint(uint64(l.Local), 10) + ")"
+}
+
+// IsZero reports whether l is unassigned.
+func (l LUID) IsZero() bool { return l.AP.IsZero() && l.Local == 0 }
+
+// Status is the operational status of a mobile host as tracked by the
+// membership service (Section 4.2: "Typical status like operational,
+// disconnected, and failed"). Disconnection is further categorized per
+// Section 1 into temporary and voluntary; faulty disconnection is
+// Failed.
+type Status uint8
+
+// Member status values.
+const (
+	StatusOperational   Status = iota // attached and reachable
+	StatusTempDisc                    // temporary disconnection, expected back shortly
+	StatusVoluntaryDisc               // user-initiated disconnection, may reconnect anywhere
+	StatusFailed                      // faulty disconnection, excluded from membership
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOperational:
+		return "operational"
+	case StatusTempDisc:
+		return "temp-disconnected"
+	case StatusVoluntaryDisc:
+		return "voluntary-disconnected"
+	case StatusFailed:
+		return "failed"
+	default:
+		return "Status(" + strconv.Itoa(int(s)) + ")"
+	}
+}
+
+// Operational reports whether a member with this status counts toward
+// the "list of currently operational processes in the group".
+func (s Status) Operational() bool { return s == StatusOperational }
+
+// MemberInfo is one entry of the membership lists kept by network
+// entities: ListOfLocalMembers, ListOfRingMembers and
+// ListOfNeighborMembers (Section 4.2).
+type MemberInfo struct {
+	GID    GroupID // group this membership belongs to
+	GUID   GUID    // permanent identity
+	LUID   LUID    // current care-of identity
+	AP     NodeID  // currently serving access proxy
+	Status Status  // current operational status
+}
+
+// String renders a compact single-line description.
+func (m MemberInfo) String() string {
+	return fmt.Sprintf("%s@%s[%s]", m.GUID, m.AP, m.Status)
+}
+
+// MemberList is an ordered set of members keyed by GUID. It preserves
+// deterministic iteration order (insertion order) so that simulations
+// and tests are reproducible, while giving O(1) lookup.
+type MemberList struct {
+	order []GUID
+	byID  map[GUID]MemberInfo
+}
+
+// NewMemberList returns an empty list.
+func NewMemberList() *MemberList {
+	return &MemberList{byID: make(map[GUID]MemberInfo)}
+}
+
+// Len returns the number of members in the list.
+func (l *MemberList) Len() int { return len(l.order) }
+
+// Get returns the record for id, if present.
+func (l *MemberList) Get(id GUID) (MemberInfo, bool) {
+	m, ok := l.byID[id]
+	return m, ok
+}
+
+// Contains reports whether id is in the list.
+func (l *MemberList) Contains(id GUID) bool {
+	_, ok := l.byID[id]
+	return ok
+}
+
+// Put inserts or updates a member record.
+func (l *MemberList) Put(m MemberInfo) {
+	if _, ok := l.byID[m.GUID]; !ok {
+		l.order = append(l.order, m.GUID)
+	}
+	l.byID[m.GUID] = m
+}
+
+// Remove deletes the member with the given GUID and reports whether it
+// was present.
+func (l *MemberList) Remove(id GUID) bool {
+	if _, ok := l.byID[id]; !ok {
+		return false
+	}
+	delete(l.byID, id)
+	for i, g := range l.order {
+		if g == id {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Each calls fn for every member in insertion order.
+func (l *MemberList) Each(fn func(MemberInfo)) {
+	for _, g := range l.order {
+		fn(l.byID[g])
+	}
+}
+
+// Snapshot returns the members as a fresh slice in insertion order.
+func (l *MemberList) Snapshot() []MemberInfo {
+	out := make([]MemberInfo, 0, len(l.order))
+	for _, g := range l.order {
+		out = append(out, l.byID[g])
+	}
+	return out
+}
+
+// OperationalCount returns how many members are currently operational.
+func (l *MemberList) OperationalCount() int {
+	n := 0
+	for _, g := range l.order {
+		if l.byID[g].Status.Operational() {
+			n++
+		}
+	}
+	return n
+}
+
+// Clear removes all members.
+func (l *MemberList) Clear() {
+	l.order = l.order[:0]
+	for k := range l.byID {
+		delete(l.byID, k)
+	}
+}
+
+// Clone returns a deep copy of the list.
+func (l *MemberList) Clone() *MemberList {
+	c := NewMemberList()
+	for _, g := range l.order {
+		c.Put(l.byID[g])
+	}
+	return c
+}
+
+// MergeFrom inserts every member of other that is not already present
+// and returns how many were added. Existing entries are not
+// overwritten: during a ring merge the receiving side keeps its more
+// recent local knowledge.
+func (l *MemberList) MergeFrom(other *MemberList) int {
+	added := 0
+	other.Each(func(m MemberInfo) {
+		if !l.Contains(m.GUID) {
+			l.Put(m)
+			added++
+		}
+	})
+	return added
+}
+
+// GUIDs returns the member identities in insertion order.
+func (l *MemberList) GUIDs() []GUID {
+	out := make([]GUID, len(l.order))
+	copy(out, l.order)
+	return out
+}
+
+// String renders a compact summary such as "3 members [mh-1 mh-2 mh-9]".
+func (l *MemberList) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d members [", l.Len())
+	for i, g := range l.order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(g.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

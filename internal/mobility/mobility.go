@@ -1,0 +1,245 @@
+// Package mobility generates the movement of mobile hosts across
+// access-proxy cells — the substitute for real users roaming a
+// wireless deployment. Two models are provided:
+//
+//   - RandomWaypoint: hosts live on a 2-D field tiled by square AP
+//     cells, pick a destination uniformly at random, move toward it at
+//     a per-host speed, pause, and repeat. Crossing a cell border
+//     yields a handoff to the new cell's AP. This is the classic
+//     evaluation model for cellular/mobile protocols.
+//
+//   - MarkovHop: hosts hop between neighboring cells of the AP grid at
+//     exponentially distributed intervals — a lighter-weight model for
+//     stress tests where only the handoff *rate* matters.
+//
+// Both produce a deterministic stream of HandoffEvents for a given
+// seed, which the workload package feeds into the protocol.
+package mobility
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mathx"
+)
+
+// HandoffEvent is one cell crossing: the host moves to the AP that
+// serves its new position.
+type HandoffEvent struct {
+	At   time.Duration // offset from trace start
+	GUID ids.GUID
+	From ids.NodeID
+	To   ids.NodeID
+}
+
+// Grid maps a rectangular field to an array of APs: the field is
+// split into Cols x Rows equal cells, cell (cx, cy) served by
+// APs[cy*Cols+cx].
+type Grid struct {
+	Cols, Rows int
+	CellSize   float64 // meters per cell edge
+	APs        []ids.NodeID
+}
+
+// NewGrid tiles the given APs into the most square grid possible.
+func NewGrid(aps []ids.NodeID, cellSize float64) *Grid {
+	if len(aps) == 0 {
+		panic("mobility: no APs")
+	}
+	cols := 1
+	for cols*cols < len(aps) {
+		cols++
+	}
+	rows := (len(aps) + cols - 1) / cols
+	return &Grid{Cols: cols, Rows: rows, CellSize: cellSize, APs: aps}
+}
+
+// Width returns the field width in meters.
+func (g *Grid) Width() float64 { return float64(g.Cols) * g.CellSize }
+
+// Height returns the field height in meters.
+func (g *Grid) Height() float64 { return float64(g.Rows) * g.CellSize }
+
+// APAt returns the AP serving the point (x, y), clamping coordinates
+// to the field. Cells beyond len(APs) (a ragged last row) wrap onto
+// the last AP.
+func (g *Grid) APAt(x, y float64) ids.NodeID {
+	cx := int(x / g.CellSize)
+	cy := int(y / g.CellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.Cols {
+		cx = g.Cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.Rows {
+		cy = g.Rows - 1
+	}
+	idx := cy*g.Cols + cx
+	if idx >= len(g.APs) {
+		idx = len(g.APs) - 1
+	}
+	return g.APs[idx]
+}
+
+// Neighbors returns the APs of cells adjacent (4-connectivity) to the
+// cell of the given AP index.
+func (g *Grid) Neighbors(apIndex int) []ids.NodeID {
+	cx, cy := apIndex%g.Cols, apIndex/g.Cols
+	var out []ids.NodeID
+	for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		nx, ny := cx+d[0], cy+d[1]
+		if nx < 0 || nx >= g.Cols || ny < 0 || ny >= g.Rows {
+			continue
+		}
+		idx := ny*g.Cols + nx
+		if idx < len(g.APs) {
+			out = append(out, g.APs[idx])
+		}
+	}
+	return out
+}
+
+// WaypointConfig parameterizes the random-waypoint model.
+type WaypointConfig struct {
+	Hosts    int           // number of mobile hosts
+	MinSpeed float64       // m/s
+	MaxSpeed float64       // m/s
+	Pause    time.Duration // pause at each waypoint
+	Duration time.Duration // trace length
+	Tick     time.Duration // position sampling interval
+	Seed     uint64
+}
+
+// DefaultWaypointConfig returns pedestrians-to-vehicles speeds on a
+// 10-minute trace.
+func DefaultWaypointConfig(hosts int) WaypointConfig {
+	return WaypointConfig{
+		Hosts:    hosts,
+		MinSpeed: 1,
+		MaxSpeed: 15,
+		Pause:    5 * time.Second,
+		Duration: 10 * time.Minute,
+		Tick:     time.Second,
+		Seed:     1,
+	}
+}
+
+// RandomWaypoint simulates the waypoint model over the grid and
+// returns the handoff trace, sorted by time. Host g (0-based) is
+// reported as GUID startGUID+g.
+func RandomWaypoint(grid *Grid, cfg WaypointConfig, startGUID ids.GUID) []HandoffEvent {
+	if cfg.Hosts <= 0 || cfg.Duration <= 0 || cfg.Tick <= 0 {
+		panic("mobility: invalid waypoint config")
+	}
+	if cfg.MaxSpeed < cfg.MinSpeed {
+		cfg.MaxSpeed = cfg.MinSpeed
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	type hostState struct {
+		x, y, tx, ty float64
+		speed        float64
+		pauseLeft    time.Duration
+		ap           ids.NodeID
+	}
+	hosts := make([]hostState, cfg.Hosts)
+	for i := range hosts {
+		hosts[i].x = rng.Uniform(0, grid.Width())
+		hosts[i].y = rng.Uniform(0, grid.Height())
+		hosts[i].tx = rng.Uniform(0, grid.Width())
+		hosts[i].ty = rng.Uniform(0, grid.Height())
+		hosts[i].speed = rng.Uniform(cfg.MinSpeed, cfg.MaxSpeed)
+		hosts[i].ap = grid.APAt(hosts[i].x, hosts[i].y)
+	}
+	var events []HandoffEvent
+	dt := cfg.Tick.Seconds()
+	for now := cfg.Tick; now <= cfg.Duration; now += cfg.Tick {
+		for i := range hosts {
+			h := &hosts[i]
+			if h.pauseLeft > 0 {
+				h.pauseLeft -= cfg.Tick
+				continue
+			}
+			dx, dy := h.tx-h.x, h.ty-h.y
+			dist := dx*dx + dy*dy
+			step := h.speed * dt
+			if dist <= step*step {
+				// Arrived: pause, then pick a new waypoint.
+				h.x, h.y = h.tx, h.ty
+				h.tx = rng.Uniform(0, grid.Width())
+				h.ty = rng.Uniform(0, grid.Height())
+				h.speed = rng.Uniform(cfg.MinSpeed, cfg.MaxSpeed)
+				h.pauseLeft = cfg.Pause
+			} else {
+				norm := step / math.Sqrt(dist)
+				h.x += dx * norm
+				h.y += dy * norm
+			}
+			if ap := grid.APAt(h.x, h.y); ap != h.ap {
+				events = append(events, HandoffEvent{
+					At:   now,
+					GUID: startGUID + ids.GUID(i),
+					From: h.ap,
+					To:   ap,
+				})
+				h.ap = ap
+			}
+		}
+	}
+	return events
+}
+
+// MarkovConfig parameterizes the cell-hop model.
+type MarkovConfig struct {
+	Hosts    int
+	HopRate  float64 // expected hops per second per host
+	Duration time.Duration
+	Seed     uint64
+}
+
+// MarkovHop generates exponentially spaced hops to uniformly chosen
+// neighbor cells.
+func MarkovHop(grid *Grid, cfg MarkovConfig, startGUID ids.GUID) []HandoffEvent {
+	if cfg.Hosts <= 0 || cfg.HopRate <= 0 || cfg.Duration <= 0 {
+		panic("mobility: invalid markov config")
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	var events []HandoffEvent
+	for i := 0; i < cfg.Hosts; i++ {
+		hostRNG := rng.Split()
+		apIdx := hostRNG.Intn(len(grid.APs))
+		now := time.Duration(0)
+		for {
+			now += time.Duration(hostRNG.ExpFloat64(cfg.HopRate) * float64(time.Second))
+			if now > cfg.Duration {
+				break
+			}
+			neigh := grid.Neighbors(apIdx)
+			if len(neigh) == 0 {
+				continue
+			}
+			to := neigh[hostRNG.Intn(len(neigh))]
+			from := grid.APs[apIdx]
+			events = append(events, HandoffEvent{At: now, GUID: startGUID + ids.GUID(i), From: from, To: to})
+			for j, ap := range grid.APs {
+				if ap == to {
+					apIdx = j
+					break
+				}
+			}
+		}
+	}
+	sortEvents(events)
+	return events
+}
+
+// sortEvents orders a trace by time, keeping same-instant events in
+// per-host order for determinism.
+func sortEvents(ev []HandoffEvent) {
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].At < ev[j].At })
+}

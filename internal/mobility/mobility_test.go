@@ -1,0 +1,190 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+)
+
+func testAPs(n int) []ids.NodeID {
+	out := make([]ids.NodeID, n)
+	for i := range out {
+		out[i] = ids.MakeNodeID(ids.TierAP, i)
+	}
+	return out
+}
+
+func TestGridShape(t *testing.T) {
+	g := NewGrid(testAPs(25), 100)
+	if g.Cols != 5 || g.Rows != 5 {
+		t.Fatalf("grid %dx%d, want 5x5", g.Cols, g.Rows)
+	}
+	if g.Width() != 500 || g.Height() != 500 {
+		t.Fatalf("field %gx%g", g.Width(), g.Height())
+	}
+	// Ragged AP counts still tile.
+	g2 := NewGrid(testAPs(7), 100)
+	if g2.Cols*g2.Rows < 7 {
+		t.Fatalf("grid %dx%d cannot hold 7 APs", g2.Cols, g2.Rows)
+	}
+}
+
+func TestAPAtMapping(t *testing.T) {
+	g := NewGrid(testAPs(9), 100) // 3x3
+	cases := []struct {
+		x, y float64
+		want int
+	}{
+		{50, 50, 0}, {150, 50, 1}, {250, 50, 2},
+		{50, 150, 3}, {250, 250, 8},
+		{-10, -10, 0},     // clamped
+		{1e6, 1e6, 8},     // clamped
+		{299.9, 299.9, 8}, // cell edge
+	}
+	for _, c := range cases {
+		if got := g.APAt(c.x, c.y); got != g.APs[c.want] {
+			t.Errorf("APAt(%g,%g) = %s, want index %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := NewGrid(testAPs(9), 100) // 3x3
+	if got := len(g.Neighbors(4)); got != 4 {
+		t.Errorf("center has %d neighbors, want 4", got)
+	}
+	if got := len(g.Neighbors(0)); got != 2 {
+		t.Errorf("corner has %d neighbors, want 2", got)
+	}
+	if got := len(g.Neighbors(1)); got != 3 {
+		t.Errorf("edge has %d neighbors, want 3", got)
+	}
+}
+
+func TestRandomWaypointProducesHandoffs(t *testing.T) {
+	g := NewGrid(testAPs(25), 50) // small cells, lots of crossings
+	cfg := DefaultWaypointConfig(20)
+	cfg.Duration = 2 * time.Minute
+	ev := RandomWaypoint(g, cfg, 100)
+	if len(ev) == 0 {
+		t.Fatal("no handoffs generated")
+	}
+	prev := time.Duration(0)
+	for _, e := range ev {
+		if e.At < prev {
+			t.Fatal("trace not time-ordered")
+		}
+		prev = e.At
+		if e.From == e.To {
+			t.Fatal("self-handoff")
+		}
+		if e.GUID < 100 || e.GUID >= 120 {
+			t.Fatalf("GUID %d outside host range", e.GUID)
+		}
+	}
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	g := NewGrid(testAPs(16), 50)
+	cfg := DefaultWaypointConfig(10)
+	cfg.Duration = time.Minute
+	a := RandomWaypoint(g, cfg, 0)
+	b := RandomWaypoint(g, cfg, 0)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c := RandomWaypoint(g, cfg2, 0)
+	if len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestFasterHostsHandoffMore(t *testing.T) {
+	g := NewGrid(testAPs(25), 50)
+	slow := DefaultWaypointConfig(20)
+	slow.MinSpeed, slow.MaxSpeed = 0.5, 1
+	slow.Duration = 2 * time.Minute
+	fast := slow
+	fast.MinSpeed, fast.MaxSpeed = 20, 30
+	ns := len(RandomWaypoint(g, slow, 0))
+	nf := len(RandomWaypoint(g, fast, 0))
+	if nf <= ns {
+		t.Errorf("fast hosts made %d handoffs, slow %d — expected more for fast", nf, ns)
+	}
+}
+
+func TestMarkovHopRateScaling(t *testing.T) {
+	g := NewGrid(testAPs(25), 100)
+	low := MarkovHop(g, MarkovConfig{Hosts: 20, HopRate: 0.05, Duration: 2 * time.Minute, Seed: 3}, 0)
+	high := MarkovHop(g, MarkovConfig{Hosts: 20, HopRate: 0.5, Duration: 2 * time.Minute, Seed: 3}, 0)
+	if len(high) <= len(low)*3 {
+		t.Errorf("10x rate should yield far more hops: low=%d high=%d", len(low), len(high))
+	}
+	prev := time.Duration(0)
+	for _, e := range high {
+		if e.At < prev {
+			t.Fatal("markov trace not ordered")
+		}
+		prev = e.At
+	}
+}
+
+func TestMarkovHopsAreAdjacent(t *testing.T) {
+	g := NewGrid(testAPs(9), 100)
+	ev := MarkovHop(g, MarkovConfig{Hosts: 5, HopRate: 0.3, Duration: time.Minute, Seed: 7}, 0)
+	for _, e := range ev {
+		fromIdx := -1
+		for i, ap := range g.APs {
+			if ap == e.From {
+				fromIdx = i
+			}
+		}
+		if fromIdx < 0 {
+			t.Fatal("unknown from AP")
+		}
+		adjacent := false
+		for _, n := range g.Neighbors(fromIdx) {
+			if n == e.To {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			t.Fatalf("hop %s -> %s not adjacent", e.From, e.To)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := NewGrid(testAPs(4), 100)
+	for name, fn := range map[string]func(){
+		"empty grid":    func() { NewGrid(nil, 1) },
+		"zero hosts":    func() { RandomWaypoint(g, WaypointConfig{Duration: 1, Tick: 1}, 0) },
+		"zero duration": func() { MarkovHop(g, MarkovConfig{Hosts: 1, HopRate: 1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

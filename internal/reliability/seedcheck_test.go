@@ -1,0 +1,23 @@
+package reliability
+
+import "testing"
+
+// TestSeedVariation is a diagnostic: the n=125, f=2%, k=2 cell across
+// seeds, checking for systematic bias against formula (8).
+func TestSeedVariation(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	misses := 0
+	for _, seed := range []uint64{11, 22, 33, 44, 55} {
+		e := NewEstimator(3, 5, seed)
+		res := e.Estimate(0.02, []int{2}, 40000)[0]
+		t.Logf("seed=%d fw=%.5f analytic=%.5f within=%v", seed, res.FW, res.Analytic(), res.WithinCI())
+		if !res.WithinCI() {
+			misses++
+		}
+	}
+	if misses > 2 {
+		t.Errorf("%d/5 seeds outside CI: systematic bias suspected", misses)
+	}
+}

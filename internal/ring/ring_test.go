@@ -1,0 +1,342 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mathx"
+)
+
+func ap(i int) ids.NodeID { return ids.MakeNodeID(ids.TierAP, i) }
+
+func newRing(t *testing.T, n int) *Ring {
+	t.Helper()
+	nodes := make([]ids.NodeID, n)
+	for i := range nodes {
+		nodes[i] = ap(i)
+	}
+	r := New(ID{Tier: ids.TierAP, Index: 0}, nodes)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewBasics(t *testing.T) {
+	r := newRing(t, 5)
+	if r.Size() != 5 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	if r.Leader() != ap(0) {
+		t.Fatalf("Leader = %s", r.Leader())
+	}
+	if !r.Contains(ap(3)) || r.Contains(ap(9)) {
+		t.Fatal("Contains wrong")
+	}
+	if r.ID().String() != "APR-0" {
+		t.Fatalf("ID = %s", r.ID())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":     func() { New(ID{}, nil) },
+		"duplicate": func() { New(ID{}, []ids.NodeID{ap(1), ap(1)}) },
+		"zero":      func() { New(ID{}, []ids.NodeID{ids.NoNode}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNextPrevCycle(t *testing.T) {
+	r := newRing(t, 4)
+	for i := 0; i < 4; i++ {
+		if got := r.Next(ap(i)); got != ap((i+1)%4) {
+			t.Errorf("Next(%d) = %s", i, got)
+		}
+		if got := r.Prev(ap(i)); got != ap((i+3)%4) {
+			t.Errorf("Prev(%d) = %s", i, got)
+		}
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r := newRing(t, 1)
+	if r.Next(ap(0)) != ap(0) || r.Prev(ap(0)) != ap(0) {
+		t.Fatal("single-node ring should self-loop")
+	}
+	v := r.ViewOf(ap(0))
+	if v.Leader != ap(0) || v.Next != ap(0) || v.Previous != ap(0) {
+		t.Fatalf("view = %+v", v)
+	}
+	if r.Exclude(ap(0)) {
+		t.Fatal("excluding the last node must fail")
+	}
+}
+
+func TestViewOf(t *testing.T) {
+	r := newRing(t, 3)
+	v := r.ViewOf(ap(1))
+	if v.Current != ap(1) || v.Leader != ap(0) || v.Previous != ap(0) || v.Next != ap(2) {
+		t.Fatalf("view = %+v", v)
+	}
+}
+
+func TestInsertAfter(t *testing.T) {
+	r := newRing(t, 3)
+	r.InsertAfter(ap(1), ap(10))
+	if r.Size() != 4 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	if r.Next(ap(1)) != ap(10) || r.Next(ap(10)) != ap(2) {
+		t.Fatalf("insert position wrong: %s", r)
+	}
+	if r.Leader() != ap(0) {
+		t.Fatal("leader should be unchanged")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertPreservesLeaderWhenBeforeLeader(t *testing.T) {
+	r := newRing(t, 3)
+	r.SetLeader(ap(2))
+	r.InsertAfter(ap(0), ap(10)) // inserted at index 1, before leader index 2
+	if r.Leader() != ap(2) {
+		t.Fatalf("leader moved: %s", r.Leader())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDuplicatePanics(t *testing.T) {
+	r := newRing(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Insert(ap(1))
+}
+
+func TestExcludeNonLeader(t *testing.T) {
+	r := newRing(t, 4)
+	if !r.Exclude(ap(2)) {
+		t.Fatal("Exclude failed")
+	}
+	if r.Size() != 3 || r.Contains(ap(2)) {
+		t.Fatal("node not removed")
+	}
+	if r.Next(ap(1)) != ap(3) {
+		t.Fatalf("neighbors not relinked: %s", r)
+	}
+	if r.Leader() != ap(0) {
+		t.Fatal("leader should be unchanged")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExcludeLeaderElectsSuccessor(t *testing.T) {
+	r := newRing(t, 4)
+	if !r.Exclude(ap(0)) {
+		t.Fatal("Exclude failed")
+	}
+	if r.Leader() != ap(1) {
+		t.Fatalf("new leader = %s, want AP-1", r.Leader())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExcludeLastPositionLeader(t *testing.T) {
+	r := newRing(t, 3)
+	r.SetLeader(ap(2))
+	if !r.Exclude(ap(2)) {
+		t.Fatal("Exclude failed")
+	}
+	// Successor of index 2 wraps to index 0.
+	if r.Leader() != ap(0) {
+		t.Fatalf("new leader = %s, want AP-0", r.Leader())
+	}
+}
+
+func TestExcludeAbsentReturnsFalse(t *testing.T) {
+	r := newRing(t, 3)
+	if r.Exclude(ap(77)) {
+		t.Fatal("excluding absent node should return false")
+	}
+}
+
+func TestSetLeader(t *testing.T) {
+	r := newRing(t, 3)
+	r.SetLeader(ap(2))
+	if r.Leader() != ap(2) {
+		t.Fatal("SetLeader failed")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(ID{Tier: ids.TierAP, Index: 0}, []ids.NodeID{ap(0), ap(1), ap(2)})
+	b := New(ID{Tier: ids.TierAP, Index: 1}, []ids.NodeID{ap(10), ap(11)})
+	b.SetLeader(ap(11))
+	a.Merge(b)
+	if a.Size() != 5 {
+		t.Fatalf("Size = %d", a.Size())
+	}
+	// b's nodes spliced after a's leader, in b's cycle order from b's
+	// leader: 11, 10.
+	if a.Next(ap(0)) != ap(11) || a.Next(ap(11)) != ap(10) || a.Next(ap(10)) != ap(1) {
+		t.Fatalf("merge order wrong: %s", a)
+	}
+	if a.Leader() != ap(0) {
+		t.Fatal("merge changed leader")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeOverlapPanics(t *testing.T) {
+	a := newRing(t, 3)
+	b := New(ID{Tier: ids.TierAP, Index: 1}, []ids.NodeID{ap(1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestSplit(t *testing.T) {
+	r := newRing(t, 6)
+	keep := map[ids.NodeID]bool{ap(0): true, ap(2): true, ap(4): true}
+	other := r.Split(keep, ID{Tier: ids.TierAP, Index: 9})
+	if r.Size() != 3 || other.Size() != 3 {
+		t.Fatalf("sizes %d/%d", r.Size(), other.Size())
+	}
+	for _, n := range []int{0, 2, 4} {
+		if !r.Contains(ap(n)) || other.Contains(ap(n)) {
+			t.Fatalf("split membership wrong for AP-%d", n)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if other.Leader() != ap(1) {
+		t.Fatalf("fragment leader = %s, want first moved node AP-1", other.Leader())
+	}
+}
+
+func TestSplitEmptyHalfPanics(t *testing.T) {
+	r := newRing(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Split(map[ids.NodeID]bool{}, ID{})
+}
+
+func TestPartitionedBy(t *testing.T) {
+	r := newRing(t, 5)
+	if r.PartitionedBy(map[ids.NodeID]bool{}) {
+		t.Fatal("no faults should not partition")
+	}
+	if r.PartitionedBy(map[ids.NodeID]bool{ap(2): true}) {
+		t.Fatal("single fault is locally repairable, not a partition")
+	}
+	if !r.PartitionedBy(map[ids.NodeID]bool{ap(1): true, ap(3): true}) {
+		t.Fatal("two faults must partition")
+	}
+	faulty := map[ids.NodeID]bool{ap(0): true, ap(1): true, ap(4): true, ap(99): true}
+	if got := r.FaultyCount(faulty); got != 3 {
+		t.Fatalf("FaultyCount = %d, want 3 (AP-99 not a member)", got)
+	}
+}
+
+func TestMergeUndoesSplitMembership(t *testing.T) {
+	r := newRing(t, 8)
+	before := map[ids.NodeID]bool{}
+	for _, n := range r.Nodes() {
+		before[n] = true
+	}
+	keep := map[ids.NodeID]bool{ap(0): true, ap(1): true, ap(5): true}
+	frag := r.Split(keep, ID{Tier: ids.TierAP, Index: 1})
+	r.Merge(frag)
+	if r.Size() != 8 {
+		t.Fatalf("Size after merge = %d", r.Size())
+	}
+	for n := range before {
+		if !r.Contains(n) {
+			t.Fatalf("lost %s across split+merge", n)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any sequence of inserts and excludes keeps the ring valid,
+// and traversing Next from the leader visits every node exactly once.
+func TestRandomOpsInvariantProperty(t *testing.T) {
+	f := func(seed uint64, opsRaw []uint8) bool {
+		rng := mathx.NewRNG(seed)
+		r := New(ID{Tier: ids.TierAP, Index: 0}, []ids.NodeID{ap(1000)})
+		nextID := 0
+		for _, op := range opsRaw {
+			switch op % 3 {
+			case 0, 1: // insert (biased so rings grow)
+				n := ap(nextID)
+				nextID++
+				anchors := r.Nodes()
+				r.InsertAfter(anchors[rng.Intn(len(anchors))], n)
+			case 2: // exclude random node
+				nodes := r.Nodes()
+				r.Exclude(nodes[rng.Intn(len(nodes))])
+			}
+			if err := r.Validate(); err != nil {
+				return false
+			}
+			// Full traversal from leader must hit each node once.
+			seen := map[ids.NodeID]bool{}
+			cur := r.Leader()
+			for i := 0; i < r.Size(); i++ {
+				if seen[cur] {
+					return false
+				}
+				seen[cur] = true
+				cur = r.Next(cur)
+			}
+			if cur != r.Leader() || len(seen) != r.Size() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := newRing(t, 2)
+	if got := r.String(); got != "APR-0{AP-0* AP-1}" {
+		t.Fatalf("String = %q", got)
+	}
+}

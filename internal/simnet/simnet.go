@@ -1,0 +1,295 @@
+// Package simnet simulates the mobile-Internet message plane that the
+// RGB protocol runs over. It substitutes for the real network of the
+// paper (wireless access networks, autonomous systems, BGP border
+// routers): network entities register as endpoints, and messages are
+// delivered asynchronously with a configurable latency model, loss
+// probability, and node-crash injection.
+//
+// The substitution preserves the behaviour the protocol depends on:
+// asynchronous unicast delivery between network entities, unbounded
+// (but finite) latency, message loss, and crash faults. Everything is
+// driven by the des kernel, so runs are deterministic for a fixed seed.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/des"
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mathx"
+)
+
+// Message is one protocol datagram in flight between network entities.
+type Message struct {
+	From ids.NodeID // sender
+	To   ids.NodeID // destination
+	Kind Kind       // protocol message class, used for accounting
+	Body any        // protocol payload; owned by the receiver after delivery
+	Sent des.Time   // virtual time the message was sent
+}
+
+// Kind classifies messages for the hop-count accounting of Section 5.1
+// and for debugging. The scalability analysis counts only the
+// propagation messages (KindToken and KindNotify) as "proposal message
+// hops"; acknowledgements and queries are counted separately.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindToken     Kind = iota // one-round token passing along a ring
+	KindNotify                // Notification-to-Parent / Notification-to-Child
+	KindAck                   // Holder-Acknowledgement
+	KindMemberMsg             // MH -> AP membership change (join/leave/...)
+	KindQuery                 // Membership-Query request
+	KindReply                 // Membership-Query reply
+	KindControl               // ring maintenance (repair, merge, probes)
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindToken:
+		return "token"
+	case KindNotify:
+		return "notify"
+	case KindAck:
+		return "ack"
+	case KindMemberMsg:
+		return "member"
+	case KindQuery:
+		return "query"
+	case KindReply:
+		return "reply"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Endpoint is a network entity able to receive messages. Handlers run
+// inside kernel events; they may send messages and set timers but must
+// not block.
+type Endpoint interface {
+	HandleMessage(msg Message)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(Message)
+
+// HandleMessage calls f(msg).
+func (f EndpointFunc) HandleMessage(msg Message) { f(msg) }
+
+// LatencyModel decides the delivery delay of each message.
+type LatencyModel interface {
+	// Latency returns the in-flight time for a message from -> to.
+	// Implementations may consult the RNG for jitter; they must not
+	// retain it.
+	Latency(from, to ids.NodeID, rng *mathx.RNG) time.Duration
+}
+
+// ConstantLatency delivers every message after a fixed delay.
+type ConstantLatency time.Duration
+
+// Latency implements LatencyModel.
+func (c ConstantLatency) Latency(_, _ ids.NodeID, _ *mathx.RNG) time.Duration {
+	return time.Duration(c)
+}
+
+// UniformLatency delivers after a uniform delay in [Min, Max).
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Latency implements LatencyModel.
+func (u UniformLatency) Latency(_, _ ids.NodeID, rng *mathx.RNG) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Uniform(0, float64(u.Max-u.Min)))
+}
+
+// TierLatency models the 4-tier architecture: hops within low tiers
+// (between APs of one wireless access network) are fast, hops between
+// AGs cross an AS, and hops between BRs cross AS boundaries over BGP
+// paths, which the paper calls out for "high message latency". The
+// latency of a message is chosen by the *higher* tier of its two
+// endpoints, plus optional uniform jitter.
+type TierLatency struct {
+	AP     time.Duration // AP<->AP and MH<->AP hops
+	AG     time.Duration // hops touching an AG
+	BR     time.Duration // hops touching a BR
+	Jitter time.Duration // uniform extra in [0, Jitter)
+}
+
+// DefaultTierLatency is a plausible mobile-Internet profile: 2ms inside
+// an access network, 10ms across an AS, 50ms between ASs.
+func DefaultTierLatency() TierLatency {
+	return TierLatency{AP: 2 * time.Millisecond, AG: 10 * time.Millisecond, BR: 50 * time.Millisecond, Jitter: time.Millisecond}
+}
+
+// Latency implements LatencyModel.
+func (t TierLatency) Latency(from, to ids.NodeID, rng *mathx.RNG) time.Duration {
+	tier := from.Tier()
+	if !to.IsZero() && to.Tier() > tier {
+		tier = to.Tier()
+	}
+	var base time.Duration
+	switch tier {
+	case ids.TierBR:
+		base = t.BR
+	case ids.TierAG:
+		base = t.AG
+	default:
+		base = t.AP
+	}
+	if t.Jitter > 0 {
+		base += time.Duration(rng.Uniform(0, float64(t.Jitter)))
+	}
+	return base
+}
+
+// Stats aggregates the network-level counters used by the experiments.
+type Stats struct {
+	Sent      uint64           // messages submitted to Send
+	Delivered uint64           // messages actually delivered
+	Dropped   uint64           // lost to crash or random loss
+	ByKind    [numKinds]uint64 // delivered, per kind
+}
+
+// DeliveredOf returns the delivered count for one kind.
+func (s *Stats) DeliveredOf(k Kind) uint64 { return s.ByKind[k] }
+
+// PropagationHops returns the §5.1 hop count: delivered token plus
+// notification messages, i.e. the messages that carry a membership
+// change through the hierarchy.
+func (s *Stats) PropagationHops() uint64 {
+	return s.ByKind[KindToken] + s.ByKind[KindNotify]
+}
+
+// Network is the simulated message plane.
+type Network struct {
+	kernel    *des.Kernel
+	rng       *mathx.RNG
+	latency   LatencyModel
+	loss      float64 // probability an in-flight message is lost
+	endpoints map[ids.NodeID]Endpoint
+	crashed   map[ids.NodeID]bool
+	stats     Stats
+	traceFn   func(Message, string) // optional trace hook: (msg, outcome)
+}
+
+// New creates a network on the given kernel. latency must not be nil.
+func New(kernel *des.Kernel, latency LatencyModel, seed uint64) *Network {
+	if latency == nil {
+		panic("simnet: nil latency model")
+	}
+	return &Network{
+		kernel:    kernel,
+		rng:       mathx.NewRNG(seed),
+		latency:   latency,
+		endpoints: make(map[ids.NodeID]Endpoint),
+		crashed:   make(map[ids.NodeID]bool),
+	}
+}
+
+// Kernel returns the underlying simulation kernel.
+func (n *Network) Kernel() *des.Kernel { return n.kernel }
+
+// SetLoss sets the independent per-message loss probability.
+func (n *Network) SetLoss(p float64) {
+	if p < 0 || p > 1 {
+		panic("simnet: loss probability out of range")
+	}
+	n.loss = p
+}
+
+// SetTrace installs a hook called for every send with the outcome
+// ("delivered", "lost", "crashed-dest", "crashed-src", "no-endpoint").
+// Pass nil to disable.
+func (n *Network) SetTrace(fn func(Message, string)) { n.traceFn = fn }
+
+// Register attaches an endpoint under the given ID, replacing any
+// previous registration.
+func (n *Network) Register(id ids.NodeID, ep Endpoint) {
+	if id.IsZero() {
+		panic("simnet: registering the zero NodeID")
+	}
+	if ep == nil {
+		panic("simnet: registering nil endpoint")
+	}
+	n.endpoints[id] = ep
+}
+
+// Unregister removes the endpoint, if present.
+func (n *Network) Unregister(id ids.NodeID) { delete(n.endpoints, id) }
+
+// Crash marks a node faulty: it stops sending and receiving. This also
+// models link faults, which the paper folds into node faults (§5.2).
+func (n *Network) Crash(id ids.NodeID) { n.crashed[id] = true }
+
+// Restore clears the faulty state of a node.
+func (n *Network) Restore(id ids.NodeID) { delete(n.crashed, id) }
+
+// Crashed reports whether the node is currently faulty.
+func (n *Network) Crashed(id ids.NodeID) bool { return n.crashed[id] }
+
+// Stats returns a copy of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes all counters (topology and crash state are kept).
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// Send submits a message. Delivery happens asynchronously after the
+// latency model's delay, unless the sender or destination is crashed or
+// the message is randomly lost. Sends to the zero NodeID are dropped
+// silently (callers use that for "no parent"), but counted.
+func (n *Network) Send(msg Message) {
+	msg.Sent = n.kernel.Now()
+	n.stats.Sent++
+	trace := func(outcome string) {
+		if n.traceFn != nil {
+			n.traceFn(msg, outcome)
+		}
+	}
+	if n.crashed[msg.From] {
+		n.stats.Dropped++
+		trace("crashed-src")
+		return
+	}
+	if msg.To.IsZero() {
+		n.stats.Dropped++
+		trace("no-endpoint")
+		return
+	}
+	if n.loss > 0 && n.rng.Bernoulli(n.loss) {
+		n.stats.Dropped++
+		trace("lost")
+		return
+	}
+	delay := n.latency.Latency(msg.From, msg.To, n.rng)
+	n.kernel.After(delay, func() {
+		if n.crashed[msg.To] {
+			n.stats.Dropped++
+			trace("crashed-dest")
+			return
+		}
+		ep, ok := n.endpoints[msg.To]
+		if !ok {
+			n.stats.Dropped++
+			trace("no-endpoint")
+			return
+		}
+		n.stats.Delivered++
+		n.stats.ByKind[msg.Kind]++
+		trace("delivered")
+		ep.HandleMessage(msg)
+	})
+}
+
+// SendKind is a convenience wrapper building the Message inline.
+func (n *Network) SendKind(from, to ids.NodeID, kind Kind, body any) {
+	n.Send(Message{From: from, To: to, Kind: kind, Body: body})
+}

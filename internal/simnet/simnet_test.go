@@ -1,0 +1,287 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/des"
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mathx"
+)
+
+func ap(i int) ids.NodeID { return ids.MakeNodeID(ids.TierAP, i) }
+func ag(i int) ids.NodeID { return ids.MakeNodeID(ids.TierAG, i) }
+func br(i int) ids.NodeID { return ids.MakeNodeID(ids.TierBR, i) }
+
+func newNet(t *testing.T) (*des.Kernel, *Network) {
+	t.Helper()
+	k := des.NewKernel()
+	return k, New(k, ConstantLatency(time.Millisecond), 1)
+}
+
+func TestDeliverBasic(t *testing.T) {
+	k, n := newNet(t)
+	var got []Message
+	n.Register(ap(1), EndpointFunc(func(m Message) { got = append(got, m) }))
+	n.SendKind(ap(0), ap(1), KindToken, "hello")
+	k.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	if got[0].Body.(string) != "hello" || got[0].From != ap(0) {
+		t.Fatalf("message corrupted: %+v", got[0])
+	}
+	if k.Now() != des.Time(time.Millisecond) {
+		t.Fatalf("latency not applied: now=%v", k.Now())
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeliveryOrderPreservedForEqualLatency(t *testing.T) {
+	k, n := newNet(t)
+	var got []int
+	n.Register(ap(1), EndpointFunc(func(m Message) { got = append(got, m.Body.(int)) }))
+	for i := 0; i < 10; i++ {
+		n.SendKind(ap(0), ap(1), KindToken, i)
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reordered: %v", got)
+		}
+	}
+}
+
+func TestSendToUnregisteredDropped(t *testing.T) {
+	k, n := newNet(t)
+	n.SendKind(ap(0), ap(9), KindToken, nil)
+	k.Run()
+	st := n.Stats()
+	if st.Delivered != 0 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSendToZeroNodeDropped(t *testing.T) {
+	k, n := newNet(t)
+	n.SendKind(ap(0), ids.NoNode, KindNotify, nil)
+	k.Run()
+	if st := n.Stats(); st.Dropped != 1 || st.Sent != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCrashedDestinationDropsAtDelivery(t *testing.T) {
+	k, n := newNet(t)
+	delivered := false
+	n.Register(ap(1), EndpointFunc(func(Message) { delivered = true }))
+	n.SendKind(ap(0), ap(1), KindToken, nil)
+	n.Crash(ap(1)) // crash while in flight
+	k.Run()
+	if delivered {
+		t.Fatal("message delivered to crashed node")
+	}
+	if st := n.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCrashedSenderCannotSend(t *testing.T) {
+	k, n := newNet(t)
+	delivered := false
+	n.Register(ap(1), EndpointFunc(func(Message) { delivered = true }))
+	n.Crash(ap(0))
+	n.SendKind(ap(0), ap(1), KindToken, nil)
+	k.Run()
+	if delivered {
+		t.Fatal("crashed sender's message was delivered")
+	}
+}
+
+func TestRestore(t *testing.T) {
+	k, n := newNet(t)
+	count := 0
+	n.Register(ap(1), EndpointFunc(func(Message) { count++ }))
+	n.Crash(ap(1))
+	if !n.Crashed(ap(1)) {
+		t.Fatal("Crashed not reported")
+	}
+	n.SendKind(ap(0), ap(1), KindToken, nil)
+	k.Run()
+	n.Restore(ap(1))
+	n.SendKind(ap(0), ap(1), KindToken, nil)
+	k.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	k := des.NewKernel()
+	n := New(k, ConstantLatency(time.Microsecond), 7)
+	n.SetLoss(0.5)
+	n.Register(ap(1), EndpointFunc(func(Message) {}))
+	const total = 10000
+	for i := 0; i < total; i++ {
+		n.SendKind(ap(0), ap(1), KindToken, nil)
+	}
+	k.Run()
+	st := n.Stats()
+	if st.Delivered+st.Dropped != total {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+	frac := float64(st.Delivered) / total
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("loss rate off: delivered fraction %g", frac)
+	}
+}
+
+func TestSetLossValidation(t *testing.T) {
+	_, n := newNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.SetLoss(1.5)
+}
+
+func TestPerKindAccounting(t *testing.T) {
+	k, n := newNet(t)
+	n.Register(ap(1), EndpointFunc(func(Message) {}))
+	n.SendKind(ap(0), ap(1), KindToken, nil)
+	n.SendKind(ap(0), ap(1), KindToken, nil)
+	n.SendKind(ap(0), ap(1), KindNotify, nil)
+	n.SendKind(ap(0), ap(1), KindAck, nil)
+	n.SendKind(ap(0), ap(1), KindQuery, nil)
+	k.Run()
+	st := n.Stats()
+	if st.DeliveredOf(KindToken) != 2 || st.DeliveredOf(KindNotify) != 1 {
+		t.Fatalf("kind counts = %+v", st.ByKind)
+	}
+	if st.PropagationHops() != 3 {
+		t.Fatalf("PropagationHops = %d, want 3", st.PropagationHops())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	k, n := newNet(t)
+	n.Register(ap(1), EndpointFunc(func(Message) {}))
+	n.SendKind(ap(0), ap(1), KindToken, nil)
+	k.Run()
+	n.ResetStats()
+	if st := n.Stats(); st.Sent != 0 || st.Delivered != 0 {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+}
+
+func TestTierLatencyUsesHigherTier(t *testing.T) {
+	model := TierLatency{AP: 1 * time.Millisecond, AG: 10 * time.Millisecond, BR: 100 * time.Millisecond}
+	rng := mathx.NewRNG(1)
+	cases := []struct {
+		from, to ids.NodeID
+		want     time.Duration
+	}{
+		{ap(0), ap(1), time.Millisecond},
+		{ap(0), ag(0), 10 * time.Millisecond},
+		{ag(0), ap(0), 10 * time.Millisecond},
+		{ag(0), br(0), 100 * time.Millisecond},
+		{br(0), br(1), 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := model.Latency(c.from, c.to, rng); got != c.want {
+			t.Errorf("Latency(%s,%s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestTierLatencyJitterBounded(t *testing.T) {
+	model := DefaultTierLatency()
+	rng := mathx.NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		d := model.Latency(ap(0), ap(1), rng)
+		if d < model.AP || d >= model.AP+model.Jitter {
+			t.Fatalf("jittered latency %v outside [%v, %v)", d, model.AP, model.AP+model.Jitter)
+		}
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	u := UniformLatency{Min: 2 * time.Millisecond, Max: 5 * time.Millisecond}
+	rng := mathx.NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		d := u.Latency(ap(0), ap(1), rng)
+		if d < u.Min || d >= u.Max {
+			t.Fatalf("latency %v outside [%v,%v)", d, u.Min, u.Max)
+		}
+	}
+	degenerate := UniformLatency{Min: time.Millisecond, Max: time.Millisecond}
+	if d := degenerate.Latency(ap(0), ap(1), rng); d != time.Millisecond {
+		t.Fatalf("degenerate uniform = %v", d)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	k, n := newNet(t)
+	var outcomes []string
+	n.SetTrace(func(_ Message, outcome string) { outcomes = append(outcomes, outcome) })
+	n.Register(ap(1), EndpointFunc(func(Message) {}))
+	n.SendKind(ap(0), ap(1), KindToken, nil)
+	n.SendKind(ap(0), ids.NoNode, KindToken, nil)
+	k.Run()
+	if len(outcomes) != 2 || outcomes[0] != "no-endpoint" || outcomes[1] != "delivered" {
+		t.Fatalf("outcomes = %v", outcomes)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	_, n := newNet(t)
+	for name, fn := range map[string]func(){
+		"zero id": func() { n.Register(ids.NoNode, EndpointFunc(func(Message) {})) },
+		"nil ep":  func() { n.Register(ap(1), nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindToken.String() != "token" || KindControl.String() != "control" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestDeterministicDelivery(t *testing.T) {
+	run := func() []int {
+		k := des.NewKernel()
+		n := New(k, UniformLatency{Min: time.Millisecond, Max: 10 * time.Millisecond}, 42)
+		var got []int
+		n.Register(ap(1), EndpointFunc(func(m Message) { got = append(got, m.Body.(int)) }))
+		for i := 0; i < 100; i++ {
+			n.SendKind(ap(0), ap(1), KindToken, i)
+		}
+		k.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d", i)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package token defines the Token of Section 4.2 — the object that
+// circulates around each logical ring carrying aggregated membership
+// operations — together with the round bookkeeping used by the
+// one-round algorithm of Figure 3: hop accounting, direction of entry
+// (needed to propagate changes up/down without echo), and the
+// retransmission state that implements the paper's "Token
+// retransmission schemes" for single-fault detection.
+package token
+
+import (
+	"fmt"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mq"
+	"github.com/rgbproto/rgb/internal/ring"
+)
+
+// Direction records how a batch of operations entered the ring that is
+// currently circulating it. It determines where the batch continues:
+// batches from below (or local) flow up via Notification-to-Parent;
+// batches from above flow only down.
+type Direction uint8
+
+// Entry directions.
+const (
+	FromLocal  Direction = iota // originated at a node of this ring (MH event or NE event)
+	FromChild                   // arrived via Notification-to-Parent from a child ring
+	FromParent                  // arrived via Notification-to-Child from the parent ring
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case FromLocal:
+		return "local"
+	case FromChild:
+		return "from-child"
+	case FromParent:
+		return "from-parent"
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+// Token is the circulating object of the one-round algorithm.
+type Token struct {
+	GID    ids.GroupID // group the token serves
+	Ring   ring.ID     // ring the token circulates in
+	Holder ids.NodeID  // node that started this round and will close it
+	Round  uint64      // per-ring round sequence number
+	Ops    mq.Batch    // aggregated operations being executed at each node
+
+	// Dir is how Ops entered this ring; Source identifies the child
+	// ring when Dir == FromChild, so dissemination can skip the echo.
+	Dir    Direction
+	Source ring.ID
+
+	// Route is the round's itinerary: the holder's roster in cycle
+	// order starting at the holder, fixed when the round starts.
+	// Nodes forward the token along Route (excluding entries repaired
+	// away mid-round), so a round's coverage is well defined even if
+	// individual ring views diverge while the token is in flight.
+	Route []ids.NodeID
+
+	// Hops counts ring hops taken this round (diagnostics; the
+	// network layer owns authoritative accounting).
+	Hops int
+
+	// Repaired is set when a node excluded a faulty successor during
+	// this round; the holder then schedules one convergence round so
+	// members that executed the token before the repair also learn
+	// the exclusion.
+	Repaired bool
+
+	// Contributors lists the nodes whose MQ drains were folded into
+	// Ops en route; the holder uses it to address
+	// Holder-Acknowledgement messages.
+	Contributors []ids.NodeID
+}
+
+// Fresh creates the round's token at the given holder.
+func Fresh(gid ids.GroupID, ringID ring.ID, holder ids.NodeID, round uint64, ops mq.Batch, dir Direction, source ring.ID) *Token {
+	return &Token{
+		GID:    gid,
+		Ring:   ringID,
+		Holder: holder,
+		Round:  round,
+		Ops:    ops,
+		Dir:    dir,
+		Source: source,
+	}
+}
+
+// SetRoute fixes the round's itinerary.
+func (t *Token) SetRoute(route []ids.NodeID) {
+	t.Route = append([]ids.NodeID(nil), route...)
+}
+
+// NextOnRoute returns the itinerary entry after the given node. It
+// returns the holder when the node is absent (repaired away while the
+// token was in flight toward it).
+func (t *Token) NextOnRoute(after ids.NodeID) ids.NodeID {
+	for i, n := range t.Route {
+		if n == after {
+			return t.Route[(i+1)%len(t.Route)]
+		}
+	}
+	return t.Holder
+}
+
+// DropFromRoute removes a repaired-away entity from the itinerary.
+func (t *Token) DropFromRoute(dead ids.NodeID) {
+	out := t.Route[:0]
+	for _, n := range t.Route {
+		if n != dead {
+			out = append(out, n)
+		}
+	}
+	t.Route = out
+}
+
+// Fold merges a node's drained batch into the token and records the
+// node as a contributor.
+func (t *Token) Fold(node ids.NodeID, batch mq.Batch) {
+	if batch.Empty() {
+		return
+	}
+	t.Ops = append(t.Ops, batch...)
+	t.Contributors = append(t.Contributors, node)
+}
+
+// Carrying reports whether the token carries any operations.
+func (t *Token) Carrying() bool { return !t.Ops.Empty() }
+
+// String renders a compact description for traces.
+func (t *Token) String() string {
+	return fmt.Sprintf("token{%s r%d holder=%s ops=%d %s}",
+		t.Ring, t.Round, t.Holder, len(t.Ops), t.Dir)
+}
+
+// RetransmitPolicy configures the paper's token retransmission scheme:
+// how many resends a node attempts before declaring its successor
+// faulty and repairing the ring around it.
+type RetransmitPolicy struct {
+	MaxRetries int // resend attempts before declaring the peer dead
+}
+
+// DefaultRetransmitPolicy matches the paper's "detected quickly"
+// expectation: two retries then local repair.
+func DefaultRetransmitPolicy() RetransmitPolicy { return RetransmitPolicy{MaxRetries: 2} }
+
+// PassState tracks one in-flight token pass awaiting acknowledgement.
+type PassState struct {
+	Token   *Token
+	To      ids.NodeID
+	Retries int
+}
+
+// Exhausted reports whether the policy's retry budget is spent.
+func (p *PassState) Exhausted(policy RetransmitPolicy) bool {
+	return p.Retries >= policy.MaxRetries
+}

@@ -1,0 +1,65 @@
+package token
+
+import (
+	"testing"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mq"
+	"github.com/rgbproto/rgb/internal/ring"
+)
+
+func TestFreshAndFold(t *testing.T) {
+	holder := ids.MakeNodeID(ids.TierAP, 0)
+	tok := Fresh(ids.NewGroupID(1), ring.ID{Tier: ids.TierAP, Index: 0}, holder, 3, nil, FromLocal, ring.ID{})
+	if tok.Carrying() {
+		t.Fatal("fresh empty token should not carry ops")
+	}
+	if tok.Holder != holder || tok.Round != 3 {
+		t.Fatal("token fields wrong")
+	}
+	batch := mq.Batch{{Op: mq.OpMemberJoin, Member: ids.MemberInfo{GUID: 1}}}
+	tok.Fold(holder, batch)
+	if !tok.Carrying() || len(tok.Ops) != 1 {
+		t.Fatal("fold failed")
+	}
+	if len(tok.Contributors) != 1 || tok.Contributors[0] != holder {
+		t.Fatal("contributor not recorded")
+	}
+	// Folding an empty batch is a no-op.
+	tok.Fold(holder, nil)
+	if len(tok.Contributors) != 1 {
+		t.Fatal("empty fold should not add contributors")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if FromLocal.String() != "local" || FromChild.String() != "from-child" || FromParent.String() != "from-parent" {
+		t.Error("direction names wrong")
+	}
+	if Direction(9).String() == "" {
+		t.Error("unknown direction should render")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Fresh(ids.NewGroupID(1), ring.ID{Tier: ids.TierAG, Index: 2},
+		ids.MakeNodeID(ids.TierAG, 5), 1, nil, FromChild, ring.ID{Tier: ids.TierAP, Index: 7})
+	if tok.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestRetransmitPolicy(t *testing.T) {
+	p := DefaultRetransmitPolicy()
+	if p.MaxRetries != 2 {
+		t.Fatalf("default retries = %d", p.MaxRetries)
+	}
+	ps := &PassState{}
+	if ps.Exhausted(p) {
+		t.Fatal("fresh pass should not be exhausted")
+	}
+	ps.Retries = 2
+	if !ps.Exhausted(p) {
+		t.Fatal("pass at budget should be exhausted")
+	}
+}

@@ -1,0 +1,219 @@
+// Package workload generates reproducible membership-event scenarios
+// for the RGB protocol: Poisson join/leave churn, member failures, and
+// mobility-driven handoffs, merged into a single time-ordered trace.
+// These are the synthetic equivalents of the "highly dynamic" group
+// behaviour the paper's Section 3 anticipates.
+package workload
+
+import (
+	"sort"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mathx"
+	"github.com/rgbproto/rgb/internal/mobility"
+)
+
+// EventKind is the type of one scenario event.
+type EventKind uint8
+
+// Scenario event kinds.
+const (
+	EvJoin EventKind = iota
+	EvLeave
+	EvFail
+	EvHandoff
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvJoin:
+		return "join"
+	case EvLeave:
+		return "leave"
+	case EvFail:
+		return "fail"
+	case EvHandoff:
+		return "handoff"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduled membership event.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	GUID ids.GUID
+	AP   ids.NodeID // target AP for joins and handoffs
+}
+
+// Trace is a time-ordered scenario.
+type Trace []Event
+
+// Counts returns the per-kind event counts.
+func (t Trace) Counts() map[EventKind]int {
+	out := make(map[EventKind]int)
+	for _, e := range t {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// ChurnConfig parameterizes a Poisson churn scenario.
+type ChurnConfig struct {
+	InitialMembers int           // joined at time zero across the APs
+	JoinRate       float64       // joins per second
+	LeaveRate      float64       // leaves per second (among live members)
+	FailRate       float64       // failures per second (among live members)
+	Duration       time.Duration // scenario length
+	Seed           uint64
+}
+
+// DefaultChurnConfig is a moderate conference-sized churn profile.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		InitialMembers: 50,
+		JoinRate:       0.5,
+		LeaveRate:      0.3,
+		FailRate:       0.05,
+		Duration:       5 * time.Minute,
+		Seed:           1,
+	}
+}
+
+// Churn builds a churn trace over the given APs. GUIDs are allocated
+// from firstGUID upward; initial members join at time zero.
+func Churn(aps []ids.NodeID, cfg ChurnConfig, firstGUID ids.GUID) Trace {
+	if len(aps) == 0 {
+		panic("workload: no APs")
+	}
+	if cfg.Duration <= 0 {
+		panic("workload: non-positive duration")
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	var tr Trace
+	nextGUID := firstGUID
+	var live []ids.GUID
+	for i := 0; i < cfg.InitialMembers; i++ {
+		tr = append(tr, Event{At: 0, Kind: EvJoin, GUID: nextGUID, AP: aps[rng.Intn(len(aps))]})
+		live = append(live, nextGUID)
+		nextGUID++
+	}
+	// Superpose the three Poisson processes by drawing the next event
+	// of each and advancing the earliest.
+	now := time.Duration(0)
+	draw := func(rate float64) time.Duration {
+		if rate <= 0 {
+			return cfg.Duration + time.Hour
+		}
+		return time.Duration(rng.ExpFloat64(rate) * float64(time.Second))
+	}
+	nextJoin := draw(cfg.JoinRate)
+	nextLeave := draw(cfg.LeaveRate)
+	nextFail := draw(cfg.FailRate)
+	for {
+		min := nextJoin
+		kind := EvJoin
+		if nextLeave < min {
+			min, kind = nextLeave, EvLeave
+		}
+		if nextFail < min {
+			min, kind = nextFail, EvFail
+		}
+		now = min
+		if now > cfg.Duration {
+			break
+		}
+		switch kind {
+		case EvJoin:
+			tr = append(tr, Event{At: now, Kind: EvJoin, GUID: nextGUID, AP: aps[rng.Intn(len(aps))]})
+			live = append(live, nextGUID)
+			nextGUID++
+			nextJoin = now + draw(cfg.JoinRate)
+		case EvLeave, EvFail:
+			if len(live) > 0 {
+				idx := rng.Intn(len(live))
+				g := live[idx]
+				live = append(live[:idx], live[idx+1:]...)
+				tr = append(tr, Event{At: now, Kind: kind, GUID: g})
+			}
+			if kind == EvLeave {
+				nextLeave = now + draw(cfg.LeaveRate)
+			} else {
+				nextFail = now + draw(cfg.FailRate)
+			}
+		}
+	}
+	return tr
+}
+
+// WithMobility merges a handoff trace (from the mobility package) into
+// a scenario. Handoffs for members that are not yet joined (or have
+// left) are dropped by the runner, not here, to keep generation cheap.
+func WithMobility(tr Trace, handoffs []mobility.HandoffEvent) Trace {
+	for _, h := range handoffs {
+		tr = append(tr, Event{At: h.At, Kind: EvHandoff, GUID: h.GUID, AP: h.To})
+	}
+	sort.SliceStable(tr, func(i, j int) bool { return tr[i].At < tr[j].At })
+	return tr
+}
+
+// Ops binds the protocol operations a trace drives. The rgb facade
+// and examples bind these to a core.System with closures.
+type Ops struct {
+	Join    func(guid ids.GUID, ap ids.NodeID)
+	Leave   func(guid ids.GUID)
+	Fail    func(guid ids.GUID)
+	Handoff func(guid ids.GUID, newAP ids.NodeID)
+}
+
+// Apply schedules every event of the trace via the scheduler function
+// (normally the DES kernel's After) and tracks liveness so that
+// leaves/handoffs of departed members are skipped.
+func Apply(tr Trace, schedule func(at time.Duration, fn func()), ops Ops) {
+	live := make(map[ids.GUID]bool)
+	for _, e := range tr {
+		e := e
+		switch e.Kind {
+		case EvJoin:
+			live[e.GUID] = true
+			schedule(e.At, func() { ops.Join(e.GUID, e.AP) })
+		case EvLeave:
+			if live[e.GUID] {
+				live[e.GUID] = false
+				schedule(e.At, func() { ops.Leave(e.GUID) })
+			}
+		case EvFail:
+			if live[e.GUID] {
+				live[e.GUID] = false
+				schedule(e.At, func() { ops.Fail(e.GUID) })
+			}
+		case EvHandoff:
+			if live[e.GUID] {
+				schedule(e.At, func() { ops.Handoff(e.GUID, e.AP) })
+			}
+		}
+	}
+}
+
+// LiveAtEnd returns the GUIDs expected to remain members after the
+// trace completes.
+func LiveAtEnd(tr Trace) []ids.GUID {
+	live := map[ids.GUID]bool{}
+	for _, e := range tr {
+		switch e.Kind {
+		case EvJoin:
+			live[e.GUID] = true
+		case EvLeave, EvFail:
+			delete(live, e.GUID)
+		}
+	}
+	out := make([]ids.GUID, 0, len(live))
+	for g := range live {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mobility"
+)
+
+func testAPs(n int) []ids.NodeID {
+	out := make([]ids.NodeID, n)
+	for i := range out {
+		out[i] = ids.MakeNodeID(ids.TierAP, i)
+	}
+	return out
+}
+
+func TestChurnInitialMembers(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	cfg.InitialMembers = 30
+	cfg.JoinRate, cfg.LeaveRate, cfg.FailRate = 0, 0, 0
+	tr := Churn(testAPs(10), cfg, 1)
+	if len(tr) != 30 {
+		t.Fatalf("trace length %d, want 30", len(tr))
+	}
+	for _, e := range tr {
+		if e.At != 0 || e.Kind != EvJoin {
+			t.Fatalf("unexpected event %+v", e)
+		}
+	}
+	if got := len(LiveAtEnd(tr)); got != 30 {
+		t.Fatalf("LiveAtEnd = %d", got)
+	}
+}
+
+func TestChurnRatesShapeTrace(t *testing.T) {
+	cfg := ChurnConfig{
+		InitialMembers: 10,
+		JoinRate:       2,
+		LeaveRate:      0.5,
+		FailRate:       0.1,
+		Duration:       2 * time.Minute,
+		Seed:           5,
+	}
+	tr := Churn(testAPs(20), cfg, 1)
+	counts := tr.Counts()
+	if counts[EvJoin] < 150 { // 10 initial + ~240 churn joins
+		t.Errorf("joins = %d, expected ~250", counts[EvJoin])
+	}
+	if counts[EvLeave] == 0 || counts[EvFail] == 0 {
+		t.Errorf("leaves=%d fails=%d, both should occur", counts[EvLeave], counts[EvFail])
+	}
+	if counts[EvLeave] < counts[EvFail] {
+		t.Errorf("leave rate 5x fail rate but leaves=%d < fails=%d", counts[EvLeave], counts[EvFail])
+	}
+	// Time-ordered.
+	prev := time.Duration(0)
+	for _, e := range tr {
+		if e.At < prev {
+			t.Fatal("trace not ordered")
+		}
+		prev = e.At
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	a := Churn(testAPs(5), cfg, 1)
+	b := Churn(testAPs(5), cfg, 1)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestLiveAtEndTracksDepartures(t *testing.T) {
+	tr := Trace{
+		{At: 0, Kind: EvJoin, GUID: 1},
+		{At: 1, Kind: EvJoin, GUID: 2},
+		{At: 2, Kind: EvLeave, GUID: 1},
+		{At: 3, Kind: EvJoin, GUID: 3},
+		{At: 4, Kind: EvFail, GUID: 3},
+	}
+	live := LiveAtEnd(tr)
+	if len(live) != 1 || live[0] != 2 {
+		t.Fatalf("LiveAtEnd = %v, want [2]", live)
+	}
+}
+
+func TestWithMobilityMergesOrdered(t *testing.T) {
+	tr := Trace{{At: 0, Kind: EvJoin, GUID: 1, AP: testAPs(2)[0]}}
+	handoffs := []mobility.HandoffEvent{
+		{At: 5 * time.Second, GUID: 1, From: testAPs(2)[0], To: testAPs(2)[1]},
+		{At: 2 * time.Second, GUID: 1, From: testAPs(2)[1], To: testAPs(2)[0]},
+	}
+	merged := WithMobility(tr, handoffs)
+	if len(merged) != 3 {
+		t.Fatalf("merged length %d", len(merged))
+	}
+	if merged[1].At != 2*time.Second || merged[2].At != 5*time.Second {
+		t.Fatal("handoffs not merged in time order")
+	}
+	if merged[1].Kind != EvHandoff {
+		t.Fatal("handoff kind lost")
+	}
+}
+
+// TestApplySkipsDepartedMembers: handoffs and leaves after departure
+// are filtered.
+func TestApplySkipsDepartedMembers(t *testing.T) {
+	aps := testAPs(2)
+	tr := Trace{
+		{At: 0, Kind: EvJoin, GUID: 1, AP: aps[0]},
+		{At: 1, Kind: EvLeave, GUID: 1},
+		{At: 2, Kind: EvHandoff, GUID: 1, AP: aps[1]}, // after leave: dropped
+		{At: 3, Kind: EvLeave, GUID: 1},               // double leave: dropped
+		{At: 4, Kind: EvFail, GUID: 2},                // never joined: dropped
+	}
+	var calls []string
+	ops := Ops{
+		Join:    func(g ids.GUID, ap ids.NodeID) { calls = append(calls, "join") },
+		Leave:   func(g ids.GUID) { calls = append(calls, "leave") },
+		Fail:    func(g ids.GUID) { calls = append(calls, "fail") },
+		Handoff: func(g ids.GUID, ap ids.NodeID) { calls = append(calls, "handoff") },
+	}
+	schedule := func(at time.Duration, fn func()) { fn() }
+	Apply(tr, schedule, ops)
+	if len(calls) != 2 || calls[0] != "join" || calls[1] != "leave" {
+		t.Fatalf("calls = %v, want [join leave]", calls)
+	}
+}
+
+func TestApplySchedulesAtEventTimes(t *testing.T) {
+	aps := testAPs(1)
+	tr := Trace{
+		{At: 0, Kind: EvJoin, GUID: 1, AP: aps[0]},
+		{At: 7 * time.Second, Kind: EvLeave, GUID: 1},
+	}
+	var times []time.Duration
+	Apply(tr, func(at time.Duration, fn func()) { times = append(times, at) }, Ops{
+		Join:  func(ids.GUID, ids.NodeID) {},
+		Leave: func(ids.GUID) {},
+	})
+	if len(times) != 2 || times[0] != 0 || times[1] != 7*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no aps":        func() { Churn(nil, DefaultChurnConfig(), 0) },
+		"zero duration": func() { Churn(testAPs(1), ChurnConfig{Duration: 0}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvJoin.String() != "join" || EvHandoff.String() != "handoff" || EventKind(9).String() != "unknown" {
+		t.Error("kind names wrong")
+	}
+}
