@@ -1,0 +1,204 @@
+// Command rgbsweep runs a parallel experiment sweep: a declarative
+// grid of scenario parameters crossed with N seeds, fanned out over a
+// worker pool, aggregated into per-cell mean/stddev/95%-CI summaries.
+// Output is an aligned text table on stdout and, with -json, a
+// machine-readable report that is bit-identical for any -workers
+// value (each run owns its own deterministic simulation kernel).
+//
+// Grid axes take comma-separated value lists; every combination is
+// one cell. Examples:
+//
+//	rgbsweep -heights 2,3 -rings 4,5 -loss 0,0.01 -seeds 5
+//	rgbsweep -heights 2 -rings 4 -members 20,50 -schemes tms,bms -json sweep.json
+//	rgbsweep -compare table1
+//	rgbsweep -compare table2 -trials 20000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/core"
+	"github.com/rgbproto/rgb/internal/experiment"
+)
+
+func main() {
+	heights := flag.String("heights", "2", "hierarchy heights (comma-separated)")
+	rings := flag.String("rings", "4", "ring sizes (comma-separated)")
+	members := flag.String("members", "30", "initial member counts (comma-separated)")
+	joinRates := flag.String("join-rates", "0.5", "joins/s (comma-separated)")
+	leaveRates := flag.String("leave-rates", "0.3", "leaves/s (comma-separated)")
+	failRates := flag.String("fail-rates", "0.05", "member failures/s (comma-separated)")
+	hopRates := flag.String("hop-rates", "0", "mobility cell hops/s/host (comma-separated)")
+	loss := flag.String("loss", "0", "message loss probabilities (comma-separated)")
+	crash := flag.String("crash", "0", "mid-run NE crash counts (comma-separated)")
+	diss := flag.String("dissemination", "full", "dissemination modes: full,path-only")
+	schemes := flag.String("schemes", "tms", "query schemes: tms,bms,ims:<level>")
+	duration := flag.Duration("duration", 30*time.Second, "virtual scenario length per run")
+	queries := flag.Int("queries", 2, "membership queries measured per run (0 disables)")
+	seeds := flag.Int("seeds", 5, "seeded runs per cell")
+	baseSeed := flag.Uint64("seed", 1, "base seed of the sweep")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size")
+	jsonPath := flag.String("json", "", "write the JSON report to this file ('-' = stdout)")
+	quiet := flag.Bool("quiet", false, "suppress the progress meter")
+	compare := flag.String("compare", "", "empirical-vs-analytic mode: table1 or table2")
+	trials := flag.Int("trials", 50000, "Monte-Carlo trials per cell (with -compare table2)")
+	flag.Parse()
+
+	if *compare != "" {
+		runCompare(*compare, *trials, *workers, *baseSeed, *jsonPath)
+		return
+	}
+
+	if *queries == 0 {
+		// Grid treats 0 as "unset"; the CLI promises 0 disables.
+		*queries = -1
+	}
+
+	grid := experiment.Grid{
+		H:             parseInts(*heights),
+		R:             parseInts(*rings),
+		Members:       parseInts(*members),
+		JoinRate:      parseFloats(*joinRates),
+		LeaveRate:     parseFloats(*leaveRates),
+		FailRate:      parseFloats(*failRates),
+		HopRate:       parseFloats(*hopRates),
+		Loss:          parseFloats(*loss),
+		Crash:         parseInts(*crash),
+		Dissemination: parseDiss(*diss),
+		Schemes:       splitList(*schemes),
+		Duration:      *duration,
+		Queries:       *queries,
+	}
+	if err := grid.Validate(); err != nil {
+		fail(err)
+	}
+
+	opt := experiment.Options{Seeds: *seeds, BaseSeed: *baseSeed, Workers: *workers}
+	if !*quiet {
+		opt.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rrgbsweep: %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	fmt.Printf("rgbsweep: %d cells x %d seeds = %d runs on %d workers\n\n",
+		grid.Size(), *seeds, grid.Size()**seeds, *workers)
+	start := time.Now()
+	rep, err := experiment.Sweep(grid, opt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(rep.Table())
+	fmt.Printf("\nsweep wall time: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		writeJSON(*jsonPath, rep)
+	}
+}
+
+func runCompare(mode string, trials, workers int, seed uint64, jsonPath string) {
+	switch mode {
+	case "table1":
+		cells := experiment.CompareTableI(workers, seed)
+		fmt.Println("Table I: measured dissemination hops vs formulas (4) and (6)")
+		fmt.Println()
+		fmt.Print(experiment.TableIText(cells))
+		fmt.Println("\ndev = (measured - analytic) / analytic; the ring side matches")
+		fmt.Println("formula (6) exactly, the tree h=5 rows keep the known one-hop")
+		fmt.Println("discrepancy of formula (2) — see EXPERIMENTS.md.")
+		if jsonPath != "" {
+			writeJSON(jsonPath, cells)
+		}
+	case "table2":
+		cells := experiment.CompareTableII(trials, workers, seed)
+		fmt.Printf("Table II: Monte-Carlo Function-Well estimates (%d trials/cell)\n\n", trials)
+		fmt.Print(experiment.TableIIText(cells))
+		fmt.Println("\ninCI reports whether formula (8) lies inside the estimate's 95%")
+		fmt.Println("Wilson interval. paper(%) is the published-variant column — see")
+		fmt.Println("EXPERIMENTS.md for why it differs from formula (8).")
+		if jsonPath != "" {
+			writeJSON(jsonPath, cells)
+		}
+	default:
+		fail(fmt.Errorf("rgbsweep: -compare must be table1 or table2, got %q", mode))
+	}
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("JSON report written to %s\n", path)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fail(fmt.Errorf("rgbsweep: bad integer %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			fail(fmt.Errorf("rgbsweep: bad number %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseDiss(s string) []core.DisseminationMode {
+	var out []core.DisseminationMode
+	for _, part := range splitList(s) {
+		switch part {
+		case "full":
+			out = append(out, core.DisseminateFull)
+		case "path-only":
+			out = append(out, core.DisseminatePathOnly)
+		default:
+			fail(fmt.Errorf("rgbsweep: bad dissemination mode %q (full or path-only)", part))
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

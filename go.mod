@@ -1,0 +1,3 @@
+module github.com/rgbproto/rgb
+
+go 1.24

@@ -251,11 +251,12 @@ func (n *Node) receiveMemberMsg(m memberMsg, from ids.NodeID) {
 	n.sys.requestRound(n, token.FromLocal, ring.ID{})
 }
 
-var seqCounter uint64
-
+// nextSeq draws the next origin-local sequence number. The counter
+// lives on the System so that concurrent simulations (the experiment
+// sweeper runs one per worker) never share state.
 func (n *Node) nextSeq() uint64 {
-	seqCounter++
-	return seqCounter
+	n.sys.seqCounter++
+	return n.sys.seqCounter
 }
 
 // startRound begins one execution of the one-round algorithm with this

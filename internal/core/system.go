@@ -88,6 +88,7 @@ type System struct {
 	rounds     uint64
 	opsCarried uint64
 	querySeq   uint64
+	seqCounter uint64
 
 	heartbeats []*des.Ticker
 }
@@ -512,6 +513,36 @@ func (s *System) GlobalMembership() []ids.MemberInfo {
 		}
 	}
 	return nil
+}
+
+// MembershipDeviation compares the authoritative global membership
+// against an expected roster (normally workload.LiveAtEnd of the
+// scenario that was applied): missing counts expected members absent
+// from the converged view, extra counts operational members the view
+// holds beyond the roster. Both zero means the hierarchy converged to
+// exactly the scenario's outcome.
+func (s *System) MembershipDeviation(expected []ids.GUID) (missing, extra int) {
+	want := make(map[ids.GUID]bool, len(expected))
+	for _, g := range expected {
+		want[g] = true
+	}
+	got := make(map[ids.GUID]bool)
+	for _, m := range s.GlobalMembership() {
+		if m.Status.Operational() {
+			got[m.GUID] = true
+		}
+	}
+	for g := range want {
+		if !got[g] {
+			missing++
+		}
+	}
+	for g := range got {
+		if !want[g] {
+			extra++
+		}
+	}
+	return missing, extra
 }
 
 // MeasureDisseminationHops injects a single Member-Join at the given

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/core"
+)
+
+// Grid is a declarative sweep specification: each axis is a list of
+// values (an empty axis takes the single default below), and Expand
+// crosses every axis into the list of cells. Duration and Queries are
+// per-run scalars, not axes — they shape how long each cell runs, not
+// what it measures.
+type Grid struct {
+	H             []int
+	R             []int
+	Members       []int
+	JoinRate      []float64
+	LeaveRate     []float64
+	FailRate      []float64
+	HopRate       []float64
+	Loss          []float64
+	Crash         []int
+	Dissemination []core.DisseminationMode
+	Schemes       []string // "tms", "bms", "ims:<level>"
+
+	Duration time.Duration // default 30s
+	Queries  int           // per-run query count; 0 selects the default (2), negative disables
+}
+
+// Axis defaults applied by normalized().
+var (
+	defaultH       = []int{2}
+	defaultR       = []int{4}
+	defaultMembers = []int{30}
+	defaultJoin    = []float64{0.5}
+	defaultLeave   = []float64{0.3}
+	defaultFail    = []float64{0.05}
+	defaultHop     = []float64{0}
+	defaultLoss    = []float64{0}
+	defaultCrash   = []int{0}
+	defaultDiss    = []core.DisseminationMode{core.DisseminateFull}
+	defaultSchemes = []string{"tms"}
+)
+
+func orInts(xs, def []int) []int {
+	if len(xs) == 0 {
+		return def
+	}
+	return xs
+}
+
+func orFloats(xs, def []float64) []float64 {
+	if len(xs) == 0 {
+		return def
+	}
+	return xs
+}
+
+// normalized fills empty axes with their defaults.
+func (g Grid) normalized() Grid {
+	g.H = orInts(g.H, defaultH)
+	g.R = orInts(g.R, defaultR)
+	g.Members = orInts(g.Members, defaultMembers)
+	g.JoinRate = orFloats(g.JoinRate, defaultJoin)
+	g.LeaveRate = orFloats(g.LeaveRate, defaultLeave)
+	g.FailRate = orFloats(g.FailRate, defaultFail)
+	g.HopRate = orFloats(g.HopRate, defaultHop)
+	g.Loss = orFloats(g.Loss, defaultLoss)
+	g.Crash = orInts(g.Crash, defaultCrash)
+	if len(g.Dissemination) == 0 {
+		g.Dissemination = defaultDiss
+	}
+	if len(g.Schemes) == 0 {
+		g.Schemes = defaultSchemes
+	}
+	if g.Duration <= 0 {
+		g.Duration = 30 * time.Second
+	}
+	if g.Queries < 0 {
+		g.Queries = 0
+	} else if g.Queries == 0 {
+		g.Queries = 2
+	}
+	return g
+}
+
+// Validate checks every axis value that Expand would otherwise bake
+// into an unrunnable or panicking cell.
+func (g Grid) Validate() error {
+	n := g.normalized()
+	for _, h := range n.H {
+		if h < 1 {
+			return fmt.Errorf("experiment: height %d < 1", h)
+		}
+	}
+	for _, r := range n.R {
+		if r < 2 {
+			return fmt.Errorf("experiment: ring size %d < 2", r)
+		}
+	}
+	for _, m := range n.Members {
+		if m < 0 {
+			return fmt.Errorf("experiment: negative member count %d", m)
+		}
+	}
+	for _, l := range n.Loss {
+		if l < 0 || l >= 1 {
+			return fmt.Errorf("experiment: loss %g outside [0,1)", l)
+		}
+	}
+	for _, c := range n.Crash {
+		if c < 0 {
+			return fmt.Errorf("experiment: negative crash count %d", c)
+		}
+	}
+	for _, s := range n.Schemes {
+		// Resolve against the tallest hierarchy; ResolveScheme clamps
+		// deep IMS levels per cell, so the name is valid for all H.
+		maxH := 1
+		for _, h := range n.H {
+			if h > maxH {
+				maxH = h
+			}
+		}
+		if _, err := ResolveScheme(s, maxH); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size returns the number of cells Expand will produce.
+func (g Grid) Size() int {
+	n := g.normalized()
+	return len(n.H) * len(n.R) * len(n.Members) *
+		len(n.JoinRate) * len(n.LeaveRate) * len(n.FailRate) *
+		len(n.HopRate) * len(n.Loss) * len(n.Crash) *
+		len(n.Dissemination) * len(n.Schemes)
+}
+
+// Expand crosses every axis into the full cell list, in a fixed
+// nesting order (H outermost, Schemes innermost). The order is part of
+// the package contract: cell index determines the per-run seeds, so
+// the same Grid always expands to the same runs.
+func (g Grid) Expand() []Scenario {
+	n := g.normalized()
+	cells := make([]Scenario, 0, g.Size())
+	for _, h := range n.H {
+		for _, r := range n.R {
+			for _, m := range n.Members {
+				for _, join := range n.JoinRate {
+					for _, leave := range n.LeaveRate {
+						for _, fail := range n.FailRate {
+							for _, hop := range n.HopRate {
+								for _, loss := range n.Loss {
+									for _, crash := range n.Crash {
+										for _, diss := range n.Dissemination {
+											for _, scheme := range n.Schemes {
+												cells = append(cells, Scenario{
+													H: h, R: r, Members: m,
+													JoinRate: join, LeaveRate: leave, FailRate: fail,
+													HopRate: hop, Loss: loss, Crash: crash,
+													Dissemination: diss.String(),
+													Scheme:        scheme,
+													Duration:      n.Duration,
+													Queries:       n.Queries,
+												})
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}

@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/mathx"
+	"github.com/rgbproto/rgb/internal/metrics"
+)
+
+// Options controls sweep execution. None of the knobs here may change
+// the numbers a sweep produces — only how fast it produces them.
+type Options struct {
+	// Seeds is the number of independent seeded runs per cell
+	// (default 5).
+	Seeds int
+	// BaseSeed roots the per-run seed derivation (default 1).
+	BaseSeed uint64
+	// Workers sizes the worker pool; 0 selects runtime.NumCPU().
+	Workers int
+	// Progress, when non-nil, is called after every completed run with
+	// the number of finished runs and the total. Calls are serialized.
+	Progress func(done, total int)
+}
+
+func (o Options) normalized() Options {
+	if o.Seeds <= 0 {
+		o.Seeds = 5
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// Stat summarizes one metric over a cell's seeded runs.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// CI95 is the half-width of the normal-approximation 95% interval
+	// around Mean (1.96·σ/√n) — small seed counts understate it, but
+	// it orders cells consistently.
+	CI95 float64 `json:"ci95"`
+}
+
+func statOf(s *mathx.Summary) Stat {
+	st := Stat{Mean: s.Mean(), Std: s.StdDev(), Min: s.Min(), Max: s.Max()}
+	if s.N() > 1 {
+		st.CI95 = 1.96 * s.StdDev() / math.Sqrt(float64(s.N()))
+	}
+	return st
+}
+
+// QueryLatencySummary pools every query-latency sample of a cell's
+// runs (merged run histograms) into distribution percentiles.
+type QueryLatencySummary struct {
+	N      int     `json:"n"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// CellSummary is the aggregate of one grid cell over all its seeds.
+type CellSummary struct {
+	Scenario     Scenario            `json:"scenario"`
+	Seeds        int                 `json:"seeds"`
+	Metrics      map[string]Stat     `json:"metrics"`
+	QueryLatency QueryLatencySummary `json:"query_latency"`
+}
+
+// Report is a completed sweep. Its JSON form is bit-identical across
+// worker counts and machines for the same grid, seeds and base seed.
+type Report struct {
+	BaseSeed uint64        `json:"base_seed"`
+	Seeds    int           `json:"seeds"`
+	Cells    []CellSummary `json:"cells"`
+}
+
+// Sweep expands the grid, fans every (cell, seed) run over the worker
+// pool, and aggregates results in grid order. The runs array is
+// indexed by job number, so completion order — the only thing worker
+// count changes — never reaches the aggregation step.
+func Sweep(g Grid, opt Options) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.normalized()
+	cells := g.Expand()
+	total := len(cells) * opt.Seeds
+	runs := make([]RunResult, total)
+
+	var done int
+	var progressMu sync.Mutex
+	fanOut(total, opt.Workers, func(job int) {
+		cell, seedIdx := job/opt.Seeds, job%opt.Seeds
+		runs[job] = RunScenario(cells[cell], runSeed(opt.BaseSeed, cell, seedIdx))
+		if opt.Progress != nil {
+			// Count under the mutex so serialized calls see a
+			// monotonically increasing done value.
+			progressMu.Lock()
+			done++
+			opt.Progress(done, total)
+			progressMu.Unlock()
+		}
+	})
+
+	rep := &Report{BaseSeed: opt.BaseSeed, Seeds: opt.Seeds}
+	for ci, sc := range cells {
+		rep.Cells = append(rep.Cells, summarize(sc, runs[ci*opt.Seeds:(ci+1)*opt.Seeds]))
+	}
+	return rep, nil
+}
+
+// summarize folds one cell's seeded runs into per-metric statistics.
+func summarize(sc Scenario, runs []RunResult) CellSummary {
+	names := runs[0].Metrics()
+	summaries := make([]*mathx.Summary, len(names))
+	for i := range summaries {
+		summaries[i] = &mathx.Summary{}
+	}
+	pooledLat := &metrics.Histogram{}
+	for _, r := range runs {
+		for i, m := range r.Metrics() {
+			summaries[i].Add(m.Value)
+		}
+		pooledLat.Merge(r.QueryLatency)
+	}
+	out := CellSummary{
+		Scenario: sc,
+		Seeds:    len(runs),
+		Metrics:  make(map[string]Stat, len(names)),
+	}
+	for i, m := range names {
+		out.Metrics[m.Name] = statOf(summaries[i])
+	}
+	if pooledLat.N() > 0 {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		out.QueryLatency = QueryLatencySummary{
+			N:      pooledLat.N(),
+			MeanMs: ms(pooledLat.Mean()),
+			P50Ms:  ms(pooledLat.Percentile(0.5)),
+			P95Ms:  ms(pooledLat.Percentile(0.95)),
+			MaxMs:  ms(pooledLat.Max()),
+		}
+	}
+	return out
+}
+
+// fanOut runs job(0..n-1) over a pool of workers and returns when all
+// jobs finished. Jobs are claimed by atomic increment, so the worker
+// count affects scheduling only, never the set of jobs run.
+func fanOut(n, workers int, job func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Table renders the report as an aligned text table of headline
+// metrics, one row per cell.
+func (rep *Report) Table() string {
+	tb := metrics.NewTable(
+		"cell", "runs", "delivered", "prop.hops", "rounds", "repairs",
+		"fw", "members", "miss", "q.msgs", "q.p95ms")
+	for _, c := range rep.Cells {
+		m := c.Metrics
+		tb.AddRow(
+			c.Scenario.Name(),
+			c.Seeds,
+			meanStd(m["messages.delivered"]),
+			meanStd(m["hops.propagation"]),
+			meanStd(m["rounds"]),
+			meanStd(m["repairs"]),
+			fmt.Sprintf("%.3f", m["fw.rings"].Mean),
+			fmt.Sprintf("%.1f/%.1f", m["members.final"].Mean, m["members.expected"].Mean),
+			fmt.Sprintf("%.1f", m["members.missing"].Mean+m["members.extra"].Mean),
+			fmt.Sprintf("%.1f", m["query.msgs"].Mean),
+			fmt.Sprintf("%.2f", c.QueryLatency.P95Ms),
+		)
+	}
+	return tb.String()
+}
+
+func meanStd(s Stat) string {
+	return fmt.Sprintf("%.1f±%.1f", s.Mean, s.Std)
+}

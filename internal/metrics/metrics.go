@@ -73,6 +73,23 @@ func (h *Histogram) Max() time.Duration {
 	return max
 }
 
+// Snapshot returns a copy of the raw observations in insertion order.
+func (h *Histogram) Snapshot() []time.Duration {
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// Merge folds every observation of other into h. The receiver then
+// summarizes the union of both sample sets; other is unchanged.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	h.samples = append(h.samples, other.samples...)
+	h.sum += other.sum
+}
+
 // String renders "n=.. mean=.. p50=.. p99=.. max=..".
 func (h *Histogram) String() string {
 	if len(h.samples) == 0 {
@@ -90,8 +107,13 @@ type Counters struct {
 // NewCounters returns an empty set.
 func NewCounters() *Counters { return &Counters{values: map[string]int64{}} }
 
-// Add increments a counter.
-func (c *Counters) Add(name string, delta int64) { c.values[name] += delta }
+// Add increments a counter. The zero value is usable.
+func (c *Counters) Add(name string, delta int64) {
+	if c.values == nil {
+		c.values = map[string]int64{}
+	}
+	c.values[name] += delta
+}
 
 // Get reads a counter.
 func (c *Counters) Get(name string) int64 { return c.values[name] }
@@ -104,6 +126,27 @@ func (c *Counters) Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Snapshot returns a copy of the counter values, suitable for
+// aggregation after the Counters' producer has moved on.
+func (c *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.values))
+	for k, v := range c.values {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter of other into c (missing names are
+// created); other is unchanged.
+func (c *Counters) Merge(other *Counters) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.values {
+		c.Add(k, v)
+	}
 }
 
 // String renders "a=1 b=2" in name order.

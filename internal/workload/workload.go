@@ -149,6 +149,39 @@ func Churn(aps []ids.NodeID, cfg ChurnConfig, firstGUID ids.GUID) Trace {
 	return tr
 }
 
+// Spec bundles everything needed to construct one scenario trace:
+// Poisson churn plus, when HopRate is positive, Markov cell-hopping
+// mobility over a square grid of the target APs. It is the
+// construction hook the experiment sweeper drives — one Spec, one
+// deterministic Trace.
+type Spec struct {
+	Churn    ChurnConfig
+	HopRate  float64 // expected cell hops per second per host; 0 = static hosts
+	CellSize float64 // grid cell edge in meters; 0 selects 100m
+}
+
+// Build constructs the merged churn+mobility trace for the Spec over
+// the given APs. The mobility stream derives its seed from the churn
+// seed so a Spec maps to exactly one trace.
+func Build(aps []ids.NodeID, spec Spec, firstGUID ids.GUID) Trace {
+	tr := Churn(aps, spec.Churn, firstGUID)
+	if spec.HopRate > 0 && spec.Churn.InitialMembers > 0 {
+		cell := spec.CellSize
+		if cell <= 0 {
+			cell = 100
+		}
+		grid := mobility.NewGrid(aps, cell)
+		hops := mobility.MarkovHop(grid, mobility.MarkovConfig{
+			Hosts:    spec.Churn.InitialMembers,
+			HopRate:  spec.HopRate,
+			Duration: spec.Churn.Duration,
+			Seed:     spec.Churn.Seed ^ 0x5bd1e995cc9e2d51,
+		}, firstGUID)
+		tr = WithMobility(tr, hops)
+	}
+	return tr
+}
+
 // WithMobility merges a handoff trace (from the mobility package) into
 // a scenario. Handoffs for members that are not yet joined (or have
 // left) are dropped by the runner, not here, to keep generation cheap.
