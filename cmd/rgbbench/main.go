@@ -1,0 +1,147 @@
+// Command rgbbench is the repo's benchmark-trajectory harness: it runs
+// the tier-1 benchmark suite with -benchmem, parses the results into a
+// machine-readable BENCH_RGB.json ({ns/op, B/op, allocs/op, and any
+// custom metric such as hops/op} per benchmark), and — given a
+// baseline file from an earlier commit — prints an aligned
+// old/new/delta table so performance work ships with its evidence.
+//
+// Typical use:
+//
+//	rgbbench -benchtime 100x -out BENCH_RGB.json
+//	rgbbench -benchtime 100x -baseline old.json -out BENCH_RGB.json
+//	rgbbench -bench 'TokenRound|HierarchyBuild' -benchtime 300x
+//
+// The command shells out to `go test`, so it needs the go toolchain —
+// the same requirement as running the benchmarks by hand.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"github.com/rgbproto/rgb/internal/metrics"
+)
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (e.g. 100x, 1s)")
+	count := flag.Int("count", 1, "go test -count value")
+	pkg := flag.String("pkg", ".", "package pattern holding the benchmark suite")
+	timeout := flag.String("timeout", "30m", "go test -timeout value")
+	out := flag.String("out", "BENCH_RGB.json", "write the JSON report here ('-' = stdout, '' = skip)")
+	baseline := flag.String("baseline", "", "compare against this earlier BENCH_RGB.json")
+	input := flag.String("input", "", "parse this saved 'go test -bench' output instead of running the suite")
+	quiet := flag.Bool("quiet", false, "suppress the raw go test output")
+	flag.Parse()
+
+	if err := run(*bench, *benchtime, *count, *pkg, *timeout, *out, *baseline, *input, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "rgbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime string, count int, pkg, timeout, out, baseline, input string, quiet bool) error {
+	var raw []byte
+	if input != "" {
+		var err error
+		if raw, err = os.ReadFile(input); err != nil {
+			return err
+		}
+	} else {
+		args := []string{
+			"test", "-run", "^$",
+			"-bench", bench,
+			"-benchmem",
+			"-benchtime", benchtime,
+			"-count", fmt.Sprint(count),
+			"-timeout", timeout,
+			pkg,
+		}
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		var err error
+		raw, err = cmd.Output()
+		if !quiet {
+			os.Stderr.Write(raw)
+		}
+		if err != nil {
+			return fmt.Errorf("go %v: %w", args, err)
+		}
+	}
+
+	rep, err := parseBenchOutput(string(raw))
+	if err != nil {
+		return err
+	}
+
+	if out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if out == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(out, buf, 0o644); err != nil {
+			return err
+		} else {
+			fmt.Fprintf(os.Stderr, "rgbbench: wrote %d benchmarks to %s\n", len(rep.Benchmarks), out)
+		}
+	}
+
+	if baseline != "" {
+		oldRep, err := loadReport(baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		printDiff(os.Stdout, oldRep, rep)
+	}
+	return nil
+}
+
+func loadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// printDiff renders the old/new/delta comparison table.
+func printDiff(w *os.File, oldRep, newRep *Report) {
+	rows, onlyOld, onlyNew := diffReports(oldRep, newRep)
+	tb := metrics.NewTable(
+		"benchmark",
+		"ns/op(old)", "ns/op(new)", "Δns",
+		"B/op(old)", "B/op(new)", "ΔB",
+		"allocs(old)", "allocs(new)", "Δallocs",
+	)
+	for _, r := range rows {
+		cells := []any{r.name}
+		for i := range diffMetrics {
+			if !r.has[i] {
+				cells = append(cells, "-", "-", "-")
+				continue
+			}
+			cells = append(cells,
+				fmt.Sprintf("%.0f", r.old[i]),
+				fmt.Sprintf("%.0f", r.new[i]),
+				deltaPercent(r.old[i], r.new[i]))
+		}
+		tb.AddRow(cells...)
+	}
+	fmt.Fprint(w, tb.String())
+	for _, n := range onlyOld {
+		fmt.Fprintf(w, "removed: %s\n", n)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(w, "added:   %s\n", n)
+	}
+}

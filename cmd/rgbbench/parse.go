@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result: the canonical name (the
+// -GOMAXPROCS suffix stripped) and every reported metric, including
+// custom ones like hops/op or fw%.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_RGB.json payload: the machine context printed by
+// the benchmark header plus every benchmark in output order.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Lookup returns the benchmark with the given name.
+func (r *Report) Lookup(name string) (Benchmark, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// parseBenchOutput parses `go test -bench -benchmem` output. Unparsable
+// lines (test chatter, PASS/ok trailers) are skipped; header lines fill
+// the report context.
+func parseBenchOutput(out string) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in output")
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkTokenRound/r=50-8   200   75729 ns/op   45610 B/op   526 allocs/op   35.00 hops/op
+//
+// into a Benchmark. It reports false for lines that only look like
+// results (e.g. "BenchmarkFoo" alone on a line before its result).
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:    stripProcSuffix(fields[0]),
+		Iters:   iters,
+		Metrics: make(map[string]float64),
+	}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// stripProcSuffix removes the trailing -GOMAXPROCS marker
+// ("BenchmarkX/r=50-8" -> "BenchmarkX/r=50") so names are stable
+// across machines.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// diffMetrics is the fixed column order of the baseline comparison.
+var diffMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
+// diffRow is one line of the baseline comparison.
+type diffRow struct {
+	name     string
+	old, new [3]float64 // indexed like diffMetrics
+	has      [3]bool
+}
+
+// diffReports matches benchmarks by name and computes old/new pairs
+// for the standard metrics. Benchmarks present on only one side are
+// listed in onlyOld/onlyNew.
+func diffReports(oldRep, newRep *Report) (rows []diffRow, onlyOld, onlyNew []string) {
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldRep.Lookup(nb.Name)
+		if !ok {
+			onlyNew = append(onlyNew, nb.Name)
+			continue
+		}
+		row := diffRow{name: nb.Name}
+		for i, m := range diffMetrics {
+			ov, okO := ob.Metrics[m]
+			nv, okN := nb.Metrics[m]
+			if okO && okN {
+				row.old[i], row.new[i], row.has[i] = ov, nv, true
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if _, ok := newRep.Lookup(ob.Name); !ok {
+			onlyOld = append(onlyOld, ob.Name)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return rows, onlyOld, onlyNew
+}
+
+// deltaPercent formats the relative change from old to new.
+func deltaPercent(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "±0.0%"
+		}
+		return "n/a"
+	}
+	d := (new - old) / old * 100
+	switch {
+	case d > 0:
+		return fmt.Sprintf("+%.1f%%", d)
+	case d < 0:
+		return fmt.Sprintf("%.1f%%", d)
+	default:
+		return "±0.0%"
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/rgbproto/rgb
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTableI_Ring/n=25/h=2/r=5         	     300	     59243 ns/op	        35.00 hops/op	   33147 B/op	     420 allocs/op
+BenchmarkTokenRound/r=50-8                	     300	     89880 ns/op	   51990 B/op	     524 allocs/op
+BenchmarkMQInsert/aggregated              	     300	       165.5 ns/op	     210 B/op	       0 allocs/op
+PASS
+ok  	github.com/rgbproto/rgb	59.840s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "github.com/rgbproto/rgb" {
+		t.Fatalf("header context wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkTableI_Ring/n=25/h=2/r=5" || b.Iters != 300 {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 59243, "hops/op": 35, "B/op": 33147, "allocs/op": 420,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("%s = %g, want %g", unit, got, want)
+		}
+	}
+
+	// The -8 GOMAXPROCS suffix must be stripped; r=50 is not a proc
+	// suffix and must survive.
+	if got := rep.Benchmarks[1].Name; got != "BenchmarkTokenRound/r=50" {
+		t.Fatalf("proc suffix not stripped: %q", got)
+	}
+	if got := rep.Benchmarks[2].Metrics["ns/op"]; got != 165.5 {
+		t.Fatalf("fractional ns/op = %g", got)
+	}
+}
+
+func TestParseBenchOutputEmpty(t *testing.T) {
+	if _, err := parseBenchOutput("PASS\nok x 1s\n"); err == nil {
+		t.Fatal("expected error for output without benchmarks")
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":              "BenchmarkX",
+		"BenchmarkX-16":             "BenchmarkX",
+		"BenchmarkX":                "BenchmarkX",
+		"BenchmarkX/r=50-8":         "BenchmarkX/r=50",
+		"BenchmarkHandoff/no-lists": "BenchmarkHandoff/no-lists",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDiffReports(t *testing.T) {
+	oldRep := &Report{Benchmarks: []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 100, "B/op": 1000, "allocs/op": 50}},
+		{Name: "Gone", Metrics: map[string]float64{"ns/op": 1}},
+	}}
+	newRep := &Report{Benchmarks: []Benchmark{
+		{Name: "A", Metrics: map[string]float64{"ns/op": 50, "B/op": 1500, "allocs/op": 50}},
+		{Name: "New", Metrics: map[string]float64{"ns/op": 2}},
+	}}
+	rows, onlyOld, onlyNew := diffReports(oldRep, newRep)
+	if len(rows) != 1 || rows[0].name != "A" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if got := deltaPercent(rows[0].old[0], rows[0].new[0]); got != "-50.0%" {
+		t.Errorf("ns delta = %s", got)
+	}
+	if got := deltaPercent(rows[0].old[1], rows[0].new[1]); got != "+50.0%" {
+		t.Errorf("B delta = %s", got)
+	}
+	if got := deltaPercent(rows[0].old[2], rows[0].new[2]); got != "±0.0%" {
+		t.Errorf("allocs delta = %s", got)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "Gone" || len(onlyNew) != 1 || onlyNew[0] != "New" {
+		t.Fatalf("onlyOld=%v onlyNew=%v", onlyOld, onlyNew)
+	}
+}
+
+func TestDeltaPercentZeroBaseline(t *testing.T) {
+	if got := deltaPercent(0, 0); got != "±0.0%" {
+		t.Errorf("0->0 = %s", got)
+	}
+	if got := deltaPercent(0, 5); got != "n/a" {
+		t.Errorf("0->5 = %s", got)
+	}
+}

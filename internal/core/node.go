@@ -39,21 +39,29 @@ type Node struct {
 	parentOK bool
 	childOK  bool
 
-	// The membership lists of Section 4.2.
-	local     *ids.MemberList // ListOfLocalMembers (bottommost tier)
-	ringMems  *ids.MemberList // ListOfRingMembers (coverage of this ring)
-	neighbors *ids.MemberList // ListOfNeighborMembers (fast handoff)
-	global    *ids.MemberList // full membership under DisseminateFull
+	// The membership lists of Section 4.2, embedded by value (the zero
+	// MemberList is ready to use) so building a node costs no per-list
+	// allocation.
+	local     ids.MemberList // ListOfLocalMembers (bottommost tier)
+	ringMems  ids.MemberList // ListOfRingMembers (coverage of this ring)
+	neighbors ids.MemberList // ListOfNeighborMembers (fast handoff)
+	global    ids.MemberList // full membership under DisseminateFull
 
 	// queue is the MQ of Section 4.2.
 	queue *mq.Queue
 
-	// Token engine state.
-	roundSeq   uint64
-	inFlight   *token.PassState // outstanding pass awaiting passAck
-	passTimer  *des.Event
-	notifySeq  uint64
-	notifyWait map[uint64]*notifyRetry
+	// Token engine state. inFlight is stored by value (inFlightSet
+	// marks occupancy) so arming a pass allocates nothing.
+	roundSeq    uint64
+	inFlight    token.PassState // outstanding pass awaiting passAck
+	inFlightSet bool
+	passTimer   des.Handle
+	notifySeq   uint64
+	notifyWait  map[uint64]*notifyRetry // lazily allocated on first notify
+
+	// ackScratch is the per-round deduplication scratch reused by
+	// completeRound.
+	ackScratch []ids.NodeID
 
 	// lastTok identifies the most recently processed token so a
 	// duplicate delivery (lost passAck followed by retransmission)
@@ -67,13 +75,21 @@ type Node struct {
 	repairsDone     uint64
 }
 
-// notifyRetry tracks an unacknowledged notification.
+// notifyRetry tracks an unacknowledged notification. It carries its
+// owning node so the shared timeout callback needs no closure.
 type notifyRetry struct {
+	node    *Node
 	msg     notifyMsg
 	to      ids.NodeID
 	retries int
-	timer   *des.Event
+	timer   des.Handle
 }
+
+// Shared closure-free timer callbacks: the kernel invokes these with
+// the owning object, so arming a retransmission timer allocates
+// nothing.
+func passTimeoutCB(a any)   { a.(*Node).passTimedOut() }
+func notifyTimeoutCB(a any) { a.(*notifyRetry).timedOut() }
 
 // ID returns the node's identity.
 func (n *Node) ID() ids.NodeID { return n.id }
@@ -107,17 +123,17 @@ func (n *Node) ParentOK() bool { return n.parentOK }
 func (n *Node) ChildOK() bool { return n.childOK }
 
 // LocalMembers returns the ListOfLocalMembers.
-func (n *Node) LocalMembers() *ids.MemberList { return n.local }
+func (n *Node) LocalMembers() *ids.MemberList { return &n.local }
 
 // RingMembers returns the ListOfRingMembers.
-func (n *Node) RingMembers() *ids.MemberList { return n.ringMems }
+func (n *Node) RingMembers() *ids.MemberList { return &n.ringMems }
 
 // NeighborMembers returns the ListOfNeighborMembers.
-func (n *Node) NeighborMembers() *ids.MemberList { return n.neighbors }
+func (n *Node) NeighborMembers() *ids.MemberList { return &n.neighbors }
 
 // GlobalMembers returns the node's full-group list (maintained under
 // DisseminateFull).
-func (n *Node) GlobalMembers() *ids.MemberList { return n.global }
+func (n *Node) GlobalMembers() *ids.MemberList { return &n.global }
 
 // Queue exposes the node's MQ (primarily for tests and metrics).
 func (n *Node) Queue() *mq.Queue { return n.queue }
@@ -280,8 +296,9 @@ func (n *Node) startRound(dir token.Direction, source ring.ID, extra mq.Batch) {
 	n.execute(tok)
 	// Fix the itinerary: the holder's (now updated) view of the ring,
 	// rotated to start here, so the round's coverage does not depend
-	// on other members' possibly-divergent views.
-	route := make([]ids.NodeID, 0, len(n.roster))
+	// on other members' possibly-divergent views. Built in place — the
+	// route slice is owned by the token for the round's lifetime.
+	route := make([]ids.NodeID, len(n.roster))
 	start := 0
 	for i, m := range n.roster {
 		if m == n.id {
@@ -289,10 +306,10 @@ func (n *Node) startRound(dir token.Direction, source ring.ID, extra mq.Batch) {
 			break
 		}
 	}
-	for i := 0; i < len(n.roster); i++ {
-		route = append(route, n.roster[(start+i)%len(n.roster)])
+	for i := range n.roster {
+		route[i] = n.roster[(start+i)%len(n.roster)]
 	}
-	tok.SetRoute(route)
+	tok.Route = route
 	n.passToken(tok)
 }
 
@@ -441,29 +458,29 @@ func (n *Node) passToken(tok *token.Token) {
 		return
 	}
 	tok.Hops++
-	n.inFlight = &token.PassState{Token: tok, To: next}
+	n.inFlight = token.PassState{Token: tok, To: next}
+	n.inFlightSet = true
 	n.sendTokenAttempt()
 }
 
 // sendTokenAttempt (re)sends the in-flight token and arms the
-// retransmission timer.
+// retransmission timer through the kernel's closure-free path.
 func (n *Node) sendTokenAttempt() {
-	ps := n.inFlight
-	if ps == nil {
+	if !n.inFlightSet {
 		return
 	}
-	n.sys.send(n.id, ps.To, simnet.KindToken, tokenMsg{Tok: ps.Token})
-	n.passTimer = n.sys.kernel.After(n.sys.cfg.RetransmitTimeout, func() { n.passTimedOut() })
+	n.sys.send(n.id, n.inFlight.To, simnet.KindToken, tokenMsg{Tok: n.inFlight.Token})
+	n.passTimer = n.sys.kernel.AfterCall(n.sys.cfg.RetransmitTimeout, passTimeoutCB, n)
 }
 
 // passTimedOut implements the token retransmission scheme: resend up
 // to the policy budget, then declare the successor faulty, repair the
 // ring locally, and route around it.
 func (n *Node) passTimedOut() {
-	ps := n.inFlight
-	if ps == nil {
+	if !n.inFlightSet {
 		return
 	}
+	ps := &n.inFlight
 	if !ps.Exhausted(n.sys.cfg.Retransmit) {
 		ps.Retries++
 		n.sendTokenAttempt()
@@ -486,27 +503,33 @@ func (n *Node) passTimedOut() {
 		tok.Holder = n.id
 	}
 	if len(tok.Route) <= 1 {
-		n.inFlight = nil
+		n.clearInFlight()
 		n.completeRound(tok)
 		return
 	}
 	next := tok.NextOnRoute(n.id)
 	if next == n.id {
-		n.inFlight = nil
+		n.clearInFlight()
 		n.completeRound(tok)
 		return
 	}
-	n.inFlight = &token.PassState{Token: tok, To: next}
+	n.inFlight = token.PassState{Token: tok, To: next}
+	n.inFlightSet = true
 	n.sendTokenAttempt()
+}
+
+// clearInFlight drops the outstanding pass (releasing the token
+// reference) without touching the timer.
+func (n *Node) clearInFlight() {
+	n.inFlight = token.PassState{}
+	n.inFlightSet = false
 }
 
 // receivePassAck clears the retransmission state.
 func (n *Node) receivePassAck(passAck) {
-	if n.passTimer != nil {
-		n.sys.kernel.Cancel(n.passTimer)
-		n.passTimer = nil
-	}
-	n.inFlight = nil
+	n.sys.kernel.Cancel(n.passTimer)
+	n.passTimer = des.Handle{}
+	n.clearInFlight()
 }
 
 // completeRound closes the round at the holder: Holder-Acknowledgement
@@ -516,15 +539,24 @@ func (n *Node) receivePassAck(passAck) {
 func (n *Node) completeRound(tok *token.Token) {
 	n.roundsCompleted++
 	n.ringOK = true
-	// Acknowledge distinct originators (Figure 3 lines 17-20).
-	acked := map[ids.NodeID]bool{}
+	// Acknowledge distinct originators (Figure 3 lines 17-20). The
+	// dedup scratch lives on the node: batches are small (a linear scan
+	// beats a map) and the buffer is reused across rounds.
+	acked := n.ackScratch[:0]
+ops:
 	for _, c := range tok.Ops {
-		if c.ReplyTo.IsZero() || acked[c.ReplyTo] || c.ReplyTo == n.id {
+		if c.ReplyTo.IsZero() || c.ReplyTo == n.id {
 			continue
 		}
-		acked[c.ReplyTo] = true
+		for _, a := range acked {
+			if a == c.ReplyTo {
+				continue ops
+			}
+		}
+		acked = append(acked, c.ReplyTo)
 		n.sys.send(n.id, c.ReplyTo, simnet.KindAck, holderAck{Ring: n.ringID, Round: tok.Round, Count: len(tok.Ops)})
 	}
+	n.ackScratch = acked[:0]
 	n.sys.roundDone(n, tok, tok.Repaired)
 }
 
@@ -550,27 +582,35 @@ func (n *Node) receiveNotify(m notifyMsg, from ids.NodeID) {
 func (n *Node) sendNotify(to ids.NodeID, m notifyMsg) {
 	n.notifySeq++
 	m.Seq = n.notifySeq
-	retry := &notifyRetry{msg: m, to: to}
+	retry := &notifyRetry{node: n, msg: m, to: to}
+	if n.notifyWait == nil {
+		n.notifyWait = make(map[uint64]*notifyRetry)
+	}
 	n.notifyWait[m.Seq] = retry
 	n.sendNotifyAttempt(retry)
 }
 
 func (n *Node) sendNotifyAttempt(retry *notifyRetry) {
 	n.sys.send(n.id, retry.to, simnet.KindNotify, retry.msg)
-	retry.timer = n.sys.kernel.After(n.sys.cfg.RetransmitTimeout, func() {
-		if retry.retries < n.sys.cfg.Retransmit.MaxRetries {
-			retry.retries++
-			n.sendNotifyAttempt(retry)
-			return
-		}
-		delete(n.notifyWait, retry.msg.Seq)
-		// Mark the failed direction.
-		if retry.msg.Up {
-			n.parentOK = false
-		} else if retry.to == n.childLeader {
-			n.childOK = false
-		}
-	})
+	retry.timer = n.sys.kernel.AfterCall(n.sys.cfg.RetransmitTimeout, notifyTimeoutCB, retry)
+}
+
+// timedOut is the notification retransmission timer body: resend up to
+// the policy budget, then give up and mark the failed direction.
+func (r *notifyRetry) timedOut() {
+	n := r.node
+	if r.retries < n.sys.cfg.Retransmit.MaxRetries {
+		r.retries++
+		n.sendNotifyAttempt(r)
+		return
+	}
+	delete(n.notifyWait, r.msg.Seq)
+	// Mark the failed direction.
+	if r.msg.Up {
+		n.parentOK = false
+	} else if r.to == n.childLeader {
+		n.childOK = false
+	}
 }
 
 func (n *Node) receiveNotifyAck(a notifyAck) {

@@ -101,50 +101,54 @@ func NewSystem(cfg Config) *System {
 	if cfg.Loss > 0 {
 		net.SetLoss(cfg.Loss)
 	}
+	hier := topology.NewRingHierarchy(cfg.H, cfg.R)
+	// Count entities and index ring leaders up front: the arena below
+	// holds every Node in one allocation, and child-leader lookup drops
+	// from a per-node level scan to one map hit.
+	total := 0
+	leaderOf := make(map[ring.ID]ids.NodeID)
+	for _, rg := range hier.Rings() {
+		total += rg.Size()
+		leaderOf[rg.ID()] = rg.Leader()
+	}
 	s := &System{
 		cfg:         cfg,
 		kernel:      kernel,
 		net:         net,
-		hier:        topology.NewRingHierarchy(cfg.H, cfg.R),
+		hier:        hier,
 		rng:         mathx.NewRNG(cfg.Seed ^ 0x9b2e5f4ac3d17086),
-		nodes:       make(map[ids.NodeID]*Node),
+		nodes:       make(map[ids.NodeID]*Node, total),
 		members:     make(map[ids.GUID]*Member),
-		ringBusy:    make(map[ring.ID]bool),
-		ringPending: make(map[ring.ID][]pendingRound),
+		ringBusy:    make(map[ring.ID]bool, len(leaderOf)),
+		ringPending: make(map[ring.ID][]pendingRound, len(leaderOf)),
 		luidSeq:     make(map[ids.NodeID]uint32),
 		staleNE:     make(map[ids.NodeID]bool),
 	}
+	arena := make([]Node, total)
+	next := 0
 	for level := 0; level < s.hier.NumLevels(); level++ {
 		for _, rg := range s.hier.Level(level) {
 			parent := s.hier.ParentOf(rg.ID())
 			for _, id := range rg.Nodes() {
-				n := &Node{
-					sys:        s,
-					id:         id,
-					level:      level,
-					ringID:     rg.ID(),
-					roster:     rg.Nodes(),
-					leader:     rg.Leader(),
-					parent:     parent,
-					ringOK:     true,
-					parentOK:   !parent.IsZero(),
-					local:      ids.NewMemberList(),
-					ringMems:   ids.NewMemberList(),
-					neighbors:  ids.NewMemberList(),
-					global:     ids.NewMemberList(),
-					queue:      mq.New(cfg.Aggregate),
-					notifyWait: make(map[uint64]*notifyRetry),
+				n := &arena[next]
+				next++
+				*n = Node{
+					sys:      s,
+					id:       id,
+					level:    level,
+					ringID:   rg.ID(),
+					roster:   rg.Nodes(),
+					leader:   rg.Leader(),
+					parent:   parent,
+					ringOK:   true,
+					parentOK: !parent.IsZero(),
+					queue:    mq.New(cfg.Aggregate),
 				}
 				if child, ok := s.hier.ChildRingOf(id); ok {
 					n.hasChild = true
 					n.childRing = child
 					n.childOK = true
-					// The child ring's initial leader.
-					for _, crg := range s.hier.Level(level + 1) {
-						if crg.ID() == child {
-							n.childLeader = crg.Leader()
-						}
-					}
+					n.childLeader = leaderOf[child]
 				}
 				s.nodes[id] = n
 				net.Register(id, n)

@@ -12,10 +12,21 @@
 //     simulated protocol is *modeled* (concurrent tokens in different
 //     rings are interleaved events), which is how discrete-event
 //     simulators for parallel systems conventionally work.
+//
+// Performance rules (the kernel is the innermost loop of every
+// simulation, so its layout is deliberate):
+//   - events live by value in a slot arena recycled through a free
+//     list — scheduling does not allocate once the arena is warm;
+//   - the priority queue is an indexed 4-ary min-heap of slot indices
+//     (shallower than a binary heap, no interface{} boxing);
+//   - Cancel removes the event from the heap eagerly via its tracked
+//     heap position — cancelled events never linger as tombstones;
+//   - the AtCall/AfterCall path schedules a shared func(any) callback
+//     plus an argument, so steady-state timers (retransmissions,
+//     message deliveries, tickers) need no per-event closure.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -42,59 +53,39 @@ func (t Time) String() string { return time.Duration(t).String() }
 // MaxTime is the largest representable virtual time.
 const MaxTime Time = math.MaxInt64
 
-// Event is a scheduled callback.
-type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	fired  bool
-	cancel bool
-	index  int // heap index, -1 once popped
+// Handle names a scheduled event. The zero Handle refers to no event,
+// and every operation on it is a no-op — convenient for timer fields
+// that are "empty" between arms. A Handle stays valid after its event
+// fires or is cancelled: the slot's generation is bumped on release,
+// so a stale Handle can never touch the slot's next occupant.
+type Handle struct {
+	id  uint32 // slot index + 1; 0 marks the zero Handle
+	gen uint32 // slot generation the handle was issued for
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.cancel }
+// Valid reports whether the handle was issued by a kernel (as opposed
+// to the zero Handle). It says nothing about whether the event is
+// still pending; use Kernel.Live for that.
+func (h Handle) Valid() bool { return h.id != 0 }
 
-// Fired reports whether the event has already run.
-func (e *Event) Fired() bool { return e.fired }
-
-// Time returns the virtual time the event is (or was) scheduled for.
-func (e *Event) Time() Time { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// slot is one event stored by value in the kernel's arena.
+type slot struct {
+	at   Time
+	seq  uint64
+	gen  uint32
+	pos  int32     // index into Kernel.heap while queued; -1 otherwise
+	fn   func()    // closure path (nil when the call path is used)
+	call func(any) // closure-free path: shared callback...
+	arg  any       // ...plus its argument
 }
 
 // Kernel is the simulation engine. The zero value is not usable; call
 // NewKernel.
 type Kernel struct {
 	now     Time
-	queue   eventHeap
+	slots   []slot   // event arena, indexed by Handle.id-1
+	heap    []uint32 // 4-ary min-heap of slot indices, ordered by (at, seq)
+	free    []uint32 // stack of released slot indices
 	seq     uint64
 	stepped uint64 // events executed so far
 	stopped bool
@@ -108,63 +99,210 @@ func NewKernel() *Kernel {
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Pending returns the number of events still queued (including
-// cancelled events not yet discarded).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending returns the number of events still queued. Cancelled events
+// are removed eagerly and never counted.
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // Executed returns the number of events run so far.
 func (k *Kernel) Executed() uint64 { return k.stepped }
 
+// Live reports whether the event named by h is still queued (not yet
+// fired, not cancelled).
+func (k *Kernel) Live(h Handle) bool {
+	if h.id == 0 || int(h.id-1) >= len(k.slots) {
+		return false
+	}
+	return k.slots[h.id-1].gen == h.gen
+}
+
 // At schedules fn to run at the absolute virtual time at. Scheduling
 // in the past (before Now) panics: that is always a protocol bug, and
 // silently clamping it would hide causality violations.
-func (k *Kernel) At(at Time, fn func()) *Event {
-	if at < k.now {
-		panic(fmt.Sprintf("des: scheduling at %v which is before now %v", at, k.now))
-	}
+func (k *Kernel) At(at Time, fn func()) Handle {
 	if fn == nil {
 		panic("des: scheduling nil callback")
 	}
-	e := &Event{at: at, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	return k.schedule(at, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time. Negative d
 // panics.
-func (k *Kernel) After(d time.Duration, fn func()) *Event {
+func (k *Kernel) After(d time.Duration, fn func()) Handle {
 	if d < 0 {
 		panic("des: negative delay")
 	}
 	return k.At(k.now.Add(d), fn)
 }
 
-// Cancel marks the event so it will not fire. Cancelling an event that
-// already fired (or is already cancelled) is a harmless no-op, which is
-// the convenient semantics for retransmission timers.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.fired {
+// AtCall schedules fn(arg) at the absolute virtual time at. This is
+// the closure-free path: fn is typically a shared package-level or
+// per-object function, and arg a pointer, so arming the event
+// allocates nothing.
+func (k *Kernel) AtCall(at Time, fn func(any), arg any) Handle {
+	if fn == nil {
+		panic("des: scheduling nil callback")
+	}
+	return k.schedule(at, nil, fn, arg)
+}
+
+// AfterCall schedules fn(arg) to run d after the current time.
+// Negative d panics.
+func (k *Kernel) AfterCall(d time.Duration, fn func(any), arg any) Handle {
+	if d < 0 {
+		panic("des: negative delay")
+	}
+	return k.AtCall(k.now.Add(d), fn, arg)
+}
+
+// schedule stores the event in a recycled slot and pushes it onto the
+// heap.
+func (k *Kernel) schedule(at Time, fn func(), call func(any), arg any) Handle {
+	if at < k.now {
+		panic(fmt.Sprintf("des: scheduling at %v which is before now %v", at, k.now))
+	}
+	var i uint32
+	if n := len(k.free); n > 0 {
+		i = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slots = append(k.slots, slot{})
+		i = uint32(len(k.slots) - 1)
+	}
+	s := &k.slots[i]
+	s.at = at
+	s.seq = k.seq
+	k.seq++
+	s.fn, s.call, s.arg = fn, call, arg
+	s.pos = int32(len(k.heap))
+	k.heap = append(k.heap, i)
+	k.siftUp(len(k.heap) - 1)
+	return Handle{id: i + 1, gen: s.gen}
+}
+
+// release returns a slot to the free list and bumps its generation so
+// outstanding handles go stale.
+func (k *Kernel) release(i uint32) {
+	s := &k.slots[i]
+	s.gen++
+	s.pos = -1
+	s.fn, s.call, s.arg = nil, nil, nil
+	k.free = append(k.free, i)
+}
+
+// Cancel removes the event from the queue so it will not fire, and
+// reports whether it did. Cancelling the zero Handle, or an event that
+// already fired or was already cancelled, is a harmless no-op — the
+// convenient semantics for retransmission timers.
+func (k *Kernel) Cancel(h Handle) bool {
+	if h.id == 0 || int(h.id-1) >= len(k.slots) {
+		return false
+	}
+	i := h.id - 1
+	s := &k.slots[i]
+	if s.gen != h.gen || s.pos < 0 {
+		return false
+	}
+	k.removeHeapAt(int(s.pos))
+	k.release(i)
+	return true
+}
+
+// less orders two queued slots by (at, seq).
+func (k *Kernel) less(a, b uint32) bool {
+	sa, sb := &k.slots[a], &k.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// siftUp restores the heap invariant upward from position i, moving
+// the hole instead of swapping. Reports whether the entry moved.
+func (k *Kernel) siftUp(i int) bool {
+	h := k.heap
+	id := h[i]
+	moved := false
+	for i > 0 {
+		p := (i - 1) / 4
+		if !k.less(id, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		k.slots[h[i]].pos = int32(i)
+		i = p
+		moved = true
+	}
+	h[i] = id
+	k.slots[id].pos = int32(i)
+	return moved
+}
+
+// siftDown restores the heap invariant downward from position i.
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	id := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		best := c
+		for j := c + 1; j < end; j++ {
+			if k.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !k.less(h[best], id) {
+			break
+		}
+		h[i] = h[best]
+		k.slots[h[i]].pos = int32(i)
+		i = best
+	}
+	h[i] = id
+	k.slots[id].pos = int32(i)
+}
+
+// removeHeapAt deletes the heap entry at position i, refilling the gap
+// with the last entry and restoring the invariant in both directions.
+func (k *Kernel) removeHeapAt(i int) {
+	n := len(k.heap) - 1
+	last := k.heap[n]
+	k.heap = k.heap[:n]
+	if i == n {
 		return
 	}
-	e.cancel = true
+	k.heap[i] = last
+	k.slots[last].pos = int32(i)
+	if !k.siftUp(i) {
+		k.siftDown(i)
+	}
 }
 
 // Step runs the single earliest pending event. It reports false when
 // the queue is empty.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.cancel {
-			continue
-		}
-		k.now = e.at
-		e.fired = true
-		k.stepped++
-		e.fn()
-		return true
+	if len(k.heap) == 0 {
+		return false
 	}
-	return false
+	i := k.heap[0]
+	s := &k.slots[i]
+	k.now = s.at
+	fn, call, arg := s.fn, s.call, s.arg
+	k.removeHeapAt(0)
+	k.release(i)
+	k.stepped++
+	if fn != nil {
+		fn()
+	} else {
+		call(arg)
+	}
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -184,8 +322,7 @@ func (k *Kernel) RunUntil(deadline Time) uint64 {
 	k.stopped = false
 	start := k.stepped
 	for !k.stopped {
-		next, ok := k.peek()
-		if !ok || next > deadline {
+		if len(k.heap) == 0 || k.slots[k.heap[0]].at > deadline {
 			break
 		}
 		k.Step()
@@ -205,21 +342,14 @@ func (k *Kernel) RunFor(d time.Duration) uint64 {
 // completes. Intended to be called from inside an event callback.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// peek returns the timestamp of the earliest live event.
-func (k *Kernel) peek() (Time, bool) {
-	for len(k.queue) > 0 {
-		if k.queue[0].cancel {
-			heap.Pop(&k.queue)
-			continue
-		}
-		return k.queue[0].at, true
+// NextEventTime returns the virtual time of the next pending event,
+// and false if none is pending.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	if len(k.heap) == 0 {
+		return 0, false
 	}
-	return 0, false
+	return k.slots[k.heap[0]].at, true
 }
-
-// NextEventTime returns the virtual time of the next live event, and
-// false if none is pending.
-func (k *Kernel) NextEventTime() (Time, bool) { return k.peek() }
 
 // Ticker repeatedly schedules fn every interval until cancelled.
 // Returned by Every.
@@ -227,9 +357,23 @@ type Ticker struct {
 	k        *Kernel
 	interval time.Duration
 	fn       func()
-	event    *Event
+	event    Handle
 	stopped  bool
 	fires    int
+}
+
+// tickerFire is the shared closure-free callback of all tickers:
+// re-arming costs no allocation beyond the ticker itself.
+func tickerFire(a any) {
+	t := a.(*Ticker)
+	if t.stopped {
+		return
+	}
+	t.fires++
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
 }
 
 // Every schedules fn to run every interval, first firing one interval
@@ -238,22 +382,16 @@ func (k *Kernel) Every(interval time.Duration, fn func()) *Ticker {
 	if interval <= 0 {
 		panic("des: non-positive ticker interval")
 	}
+	if fn == nil {
+		panic("des: scheduling nil callback")
+	}
 	t := &Ticker{k: k, interval: interval, fn: fn}
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.event = t.k.After(t.interval, func() {
-		if t.stopped {
-			return
-		}
-		t.fires++
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.event = t.k.AfterCall(t.interval, tickerFire, t)
 }
 
 // Stop cancels future firings. Safe to call multiple times and from

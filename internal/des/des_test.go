@@ -73,21 +73,112 @@ func TestCancel(t *testing.T) {
 	k := NewKernel()
 	ran := false
 	e := k.After(time.Millisecond, func() { ran = true })
-	k.Cancel(e)
+	if !k.Live(e) {
+		t.Fatal("scheduled event not live")
+	}
+	if !k.Cancel(e) {
+		t.Fatal("Cancel of a live event returned false")
+	}
 	k.Run()
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
-	if !e.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	if k.Live(e) {
+		t.Fatal("cancelled event still live")
 	}
-	// Cancelling nil and already-fired events must be no-ops.
-	k.Cancel(nil)
+	// Cancelling the zero Handle, an already-cancelled event and an
+	// already-fired event must all be no-ops.
+	if k.Cancel(Handle{}) {
+		t.Fatal("Cancel of zero Handle returned true")
+	}
+	if k.Cancel(e) {
+		t.Fatal("double Cancel returned true")
+	}
 	e2 := k.After(time.Millisecond, func() {})
 	k.Run()
-	k.Cancel(e2)
-	if !e2.Fired() {
-		t.Fatal("fired flag lost")
+	if k.Cancel(e2) {
+		t.Fatal("Cancel of a fired event returned true")
+	}
+}
+
+func TestCancelledEventsRemovedEagerly(t *testing.T) {
+	// Regression for the tombstone leak: cancelled events used to stay
+	// queued until popped, so long-lived retransmission timers grew the
+	// heap unboundedly. Cancel must shrink Pending immediately.
+	k := NewKernel()
+	const n = 10000
+	handles := make([]Handle, 0, n)
+	for i := 0; i < n; i++ {
+		handles = append(handles, k.After(time.Duration(i+1)*time.Millisecond, func() {}))
+	}
+	if k.Pending() != n {
+		t.Fatalf("Pending = %d, want %d", k.Pending(), n)
+	}
+	for i, h := range handles {
+		if !k.Cancel(h) {
+			t.Fatalf("Cancel %d failed", i)
+		}
+		if got, want := k.Pending(), n-i-1; got != want {
+			t.Fatalf("after %d cancels Pending = %d, want %d", i+1, got, want)
+		}
+	}
+	// The steady-state timer pattern: arm + cancel must never grow the
+	// queue.
+	for i := 0; i < n; i++ {
+		k.Cancel(k.After(time.Second, func() {}))
+		if k.Pending() != 0 {
+			t.Fatalf("arm+cancel leaked: Pending = %d", k.Pending())
+		}
+	}
+}
+
+func TestStaleHandleCannotTouchReusedSlot(t *testing.T) {
+	k := NewKernel()
+	stale := k.After(time.Millisecond, func() {})
+	k.Run() // fires; the slot returns to the free list
+	ran := false
+	fresh := k.After(time.Millisecond, func() { ran = true })
+	if k.Cancel(stale) {
+		t.Fatal("stale handle cancelled the slot's new occupant")
+	}
+	if !k.Live(fresh) {
+		t.Fatal("fresh event lost")
+	}
+	k.Run()
+	if !ran {
+		t.Fatal("fresh event did not run")
+	}
+}
+
+func TestAtCallClosureFreePath(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	record := func(a any) { got = append(got, *a.(*int)) }
+	one, two := 1, 2
+	k.AfterCall(2*time.Millisecond, record, &two)
+	k.AtCall(Time(time.Millisecond), record, &one)
+	k.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	k := NewKernel()
+	sink := 0
+	cb := func(a any) { sink += *a.(*int) }
+	arg := 1
+	// Warm the arena so the slot and heap backing arrays exist.
+	for i := 0; i < 64; i++ {
+		k.AfterCall(time.Millisecond, cb, &arg)
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.AfterCall(time.Millisecond, cb, &arg)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+step allocates %.1f times per op, want 0", allocs)
 	}
 }
 

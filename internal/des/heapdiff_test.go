@@ -1,0 +1,169 @@
+package des
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/mathx"
+)
+
+// refKernel is a deliberately naive reference implementation of the
+// kernel's queue discipline — container/heap over pointer events with
+// lazy tombstoning, the exact design the value-slot kernel replaced.
+// The differential test drives both with identical random
+// schedule/cancel/pop sequences and requires identical observable
+// behaviour.
+type refKernel struct {
+	now   Time
+	queue refHeap
+	seq   uint64
+}
+
+type refEvent struct {
+	at     Time
+	seq    uint64
+	id     int
+	cancel bool
+	popped bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (r *refKernel) after(d time.Duration, id int) *refEvent {
+	e := &refEvent{at: r.now.Add(d), seq: r.seq, id: id}
+	r.seq++
+	heap.Push(&r.queue, e)
+	return e
+}
+
+func (r *refKernel) cancel(e *refEvent) {
+	if e.popped {
+		return
+	}
+	e.cancel = true
+}
+
+// step pops the earliest live event, advancing the clock. It reports
+// the event id and whether one fired.
+func (r *refKernel) step() (int, bool) {
+	for len(r.queue) > 0 {
+		e := heap.Pop(&r.queue).(*refEvent)
+		e.popped = true
+		if e.cancel {
+			continue
+		}
+		r.now = e.at
+		return e.id, true
+	}
+	return 0, false
+}
+
+// pending counts live (not cancelled) queued events, the quantity the
+// real kernel's Pending reports since cancellation became eager.
+func (r *refKernel) pending() int {
+	n := 0
+	for _, e := range r.queue {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDifferentialAgainstContainerHeap drives the value-slot 4-ary
+// kernel and the container/heap reference with identical random
+// schedule/cancel/pop sequences and checks that firing order, clock
+// and pending counts agree at every point.
+func TestDifferentialAgainstContainerHeap(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		rng := mathx.NewRNG(seed * 0x9e3779b97f4a7c15)
+		k := NewKernel()
+		ref := &refKernel{}
+
+		var got, want []int
+		type livePair struct {
+			h  Handle
+			re *refEvent
+		}
+		var live []livePair
+		nextID := 0
+
+		for step := 0; step < 3000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5:
+				d := time.Duration(rng.Intn(5000)) * time.Microsecond
+				id := nextID
+				nextID++
+				h := k.After(d, func() { got = append(got, id) })
+				live = append(live, livePair{h, ref.after(d, id)})
+			case op < 7 && len(live) > 0:
+				// Cancel a random previously issued handle; it may have
+				// fired already, in which case both sides must no-op.
+				i := rng.Intn(len(live))
+				wantCancelled := !live[i].re.popped
+				if got := k.Cancel(live[i].h); got != wantCancelled {
+					t.Fatalf("seed %d step %d: Cancel = %v, reference says %v", seed, step, got, wantCancelled)
+				}
+				ref.cancel(live[i].re)
+				live = append(live[:i], live[i+1:]...)
+			default:
+				fired := k.Step()
+				id, refFired := ref.step()
+				if fired != refFired {
+					t.Fatalf("seed %d step %d: Step fired=%v, reference fired=%v", seed, step, fired, refFired)
+				}
+				if refFired {
+					if len(got) == 0 || got[len(got)-1] != id {
+						t.Fatalf("seed %d step %d: fired id mismatch (ref %d, got %v)", seed, step, id, got)
+					}
+					want = append(want, id)
+				}
+				if k.Now() != ref.now {
+					t.Fatalf("seed %d step %d: clock %v vs reference %v", seed, step, k.Now(), ref.now)
+				}
+			}
+			if k.Pending() != ref.pending() {
+				t.Fatalf("seed %d step %d: Pending %d vs reference %d", seed, step, k.Pending(), ref.pending())
+			}
+		}
+		// Drain both and compare the complete firing sequences.
+		for k.Step() {
+		}
+		for {
+			id, ok := ref.step()
+			if !ok {
+				break
+			}
+			want = append(want, id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: firing order diverges at %d: got %d want %d", seed, i, got[i], want[i])
+			}
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("seed %d: %d events left after drain", seed, k.Pending())
+		}
+	}
+}

@@ -194,9 +194,12 @@ type MemberList struct {
 	byID  map[GUID]MemberInfo
 }
 
-// NewMemberList returns an empty list.
+// NewMemberList returns an empty list. The zero MemberList is also
+// ready to use: the index map is created on first Put, so the many
+// lists that stay empty for a node's whole lifetime (most entities
+// never see a neighbor or global entry) cost nothing.
 func NewMemberList() *MemberList {
-	return &MemberList{byID: make(map[GUID]MemberInfo)}
+	return &MemberList{}
 }
 
 // Len returns the number of members in the list.
@@ -216,6 +219,9 @@ func (l *MemberList) Contains(id GUID) bool {
 
 // Put inserts or updates a member record.
 func (l *MemberList) Put(m MemberInfo) {
+	if l.byID == nil {
+		l.byID = make(map[GUID]MemberInfo)
+	}
 	if _, ok := l.byID[m.GUID]; !ok {
 		l.order = append(l.order, m.GUID)
 	}

@@ -179,6 +179,24 @@ type Network struct {
 	crashed   map[ids.NodeID]bool
 	stats     Stats
 	traceFn   func(Message, string) // optional trace hook: (msg, outcome)
+
+	// pool recycles in-flight message slots so a delivery costs no
+	// allocation in steady state (see Send).
+	pool []*inflight
+}
+
+// inflight is one pooled in-flight message slot: the unit handed to
+// the kernel's closure-free scheduling path instead of a captured
+// Message plus a fresh closure per delivery.
+type inflight struct {
+	net *Network
+	msg Message
+}
+
+// deliverMsg is the shared delivery callback of all networks.
+func deliverMsg(a any) {
+	fl := a.(*inflight)
+	fl.net.deliver(fl)
 }
 
 // New creates a network on the given kernel. latency must not be nil.
@@ -246,47 +264,69 @@ func (n *Network) ResetStats() { n.stats = Stats{} }
 // latency model's delay, unless the sender or destination is crashed or
 // the message is randomly lost. Sends to the zero NodeID are dropped
 // silently (callers use that for "no parent"), but counted.
+//
+// The in-flight message rides in a pooled slot through the kernel's
+// closure-free scheduling path, so a delivery allocates nothing once
+// the pool is warm.
 func (n *Network) Send(msg Message) {
 	msg.Sent = n.kernel.Now()
 	n.stats.Sent++
-	trace := func(outcome string) {
-		if n.traceFn != nil {
-			n.traceFn(msg, outcome)
-		}
-	}
 	if n.crashed[msg.From] {
 		n.stats.Dropped++
-		trace("crashed-src")
+		n.trace(msg, "crashed-src")
 		return
 	}
 	if msg.To.IsZero() {
 		n.stats.Dropped++
-		trace("no-endpoint")
+		n.trace(msg, "no-endpoint")
 		return
 	}
 	if n.loss > 0 && n.rng.Bernoulli(n.loss) {
 		n.stats.Dropped++
-		trace("lost")
+		n.trace(msg, "lost")
 		return
 	}
 	delay := n.latency.Latency(msg.From, msg.To, n.rng)
-	n.kernel.After(delay, func() {
-		if n.crashed[msg.To] {
-			n.stats.Dropped++
-			trace("crashed-dest")
-			return
-		}
-		ep, ok := n.endpoints[msg.To]
-		if !ok {
-			n.stats.Dropped++
-			trace("no-endpoint")
-			return
-		}
-		n.stats.Delivered++
-		n.stats.ByKind[msg.Kind]++
-		trace("delivered")
-		ep.HandleMessage(msg)
-	})
+	var fl *inflight
+	if ln := len(n.pool); ln > 0 {
+		fl = n.pool[ln-1]
+		n.pool = n.pool[:ln-1]
+	} else {
+		fl = &inflight{net: n}
+	}
+	fl.msg = msg
+	n.kernel.AfterCall(delay, deliverMsg, fl)
+}
+
+// deliver completes one in-flight message: the slot returns to the
+// pool first (the handler may send again, reusing it immediately), and
+// then the destination-side checks of Send's contract run.
+func (n *Network) deliver(fl *inflight) {
+	msg := fl.msg
+	fl.msg = Message{} // drop the payload reference while pooled
+	n.pool = append(n.pool, fl)
+	if n.crashed[msg.To] {
+		n.stats.Dropped++
+		n.trace(msg, "crashed-dest")
+		return
+	}
+	ep, ok := n.endpoints[msg.To]
+	if !ok {
+		n.stats.Dropped++
+		n.trace(msg, "no-endpoint")
+		return
+	}
+	n.stats.Delivered++
+	n.stats.ByKind[msg.Kind]++
+	n.trace(msg, "delivered")
+	ep.HandleMessage(msg)
+}
+
+// trace invokes the optional trace hook.
+func (n *Network) trace(msg Message, outcome string) {
+	if n.traceFn != nil {
+		n.traceFn(msg, outcome)
+	}
 }
 
 // SendKind is a convenience wrapper building the Message inline.

@@ -60,6 +60,8 @@ type Token struct {
 	// Nodes forward the token along Route (excluding entries repaired
 	// away mid-round), so a round's coverage is well defined even if
 	// individual ring views diverge while the token is in flight.
+	// The holder assigns a freshly built slice that the token owns for
+	// the round's lifetime.
 	Route []ids.NodeID
 
 	// Hops counts ring hops taken this round (diagnostics; the
@@ -89,11 +91,6 @@ func Fresh(gid ids.GroupID, ringID ring.ID, holder ids.NodeID, round uint64, ops
 		Dir:    dir,
 		Source: source,
 	}
-}
-
-// SetRoute fixes the round's itinerary.
-func (t *Token) SetRoute(route []ids.NodeID) {
-	t.Route = append([]ids.NodeID(nil), route...)
 }
 
 // NextOnRoute returns the itinerary entry after the given node. It
