@@ -55,7 +55,7 @@ func BenchmarkTableI_Ring(b *testing.B) {
 			var hops uint64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				hops = sys.MeasureDisseminationHops(GUID(i+1), ap)
+				hops, _ = sys.MeasureDisseminationHops(GUID(i+1), ap)
 			}
 			b.ReportMetric(float64(hops), "hops/op")
 		})
@@ -123,7 +123,7 @@ func BenchmarkAblationDissemination(b *testing.B) {
 			var hops uint64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				hops = sys.MeasureDisseminationHops(GUID(i+1), ap)
+				hops, _ = sys.MeasureDisseminationHops(GUID(i+1), ap)
 			}
 			b.ReportMetric(float64(hops), "hops/op")
 		})
@@ -183,7 +183,7 @@ func BenchmarkQuerySchemes(b *testing.B) {
 			var lat time.Duration
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res := sys.RunQuery(aps[i%len(aps)], IMS(level))
+				res, _ := sys.RunQuery(aps[i%len(aps)], IMS(level))
 				msgs = res.Messages
 				lat = res.Latency
 			}

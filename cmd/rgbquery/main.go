@@ -2,7 +2,8 @@
 // TMS (topmost), IMS (intermediate) and BMS (bottommost) — on message
 // cost and latency, reproducing the paper's qualitative claim that
 // TMS queries are cheaper for the requesting application while BMS
-// concentrates no state at the top.
+// concentrates no state at the top. It drives the Service API over
+// the deterministic simulated runtime.
 //
 // Example:
 //
@@ -10,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 
 	"github.com/rgbproto/rgb"
 	"github.com/rgbproto/rgb/internal/metrics"
@@ -25,17 +28,34 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	flag.Parse()
 
-	cfg := rgb.DefaultConfig(*height, *ringSize)
-	cfg.Seed = *seed
-	sys := rgb.New(cfg)
-	aps := sys.APs()
-	for g := 1; g <= *members; g++ {
-		sys.JoinMemberAt(rgb.GUID(g), aps[(g*7)%len(aps)])
+	svc, err := rgb.Open(rgb.WithHierarchy(*height, *ringSize), rgb.WithSeed(*seed))
+	if err != nil {
+		fail(err)
 	}
-	sys.Run()
+	defer svc.Close()
+	ctx := context.Background()
+
+	aps := svc.APs()
+	for g := 1; g <= *members; g++ {
+		if err := svc.JoinAt(ctx, rgb.GUID(g), aps[(g*7)%len(aps)]); err != nil {
+			fail(err)
+		}
+	}
+	if err := svc.Settle(ctx); err != nil {
+		fail(err)
+	}
 
 	fmt.Printf("rgbquery: h=%d r=%d, %d members across %d APs, %d queries/scheme\n\n",
 		*height, *ringSize, *members, len(aps), *queries)
+
+	truth, err := svc.Members(ctx)
+	if err != nil {
+		fail(err)
+	}
+	want := map[rgb.GUID]bool{}
+	for _, m := range truth {
+		want[m.GUID] = true
+	}
 
 	tb := metrics.NewTable("scheme", "level", "replies", "avg msgs", "avg latency", "answer ok")
 	for level := 0; level < *height; level++ {
@@ -52,12 +72,20 @@ func main() {
 		okAll := true
 		replies := 0
 		for q := 0; q < *queries; q++ {
-			res := sys.RunQuery(aps[(q*13)%len(aps)], scheme)
+			res, err := svc.QueryWith(ctx, aps[(q*13)%len(aps)], scheme)
+			if err != nil {
+				fail(err)
+			}
 			msgs += res.Messages
 			lat.Add(res.Latency)
 			replies = res.Replies
-			if missing, extra := sys.VerifyQueryAnswer(res); missing != 0 || extra != 0 {
+			if len(res.Members) != len(truth) {
 				okAll = false
+			}
+			for _, m := range res.Members {
+				if !want[m.GUID] {
+					okAll = false
+				}
 			}
 		}
 		tb.AddRow(name, level, replies,
@@ -67,4 +95,9 @@ func main() {
 	fmt.Print(tb)
 	fmt.Println("\nTMS answers from the topmost ring's ListOfRingMembers; BMS fans out")
 	fmt.Println("to every bottommost AP ring leader and aggregates their local lists.")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "rgbquery: %v\n", err)
+	os.Exit(2)
 }

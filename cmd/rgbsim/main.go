@@ -1,6 +1,8 @@
 // Command rgbsim runs a full RGB scenario: a hierarchy of the given
 // shape, Poisson join/leave/failure churn, random-waypoint mobility,
 // and optional network-entity crashes, then reports protocol metrics.
+// It drives the transport-agnostic Service API over the deterministic
+// simulated runtime.
 //
 // Example:
 //
@@ -8,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,7 +18,6 @@ import (
 
 	"github.com/rgbproto/rgb"
 	"github.com/rgbproto/rgb/internal/metrics"
-	"github.com/rgbproto/rgb/internal/simnet"
 )
 
 func main() {
@@ -33,13 +35,21 @@ func main() {
 	pathOnly := flag.Bool("path-only", false, "path-only dissemination (TMS maintenance)")
 	flag.Parse()
 
-	cfg := rgb.DefaultConfig(*height, *ringSize)
-	cfg.Seed = *seed
-	cfg.Loss = *loss
-	if *pathOnly {
-		cfg.Dissemination = rgb.DisseminatePathOnly
+	opts := []rgb.Option{
+		rgb.WithHierarchy(*height, *ringSize),
+		rgb.WithSeed(*seed),
+		rgb.WithLoss(*loss),
 	}
-	sys := rgb.New(cfg)
+	if *pathOnly {
+		opts = append(opts, rgb.WithDissemination(rgb.DisseminatePathOnly))
+	}
+	svc, err := rgb.Open(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rgbsim: %v\n", err)
+		os.Exit(2)
+	}
+	defer svc.Close()
+	ctx := context.Background()
 
 	churn := rgb.ChurnConfig{
 		InitialMembers: *members,
@@ -49,60 +59,61 @@ func main() {
 		Duration:       *duration,
 		Seed:           *seed,
 	}
-	tr := rgb.Churn(sys, churn, 1)
+	aps := svc.APs()
+	tr := rgb.ChurnOver(aps, churn, 1)
 	if *hopRate > 0 {
-		grid := rgb.NewGrid(sys, 100)
+		grid := rgb.NewGridOver(aps, 100)
 		wp := rgb.DefaultWaypointConfig(*members)
 		wp.Duration = *duration
 		wp.Seed = *seed
 		tr = rgb.WithMobility(tr, rgb.RandomWaypoint(grid, wp, 1))
 	}
-	rgb.ApplyTrace(sys, tr)
+	svc.ApplyTrace(tr)
 
 	// Crash a deterministic sample of entities halfway through.
+	topo := svc.Topology()
 	if *crash > 0 {
-		all := sys.Hierarchy().AllNodes()
-		if *crash > len(all)/2 {
-			fmt.Fprintf(os.Stderr, "rgbsim: refusing to crash %d of %d entities\n", *crash, len(all))
+		if *crash > topo.Entities/2 {
+			fmt.Fprintf(os.Stderr, "rgbsim: refusing to crash %d of %d entities\n", *crash, topo.Entities)
 			os.Exit(2)
 		}
-		half := sys.Kernel().Now().Add(*duration / 2)
+		var all []rgb.NodeID
+		svc.Inspect(func(sys *rgb.System) { all = sys.Hierarchy().AllNodes() })
 		for i := 0; i < *crash; i++ {
-			victim := all[(i*17+3)%len(all)]
-			sys.Kernel().At(half, func() { sys.CrashNE(victim) })
+			svc.CrashAfter(*duration/2, all[(i*17+3)%len(all)])
 		}
 	}
 
 	counts := tr.Counts()
 	fmt.Printf("rgbsim: h=%d r=%d (%d entities, %d rings, %d APs), %s dissemination\n",
-		*height, *ringSize, sys.Hierarchy().NumNodes(), sys.Hierarchy().NumRings(),
-		sys.Hierarchy().NumAPs(), cfg.Dissemination)
+		*height, *ringSize, topo.Entities, topo.Rings, topo.APs, svc.Config().Dissemination)
 	fmt.Printf("scenario: %d joins, %d leaves, %d failures, %d handoffs over %v\n\n",
-		counts[0], counts[1], counts[2], counts[3], *duration)
+		counts[rgb.EvJoin], counts[rgb.EvLeave], counts[rgb.EvFail], counts[rgb.EvHandoff], *duration)
 
 	start := time.Now()
-	sys.RunFor(*duration + 10*time.Second) // drain the tail
+	svc.Advance(*duration + 10*time.Second) // drain the tail
 	wall := time.Since(start)
 
-	st := sys.Net().Stats()
+	st := svc.Stats()
+	m := svc.Metrics()
 	c := metrics.NewCounters()
 	c.Add("messages.sent", int64(st.Sent))
 	c.Add("messages.delivered", int64(st.Delivered))
 	c.Add("messages.dropped", int64(st.Dropped))
-	c.Add("hops.token", int64(st.DeliveredOf(simnet.KindToken)))
-	c.Add("hops.notify", int64(st.DeliveredOf(simnet.KindNotify)))
-	c.Add("rounds", int64(sys.Rounds()))
-	c.Add("ops.carried", int64(sys.OpsCarried()))
-	c.Add("repairs", int64(len(sys.Repairs())))
+	c.Add("hops.token", int64(st.DeliveredOf(rgb.KindToken)))
+	c.Add("hops.notify", int64(st.DeliveredOf(rgb.KindNotify)))
+	c.Add("rounds", int64(m.Rounds))
+	c.Add("ops.carried", int64(m.OpsCarried))
+	c.Add("repairs", int64(m.Repairs))
 
 	fmt.Println("protocol counters:")
 	for _, name := range c.Names() {
 		fmt.Printf("  %-20s %d\n", name, c.Get(name))
 	}
 
-	final := sys.GlobalMembership()
+	final, _ := svc.Members(ctx)
 	fmt.Printf("\nfinal membership: %d operational members\n", len(final))
-	okRings, totalRings := sys.FunctionWellRings()
-	fmt.Printf("function-well rings: %d/%d\n", okRings, totalRings)
-	fmt.Printf("virtual time simulated: %v (wall %v)\n", sys.Kernel().Now(), wall.Round(time.Millisecond))
+	fmt.Printf("function-well rings: %d/%d\n", m.FunctionWellRings, m.TotalRings)
+	fmt.Printf("virtual time simulated: %v (wall %v)\n",
+		time.Duration(svc.Runtime().Clock().Now()), wall.Round(time.Millisecond))
 }

@@ -24,7 +24,7 @@ import (
 	"strings"
 	"time"
 
-	"github.com/rgbproto/rgb/internal/core"
+	"github.com/rgbproto/rgb"
 	"github.com/rgbproto/rgb/internal/experiment"
 )
 
@@ -183,14 +183,14 @@ func parseFloats(s string) []float64 {
 	return out
 }
 
-func parseDiss(s string) []core.DisseminationMode {
-	var out []core.DisseminationMode
+func parseDiss(s string) []rgb.DisseminationMode {
+	var out []rgb.DisseminationMode
 	for _, part := range splitList(s) {
 		switch part {
 		case "full":
-			out = append(out, core.DisseminateFull)
+			out = append(out, rgb.DisseminateFull)
 		case "path-only":
-			out = append(out, core.DisseminatePathOnly)
+			out = append(out, rgb.DisseminatePathOnly)
 		default:
 			fail(fmt.Errorf("rgbsweep: bad dissemination mode %q (full or path-only)", part))
 		}

@@ -80,7 +80,11 @@ func measuredRing(h, r int, seed uint64) uint64 {
 	cfg.Seed = seed
 	cfg.Latency = simnet.ConstantLatency(1_000_000)
 	sys := core.NewSystem(cfg)
-	return sys.MeasureDisseminationHops(ids.GUID(1), sys.APs()[0])
+	hops, err := sys.MeasureDisseminationHops(ids.GUID(1), sys.APs()[0])
+	if err != nil {
+		panic(err) // Table I configurations are always valid
+	}
+	return hops
 }
 
 func measuredTree(h, r int, seed uint64) uint64 {

@@ -1,0 +1,37 @@
+package rgb
+
+import (
+	"errors"
+
+	"github.com/rgbproto/rgb/internal/core"
+)
+
+// Typed errors returned by the Service API (and by the underlying
+// protocol engine). Match with errors.Is.
+var (
+	// ErrUnknownMember reports an operation on a GUID the service has
+	// never seen.
+	ErrUnknownMember = core.ErrUnknownMember
+
+	// ErrInvalidGUID reports the zero GUID, which can never join.
+	ErrInvalidGUID = core.ErrInvalidGUID
+
+	// ErrNotAccessProxy reports a member operation addressed to a
+	// network entity that is not a bottom-tier access proxy.
+	ErrNotAccessProxy = core.ErrNotAccessProxy
+
+	// ErrDuplicateJoin reports a join for a member that is already
+	// operational (re-joining after a leave or failure is allowed).
+	ErrDuplicateJoin = core.ErrDuplicateJoin
+
+	// ErrQueryLevel reports a Membership-Query against a ring level
+	// outside the hierarchy.
+	ErrQueryLevel = core.ErrQueryLevel
+
+	// ErrBadHierarchy reports Open options describing an impossible
+	// hierarchy (height < 1 or ring size < 2).
+	ErrBadHierarchy = errors.New("rgb: hierarchy requires height >= 1 and ring size >= 2")
+
+	// ErrClosed reports an operation on a closed Service.
+	ErrClosed = errors.New("rgb: service closed")
+)

@@ -1,0 +1,30 @@
+package rgb
+
+import "github.com/rgbproto/rgb/internal/core"
+
+// Membership events delivered on Watch subscriptions. Member events
+// are emitted when the change commits at the topmost ring (the
+// authoritative view Members reads), exactly once per operation;
+// repair events are emitted when a ring holder excludes a faulty
+// entity. Under the simulated runtime the event order is
+// deterministic for a fixed seed.
+type (
+	// MembershipEvent is one observed membership change or ring repair.
+	MembershipEvent = core.Event
+	// MembershipEventKind is the type of a MembershipEvent.
+	MembershipEventKind = core.EventKind
+)
+
+// Membership event kinds.
+const (
+	// EventJoin: a Member-Join committed.
+	EventJoin = core.EventJoin
+	// EventLeave: a voluntary Member-Leave committed.
+	EventLeave = core.EventLeave
+	// EventFail: a detected Member-Failure committed.
+	EventFail = core.EventFail
+	// EventHandoff: a Member-Handoff location change committed.
+	EventHandoff = core.EventHandoff
+	// EventRepair: a local ring repair excluded a faulty entity.
+	EventRepair = core.EventRepair
+)

@@ -1,14 +1,16 @@
 // Conference: a video-conference group — one of the paper's
 // motivating applications — with Poisson join/leave churn, member
 // failures, and roaming attendees, on the full 4-tier hierarchy with
-// realistic per-tier latencies. Reports the membership change
-// confirmation latency (submission to Holder-Acknowledgement) and the
-// final consistency check.
+// realistic per-tier latencies, driven through the Service API. A
+// Watch subscription counts committed changes while the scenario
+// runs; the final consistency check compares against the trace's
+// expected survivors.
 //
 //	go run ./examples/conference
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,9 +18,12 @@ import (
 )
 
 func main() {
-	cfg := rgb.DefaultConfig(3, 5) // 125 APs under 5 ASs
-	cfg.Seed = 42
-	sys := rgb.New(cfg)
+	svc, err := rgb.Open(rgb.WithHierarchy(3, 5), rgb.WithSeed(42)) // 125 APs under 5 ASs
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
 
 	churn := rgb.ChurnConfig{
 		InitialMembers: 40,
@@ -28,10 +33,11 @@ func main() {
 		Duration:       3 * time.Minute,
 		Seed:           42,
 	}
-	tr := rgb.Churn(sys, churn, 1)
+	aps := svc.APs()
+	tr := rgb.ChurnOver(aps, churn, 1)
 
 	// Attendees on the move: vehicles and pedestrians.
-	grid := rgb.NewGrid(sys, 80)
+	grid := rgb.NewGridOver(aps, 80)
 	wp := rgb.DefaultWaypointConfig(40)
 	wp.Duration = churn.Duration
 	wp.Seed = 42
@@ -41,21 +47,42 @@ func main() {
 	fmt.Printf("conference scenario: %d joins, %d leaves, %d failures, %d handoffs\n\n",
 		counts[rgb.EvJoin], counts[rgb.EvLeave], counts[rgb.EvFail], counts[rgb.EvHandoff])
 
-	rgb.ApplyTrace(sys, tr)
-	sys.RunFor(churn.Duration + 30*time.Second)
+	events, err := svc.Watch(ctx)
+	if err != nil {
+		panic(err)
+	}
+	svc.ApplyTrace(tr)
+	svc.Advance(churn.Duration + 30*time.Second)
 
-	// Confirmation latency: time from join submission to the MH's
-	// Holder-Acknowledgement, for members still tracked.
-	acked := 0
-	for g := 1; g <= counts[rgb.EvJoin]; g++ {
-		if m, ok := sys.Member(rgb.GUID(g)); ok && m.Acks() > 0 {
-			acked++
+	// Committed changes observed on the subscription stream.
+	committed := map[rgb.MembershipEventKind]int{}
+drain:
+	for {
+		select {
+		case ev := <-events:
+			committed[ev.Kind]++
+		default:
+			break drain
 		}
 	}
+	fmt.Printf("committed events observed: %d joins, %d leaves, %d failures, %d handoffs\n",
+		committed[rgb.EventJoin], committed[rgb.EventLeave],
+		committed[rgb.EventFail], committed[rgb.EventHandoff])
+
+	// Confirmation: members whose join was acknowledged by a round
+	// holder (Holder-Acknowledgement back to the MH).
+	acked := 0
+	svc.Inspect(func(sys *rgb.System) {
+		for g := 1; g <= counts[rgb.EvJoin]; g++ {
+			if m, ok := sys.Member(rgb.GUID(g)); ok && m.Acks() > 0 {
+				acked++
+			}
+		}
+	})
 	fmt.Printf("members acknowledged by holders: %d\n", acked)
 
 	want := rgb.LiveAtEnd(tr)
-	got := sys.GlobalMembership()
+	got, _ := svc.Members(ctx)
 	fmt.Printf("final membership: %d (scenario expects %d)\n", len(got), len(want))
 
 	// Spot check: every expected member is present with an AP.
@@ -70,10 +97,4 @@ func main() {
 		}
 	}
 	fmt.Printf("missing members: %d\n", missing)
-
-	st := sys.Net().Stats()
-	fmt.Printf("\nnetwork: %d messages delivered, %d rounds, %d ops carried\n",
-		st.Delivered, sys.Rounds(), sys.OpsCarried())
-	res := sys.RunQuery(sys.APs()[0], rgb.TMS())
-	fmt.Printf("closing TMS query: %d members in %v\n", len(res.Members), res.Latency)
 }

@@ -2,12 +2,14 @@
 // occurrence" challenge of the paper's introduction — and watch the
 // protocol detect them by token retransmission, repair rings locally,
 // elect new leaders, and finally partition and merge a ring (the §6
-// future-work extension).
+// future-work extension). Repairs arrive on the Service's Watch
+// stream; deep ring-state pokes use Service.Inspect.
 //
 //	go run ./examples/failover
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,62 +17,108 @@ import (
 )
 
 func main() {
-	cfg := rgb.DefaultConfig(2, 6) // 6 AP rings of 6, one top ring
-	cfg.HeartbeatInterval = 2 * time.Second
-	sys := rgb.New(cfg)
-	aps := sys.APs()
+	svc, err := rgb.Open(
+		rgb.WithHierarchy(2, 6), // 6 AP rings of 6, one top ring
+		rgb.WithSeed(1),
+		rgb.WithHeartbeat(2*time.Second),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	aps := svc.APs()
+
+	events, err := svc.Watch(ctx)
+	if err != nil {
+		panic(err)
+	}
 
 	for g := 1; g <= 12; g++ {
-		sys.JoinMemberAt(rgb.GUID(g), aps[(g*5)%len(aps)])
+		must(svc.JoinAt(ctx, rgb.GUID(g), aps[(g*5)%len(aps)]))
 	}
-	sys.RunFor(5 * time.Second)
-	fmt.Printf("steady state: %d members, function-well rings: ", len(sys.GlobalMembership()))
-	ok, total := sys.FunctionWellRings()
-	fmt.Printf("%d/%d\n\n", ok, total)
+	svc.Advance(5 * time.Second)
+	members, _ := svc.Members(ctx)
+	m := svc.Metrics()
+	fmt.Printf("steady state: %d members, function-well rings: %d/%d\n\n",
+		len(members), m.FunctionWellRings, m.TotalRings)
 
 	// Crash a non-leader AP: heartbeat rounds detect it and the ring
 	// repairs itself without losing any membership.
-	ring0 := sys.Node(aps[0]).Roster()
+	var ring0 []rgb.NodeID
+	svc.Inspect(func(sys *rgb.System) { ring0 = sys.Node(aps[0]).Roster() })
 	victim := ring0[3]
 	fmt.Printf("crashing %s (non-leader)...\n", victim)
-	sys.CrashNE(victim)
-	sys.RunFor(10 * time.Second)
-	fmt.Printf("repairs performed: %d; roster of %s now %v\n",
-		len(sys.Repairs()), aps[0], sys.Node(aps[0]).Roster())
-	fmt.Printf("membership preserved: %d members\n\n", len(sys.GlobalMembership()))
+	must(svc.Crash(ctx, victim))
+	svc.Advance(10 * time.Second)
+	svc.Inspect(func(sys *rgb.System) {
+		fmt.Printf("repairs performed: %d; roster of %s now %v\n",
+			len(sys.Repairs()), aps[0], sys.Node(aps[0]).Roster())
+	})
+	members, _ = svc.Members(ctx)
+	fmt.Printf("membership preserved: %d members\n", len(members))
+	// The Watch stream interleaves the joins with the repair; scan
+	// forward to it.
+repairScan:
+	for {
+		select {
+		case ev := <-events:
+			if ev.Kind == rgb.EventRepair {
+				fmt.Printf("watch stream observed: %s\n\n", ev)
+				break repairScan
+			}
+		default:
+			fmt.Println()
+			break repairScan
+		}
+	}
 
 	// Crash the ring leader: the successor takes over and announces
 	// itself to the parent. Ask a *surviving* member for its view —
 	// the crashed leader's own state is stale by definition.
-	leader := sys.Node(aps[0]).Leader()
-	var witness rgb.NodeID
-	for _, id := range sys.Node(aps[0]).Roster() {
-		if id != leader {
-			witness = id
-			break
+	var leader, witness rgb.NodeID
+	svc.Inspect(func(sys *rgb.System) {
+		leader = sys.Node(aps[0]).Leader()
+		for _, id := range sys.Node(aps[0]).Roster() {
+			if id != leader {
+				witness = id
+				break
+			}
 		}
-	}
+	})
 	fmt.Printf("crashing %s (ring leader)...\n", leader)
-	sys.CrashNE(leader)
-	sys.RunFor(10 * time.Second)
-	fmt.Printf("new leader per survivor %s: %s\n\n", witness, sys.Node(witness).Leader())
+	must(svc.Crash(ctx, leader))
+	svc.Advance(10 * time.Second)
+	svc.Inspect(func(sys *rgb.System) {
+		fmt.Printf("new leader per survivor %s: %s\n\n", witness, sys.Node(witness).Leader())
+	})
 
 	// The crashed entities come back and rejoin via NE-Join.
 	fmt.Println("restoring both entities...")
-	sys.RestoreNE(victim)
-	sys.RestoreNE(leader)
-	sys.RunFor(10 * time.Second)
-	fmt.Printf("roster after rejoin: %v\n\n", sys.Node(aps[0]).Roster())
+	must(svc.Restore(ctx, victim))
+	must(svc.Restore(ctx, leader))
+	svc.Advance(10 * time.Second)
+	svc.Inspect(func(sys *rgb.System) {
+		fmt.Printf("roster after rejoin: %v\n\n", sys.Node(aps[0]).Roster())
+	})
 
 	// Partition/merge on another ring (future-work extension).
-	sys.StopHeartbeats()
-	other := sys.Node(aps[12])
-	roster := other.Roster()
-	frag := map[rgb.NodeID]bool{roster[3]: true, roster[4]: true, roster[5]: true}
-	kept, split := sys.PartitionRing(other.Ring(), frag)
-	fmt.Printf("partitioned %s: kept leader %s, split leader %s\n", other.Ring(), kept, split)
-	sys.MergeFragments(split, kept)
-	sys.Run()
-	fmt.Printf("after merge: roster %v, agreement disagreements: %d\n",
-		sys.Node(kept).Roster(), sys.RosterAgreement())
+	svc.Inspect(func(sys *rgb.System) {
+		sys.StopHeartbeats()
+		other := sys.Node(aps[12])
+		roster := other.Roster()
+		frag := map[rgb.NodeID]bool{roster[3]: true, roster[4]: true, roster[5]: true}
+		kept, split := sys.PartitionRing(other.Ring(), frag)
+		fmt.Printf("partitioned %s: kept leader %s, split leader %s\n", other.Ring(), kept, split)
+		sys.MergeFragments(split, kept)
+		sys.Run()
+		fmt.Printf("after merge: roster %v, agreement disagreements: %d\n",
+			sys.Node(kept).Roster(), sys.RosterAgreement())
+	})
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

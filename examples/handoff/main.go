@@ -1,13 +1,14 @@
 // Handoff: a mobile video phone roams across wireless cells while a
 // group call is active — the "frequent handoff" challenge of the
 // paper's introduction. The example contrasts fast handoff via
-// ListOfNeighborMembers with the slow path, and shows the location
-// updates propagating through the hierarchy.
+// ListOfNeighborMembers with the slow path, and follows the location
+// updates through the Service API's membership view and event stream.
 //
 //	go run ./examples/handoff
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,35 +16,46 @@ import (
 )
 
 func main() {
-	sys := rgb.New(rgb.DefaultConfig(2, 5)) // 25 APs in 5 rings
-	aps := sys.APs()
+	svc, err := rgb.Open(rgb.WithHierarchy(2, 5), rgb.WithSeed(1)) // 25 APs in 5 rings
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	aps := svc.APs()
 
 	// The video phone joins at the first cell; a few peers join too.
 	phone := rgb.GUID(1)
-	sys.JoinMemberAt(phone, aps[0])
+	must(svc.JoinAt(ctx, phone, aps[0]))
 	for g := 2; g <= 5; g++ {
-		sys.JoinMemberAt(rgb.GUID(g), aps[g*4])
+		must(svc.JoinAt(ctx, rgb.GUID(g), aps[g*4]))
 	}
-	sys.Run()
-	fmt.Printf("call established: %d members\n\n", len(sys.GlobalMembership()))
+	must(svc.Settle(ctx))
+	members, _ := svc.Members(ctx)
+	fmt.Printf("call established: %d members\n\n", len(members))
 
-	// Roam along the first AP ring: each next cell is a ring neighbor,
-	// so its ListOfNeighborMembers already knows the phone (fast
-	// handoff), and the location update rides the next token round.
+	// locate reads the phone's position from the authoritative view.
 	locate := func() rgb.NodeID {
-		for _, m := range sys.GlobalMembership() {
+		ms, _ := svc.Members(ctx)
+		for _, m := range ms {
 			if m.GUID == phone {
 				return m.AP
 			}
 		}
 		return 0
 	}
-	ring0 := sys.Node(aps[0]).Roster()
+
+	// Roam along the first AP ring: each next cell is a ring neighbor,
+	// so its ListOfNeighborMembers already knows the phone (fast
+	// handoff), and the location update rides the next token round.
+	var ring0 []rgb.NodeID
+	svc.Inspect(func(sys *rgb.System) { ring0 = sys.Node(aps[0]).Roster() })
 	for i := 1; i < len(ring0); i++ {
 		target := ring0[i]
-		fast := sys.FastHandoffHit(phone, target)
-		sys.HandoffMember(phone, target)
-		sys.Run()
+		var fast bool
+		svc.Inspect(func(sys *rgb.System) { fast = sys.FastHandoffHit(phone, target) })
+		must(svc.Handoff(ctx, phone, target))
+		must(svc.Settle(ctx))
 		fmt.Printf("handoff %d: -> %-6s fast=%v, global view now at %s\n",
 			i, target, fast, locate())
 	}
@@ -51,14 +63,15 @@ func main() {
 	// A long jump to a far cell in another ring: the destination has
 	// never heard of the phone, so this is the slow path.
 	far := aps[len(aps)-1]
-	fmt.Printf("\nlong jump to %s: fast=%v (different ring, no neighbor entry)\n",
-		far, sys.FastHandoffHit(phone, far))
-	sys.HandoffMember(phone, far)
-	sys.Run()
+	var farFast bool
+	svc.Inspect(func(sys *rgb.System) { farFast = sys.FastHandoffHit(phone, far) })
+	fmt.Printf("\nlong jump to %s: fast=%v (different ring, no neighbor entry)\n", far, farFast)
+	must(svc.Handoff(ctx, phone, far))
+	must(svc.Settle(ctx))
 	fmt.Printf("global view after jump: %s\n", locate())
 
 	// Mobility trace: 10 pedestrians roam for 2 virtual minutes.
-	grid := rgb.NewGrid(sys, 50)
+	grid := rgb.NewGridOver(aps, 50)
 	wp := rgb.DefaultWaypointConfig(10)
 	wp.Duration = 2 * time.Minute
 	trace := rgb.RandomWaypoint(grid, wp, 100)
@@ -67,8 +80,15 @@ func main() {
 		tr = append(tr, rgb.Event{Kind: rgb.EvJoin, GUID: rgb.GUID(g), AP: aps[g%len(aps)]})
 	}
 	tr = rgb.WithMobility(tr, trace)
-	rgb.ApplyTrace(sys, tr)
-	sys.Run()
+	svc.ApplyTrace(tr)
+	must(svc.Settle(ctx))
+	members, _ = svc.Members(ctx)
 	fmt.Printf("\nmobility trace: %d handoffs generated, final membership %d\n",
-		len(trace), len(sys.GlobalMembership()))
+		len(trace), len(members))
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

@@ -1,11 +1,12 @@
-// Quickstart: build a small RGB hierarchy, join a few mobile hosts,
-// inspect the membership from several vantage points, and run a
-// Membership-Query.
+// Quickstart: open an RGB membership service, subscribe to its event
+// stream, join a few mobile hosts, inspect the membership from
+// several vantage points, and run a Membership-Query.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/rgbproto/rgb"
@@ -14,35 +15,67 @@ import (
 func main() {
 	// A height-3 hierarchy with 5 entities per ring: 1 BR ring, 5 AG
 	// rings, 25 AP rings, 125 access proxies.
-	sys := rgb.New(rgb.DefaultConfig(3, 5))
+	svc, err := rgb.Open(rgb.WithHierarchy(3, 5), rgb.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	topo := svc.Topology()
 	fmt.Printf("hierarchy: %d rings, %d network entities, %d access proxies\n",
-		sys.Hierarchy().NumRings(), sys.Hierarchy().NumNodes(), sys.Hierarchy().NumAPs())
+		topo.Rings, topo.Entities, topo.APs)
+
+	// Subscribe to membership changes before submitting any.
+	events, err := svc.Watch(ctx)
+	if err != nil {
+		panic(err)
+	}
 
 	// Three mobile hosts join the group at different access proxies.
-	aps := sys.APs()
-	sys.JoinMemberAt(rgb.GUID(1), aps[0])
-	sys.JoinMemberAt(rgb.GUID(2), aps[30])
-	sys.JoinMemberAt(rgb.GUID(3), aps[99])
-	sys.Run() // drain the one-round token propagation
+	aps := svc.APs()
+	must(svc.JoinAt(ctx, rgb.GUID(1), aps[0]))
+	must(svc.JoinAt(ctx, rgb.GUID(2), aps[30]))
+	must(svc.JoinAt(ctx, rgb.GUID(3), aps[99]))
+	must(svc.Settle(ctx)) // drain the one-round token propagation
 
 	fmt.Println("\nglobal membership (topmost ring's view):")
-	for _, m := range sys.GlobalMembership() {
+	members, _ := svc.Members(ctx)
+	for _, m := range members {
 		fmt.Printf("  %s attached at %s (%s)\n", m.GUID, m.AP, m.LUID)
+	}
+
+	fmt.Println("\ncommitted events from the Watch stream:")
+	for range members {
+		fmt.Printf("  %s\n", <-events)
 	}
 
 	// The serving AP tracks the member locally; its ring-mates track
 	// it in their ring list.
-	ap0 := sys.Node(aps[0])
-	fmt.Printf("\n%s local members: %s\n", ap0.ID(), ap0.LocalMembers())
-	fmt.Printf("%s ring members:  %s\n", ap0.ID(), ap0.RingMembers())
+	svc.Inspect(func(sys *rgb.System) {
+		ap0 := sys.Node(aps[0])
+		fmt.Printf("\n%s local members: %s\n", ap0.ID(), ap0.LocalMembers())
+		fmt.Printf("%s ring members:  %s\n", ap0.ID(), ap0.RingMembers())
+	})
 
 	// Membership-Query with the TMS scheme (answer from the top ring).
-	res := sys.RunQuery(aps[7], rgb.TMS())
+	res, err := svc.Query(ctx, aps[7])
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nTMS query: %d members, %d messages, %v latency\n",
 		len(res.Members), res.Messages, res.Latency)
 
 	// Host 1 leaves; the membership shrinks everywhere.
-	sys.LeaveMember(rgb.GUID(1))
-	sys.Run()
-	fmt.Printf("\nafter mh-1 leaves: %d members remain\n", len(sys.GlobalMembership()))
+	must(svc.Leave(ctx, rgb.GUID(1)))
+	must(svc.Settle(ctx))
+	members, _ = svc.Members(ctx)
+	fmt.Printf("\nafter mh-1 leaves: %d members remain (event: %s)\n",
+		len(members), <-events)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

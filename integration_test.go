@@ -22,7 +22,10 @@ func TestEndToEndTableIRingColumn(t *testing.T) {
 		cfg := DefaultConfig(row.h, row.r)
 		cfg.Latency = simnet.ConstantLatency(time.Millisecond)
 		sys := New(cfg)
-		got := sys.MeasureDisseminationHops(GUID(1), sys.APs()[0])
+		got, err := sys.MeasureDisseminationHops(GUID(1), sys.APs()[0])
+		if err != nil {
+			t.Fatalf("MeasureDisseminationHops: %v", err)
+		}
 		want := uint64(analytic.HCNRing(row.h, row.r))
 		if got != want {
 			t.Errorf("h=%d r=%d: protocol measured %d hops, formula (6) says %d", row.h, row.r, got, want)
@@ -109,7 +112,10 @@ func TestQueryAgreesWithTopRingUnderChurn(t *testing.T) {
 	ApplyTrace(sys, tr)
 	sys.RunFor(2 * time.Minute)
 	for level := 0; level < 3; level++ {
-		res := sys.RunQuery(sys.APs()[level*7], IMS(level))
+		res, err := sys.RunQuery(sys.APs()[level*7], IMS(level))
+		if err != nil {
+			t.Fatalf("RunQuery: %v", err)
+		}
 		if missing, extra := sys.VerifyQueryAnswer(res); missing != 0 || extra != 0 {
 			t.Errorf("level %d query: missing=%d extra=%d", level, missing, extra)
 		}
@@ -167,7 +173,10 @@ func TestPathOnlyMaintainsTopAccuracy(t *testing.T) {
 		t.Fatalf("top-ring membership = %d, want %d", got, want)
 	}
 	// TMS queries stay exact in path-only mode.
-	res := sys.RunQuery(aps[0], TMS())
+	res, err := sys.RunQuery(aps[0], TMS())
+	if err != nil {
+		t.Fatalf("RunQuery: %v", err)
+	}
 	if missing, extra := sys.VerifyQueryAnswer(res); missing != 0 || extra != 0 {
 		t.Fatalf("TMS in path-only mode: missing=%d extra=%d", missing, extra)
 	}

@@ -25,7 +25,7 @@ import (
 	"time"
 
 	"github.com/rgbproto/rgb/internal/ids"
-	"github.com/rgbproto/rgb/internal/simnet"
+	"github.com/rgbproto/rgb/internal/runtime"
 	"github.com/rgbproto/rgb/internal/token"
 )
 
@@ -70,7 +70,7 @@ type Config struct {
 
 	// Latency is the message-plane latency model; nil selects the
 	// default 4-tier profile.
-	Latency simnet.LatencyModel
+	Latency runtime.LatencyModel
 
 	// Loss is the independent message-loss probability.
 	Loss float64
@@ -107,7 +107,7 @@ func DefaultConfig(h, r int) Config {
 		R:                 r,
 		GID:               ids.NewGroupID(1),
 		Seed:              1,
-		Latency:           simnet.DefaultTierLatency(),
+		Latency:           runtime.DefaultTierLatency(),
 		Dissemination:     DisseminateFull,
 		Aggregate:         true,
 		NeighborLists:     true,
@@ -122,7 +122,7 @@ func (c *Config) validate() {
 		panic("core: config requires H >= 1 and R >= 2")
 	}
 	if c.Latency == nil {
-		c.Latency = simnet.DefaultTierLatency()
+		c.Latency = runtime.DefaultTierLatency()
 	}
 	if c.RetransmitTimeout <= 0 {
 		c.RetransmitTimeout = 250 * time.Millisecond

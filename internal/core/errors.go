@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/rgbproto/rgb/internal/ids"
+)
+
+// Typed errors returned by the membership operations. They replace
+// the pre-service-API panics, so a caller holding a bad GUID or a
+// non-AP node gets a matchable error instead of a crashed process.
+// The rgb facade re-exports them.
+var (
+	// ErrUnknownMember reports an operation on a GUID the system has
+	// never seen.
+	ErrUnknownMember = errors.New("unknown member")
+
+	// ErrInvalidGUID reports the zero GUID, which can never join.
+	ErrInvalidGUID = errors.New("invalid GUID")
+
+	// ErrNotAccessProxy reports a member operation addressed to a
+	// network entity that is not a bottom-tier access proxy.
+	ErrNotAccessProxy = errors.New("not a bottom-tier access proxy")
+
+	// ErrDuplicateJoin reports a join for a member that is already
+	// operational (re-joining after a leave or failure is allowed).
+	ErrDuplicateJoin = errors.New("member already joined")
+
+	// ErrQueryLevel reports a Membership-Query against a ring level
+	// outside the hierarchy.
+	ErrQueryLevel = errors.New("query level out of range")
+)
+
+// requireAP checks that ap is a bottom-tier access proxy.
+func (s *System) requireAP(ap ids.NodeID) error {
+	if s.hier.LevelOf(ap) != s.cfg.H-1 {
+		return fmt.Errorf("core: %s: %w", ap, ErrNotAccessProxy)
+	}
+	return nil
+}
+
+// memberOf resolves a GUID to its MH record.
+func (s *System) memberOf(guid ids.GUID) (*Member, error) {
+	m, ok := s.members[guid]
+	if !ok {
+		return nil, fmt.Errorf("core: %s: %w", guid, ErrUnknownMember)
+	}
+	return m, nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mq"
+	"github.com/rgbproto/rgb/internal/ring"
+	"github.com/rgbproto/rgb/internal/runtime"
+)
+
+// EventKind is the type of one membership event observed by a
+// subscriber.
+type EventKind uint8
+
+// Membership event kinds.
+const (
+	// EventJoin: a Member-Join committed at the topmost ring.
+	EventJoin EventKind = iota
+	// EventLeave: a voluntary Member-Leave committed.
+	EventLeave
+	// EventFail: a detected Member-Failure committed.
+	EventFail
+	// EventHandoff: a Member-Handoff location change committed.
+	EventHandoff
+	// EventRepair: a local ring repair excluded a faulty entity.
+	EventRepair
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	case EventFail:
+		return "fail"
+	case EventHandoff:
+		return "handoff"
+	case EventRepair:
+		return "repair"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one observed membership change or ring repair. Member
+// events are emitted when the change commits at the topmost ring —
+// the authoritative view that GlobalMembership reads — exactly once
+// per operation (mid-round repair re-circulation is deduplicated).
+// Repair events are emitted when a holder excludes a dead entity.
+type Event struct {
+	Kind   EventKind
+	Member ids.MemberInfo // member events: the change's payload
+	Ring   string         // repair events: the repaired ring
+	Dead   ids.NodeID     // repair events: the excluded entity
+	At     runtime.Time   // protocol time of the observation
+}
+
+// String renders the event compactly (used by the golden sequence
+// test and debug logs).
+func (e Event) String() string {
+	if e.Kind == EventRepair {
+		return fmt.Sprintf("%s ring=%s dead=%s", e.Kind, e.Ring, e.Dead)
+	}
+	return fmt.Sprintf("%s guid=%s ap=%s", e.Kind, e.Member.GUID, e.Member.AP)
+}
+
+// changeKey identifies one membership operation for event
+// deduplication: Origin+Seq is unique per submitted change.
+type changeKey struct {
+	origin ids.NodeID
+	seq    uint64
+}
+
+// eventDedupWindow bounds the committed-operation dedup state. A
+// duplicate commit can only arise from a mid-round repair
+// re-circulating a token's batch — a window of a few rounds — so the
+// memory spent on deduplication stays constant over the life of a
+// long-running service instead of growing with every operation.
+const eventDedupWindow = 8192
+
+// SetEventSink installs fn as the system's event observer (nil
+// disables observation). The sink is invoked in engine context and
+// must not block; the rgb Service fans events out to Watch
+// subscribers from here. Installing a sink resets deduplication
+// state.
+func (s *System) SetEventSink(fn func(Event)) {
+	s.eventSink = fn
+	s.eventSeen = nil
+	s.eventSeenQ = nil
+	if fn != nil {
+		s.eventSeen = make(map[changeKey]struct{})
+	}
+}
+
+// emitMemberChange reports one committed member operation, once.
+// Called by topmost-ring nodes as they execute a token; the first
+// execution wins, so the emission order is the top ring's commit
+// order — deterministic under the simulated runtime.
+func (s *System) emitMemberChange(c mq.Change) {
+	var kind EventKind
+	switch c.Op {
+	case mq.OpMemberJoin:
+		kind = EventJoin
+	case mq.OpMemberLeave:
+		kind = EventLeave
+	case mq.OpMemberFailure:
+		kind = EventFail
+	case mq.OpMemberHandoff:
+		kind = EventHandoff
+	default:
+		return // NE roster surgery is reported via repair events
+	}
+	key := changeKey{origin: c.Origin, seq: c.Seq}
+	if _, dup := s.eventSeen[key]; dup {
+		return
+	}
+	if len(s.eventSeenQ) >= eventDedupWindow {
+		delete(s.eventSeen, s.eventSeenQ[0])
+		s.eventSeenQ = s.eventSeenQ[1:]
+	}
+	s.eventSeen[key] = struct{}{}
+	s.eventSeenQ = append(s.eventSeenQ, key)
+	s.eventSink(Event{Kind: kind, Member: c.Member, At: s.clock.Now()})
+}
+
+// emitRepair reports one local ring repair.
+func (s *System) emitRepair(id ring.ID, dead ids.NodeID) {
+	if s.eventSink == nil {
+		return
+	}
+	s.eventSink(Event{Kind: EventRepair, Ring: id.String(), Dead: dead, At: s.clock.Now()})
+}

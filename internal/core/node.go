@@ -3,11 +3,10 @@ package core
 import (
 	"fmt"
 
-	"github.com/rgbproto/rgb/internal/des"
 	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/mq"
 	"github.com/rgbproto/rgb/internal/ring"
-	"github.com/rgbproto/rgb/internal/simnet"
+	"github.com/rgbproto/rgb/internal/runtime"
 	"github.com/rgbproto/rgb/internal/token"
 )
 
@@ -55,7 +54,7 @@ type Node struct {
 	roundSeq    uint64
 	inFlight    token.PassState // outstanding pass awaiting passAck
 	inFlightSet bool
-	passTimer   des.Handle
+	passTimer   runtime.TimerHandle
 	notifySeq   uint64
 	notifyWait  map[uint64]*notifyRetry // lazily allocated on first notify
 
@@ -82,7 +81,7 @@ type notifyRetry struct {
 	msg     notifyMsg
 	to      ids.NodeID
 	retries int
-	timer   des.Handle
+	timer   runtime.TimerHandle
 }
 
 // Shared closure-free timer callbacks: the kernel invokes these with
@@ -226,8 +225,8 @@ func (n *Node) insertIntoRoster(joined ids.NodeID) {
 	n.roster = append(n.roster, joined)
 }
 
-// HandleMessage implements simnet.Endpoint.
-func (n *Node) HandleMessage(msg simnet.Message) {
+// HandleMessage implements runtime.Endpoint.
+func (n *Node) HandleMessage(msg runtime.Message) {
 	switch body := msg.Body.(type) {
 	case tokenMsg:
 		n.receiveToken(body.Tok, msg.From)
@@ -317,7 +316,7 @@ func (n *Node) startRound(dir token.Direction, source ring.ID, extra mq.Batch) {
 // from the predecessor.
 func (n *Node) receiveToken(tok *token.Token, from ids.NodeID) {
 	// Acknowledge the pass so the sender's retransmission timer stops.
-	n.sys.send(n.id, from, simnet.KindControl, passAck{Ring: tok.Ring, Round: tok.Round})
+	n.sys.send(n.id, from, runtime.KindControl, passAck{Ring: tok.Ring, Round: tok.Round})
 
 	// Retransmission can deliver the same token twice (the first copy
 	// arrived but its acknowledgement was lost); execute only once.
@@ -378,6 +377,12 @@ func rewriteReplyTo(ops mq.Batch, forwarder ids.NodeID) mq.Batch {
 
 // applyChange updates the membership lists for one operation.
 func (n *Node) applyChange(c mq.Change, dir token.Direction) {
+	if n.level == 0 && n.sys.eventSink != nil {
+		// Commit point for observers: the topmost ring is the
+		// authoritative view, and executing the op here is exactly
+		// when GlobalMembership starts reflecting it.
+		n.sys.emitMemberChange(c)
+	}
 	switch c.Op {
 	case mq.OpMemberJoin, mq.OpMemberHandoff:
 		n.applyMemberPut(c, dir)
@@ -469,8 +474,8 @@ func (n *Node) sendTokenAttempt() {
 	if !n.inFlightSet {
 		return
 	}
-	n.sys.send(n.id, n.inFlight.To, simnet.KindToken, tokenMsg{Tok: n.inFlight.Token})
-	n.passTimer = n.sys.kernel.AfterCall(n.sys.cfg.RetransmitTimeout, passTimeoutCB, n)
+	n.sys.send(n.id, n.inFlight.To, runtime.KindToken, tokenMsg{Tok: n.inFlight.Token})
+	n.passTimer = n.sys.clock.AfterCall(n.sys.cfg.RetransmitTimeout, passTimeoutCB, n)
 }
 
 // passTimedOut implements the token retransmission scheme: resend up
@@ -527,8 +532,8 @@ func (n *Node) clearInFlight() {
 
 // receivePassAck clears the retransmission state.
 func (n *Node) receivePassAck(passAck) {
-	n.sys.kernel.Cancel(n.passTimer)
-	n.passTimer = des.Handle{}
+	n.sys.clock.Cancel(n.passTimer)
+	n.passTimer = runtime.TimerHandle{}
 	n.clearInFlight()
 }
 
@@ -554,7 +559,7 @@ ops:
 			}
 		}
 		acked = append(acked, c.ReplyTo)
-		n.sys.send(n.id, c.ReplyTo, simnet.KindAck, holderAck{Ring: n.ringID, Round: tok.Round, Count: len(tok.Ops)})
+		n.sys.send(n.id, c.ReplyTo, runtime.KindAck, holderAck{Ring: n.ringID, Round: tok.Round, Count: len(tok.Ops)})
 	}
 	n.ackScratch = acked[:0]
 	n.sys.roundDone(n, tok, tok.Repaired)
@@ -562,7 +567,7 @@ ops:
 
 // receiveNotify handles Notification-to-Parent / Notification-to-Child.
 func (n *Node) receiveNotify(m notifyMsg, from ids.NodeID) {
-	n.sys.send(n.id, from, simnet.KindControl, notifyAck{Seq: m.Seq})
+	n.sys.send(n.id, from, runtime.KindControl, notifyAck{Seq: m.Seq})
 	if m.Up {
 		// From a child ring below this node.
 		n.childOK = true
@@ -591,8 +596,8 @@ func (n *Node) sendNotify(to ids.NodeID, m notifyMsg) {
 }
 
 func (n *Node) sendNotifyAttempt(retry *notifyRetry) {
-	n.sys.send(n.id, retry.to, simnet.KindNotify, retry.msg)
-	retry.timer = n.sys.kernel.AfterCall(n.sys.cfg.RetransmitTimeout, notifyTimeoutCB, retry)
+	n.sys.send(n.id, retry.to, runtime.KindNotify, retry.msg)
+	retry.timer = n.sys.clock.AfterCall(n.sys.cfg.RetransmitTimeout, notifyTimeoutCB, retry)
 }
 
 // timedOut is the notification retransmission timer body: resend up to
@@ -615,7 +620,7 @@ func (r *notifyRetry) timedOut() {
 
 func (n *Node) receiveNotifyAck(a notifyAck) {
 	if retry, ok := n.notifyWait[a.Seq]; ok {
-		n.sys.kernel.Cancel(retry.timer)
+		n.sys.clock.Cancel(retry.timer)
 		delete(n.notifyWait, a.Seq)
 	}
 }
@@ -629,19 +634,19 @@ func (n *Node) receiveNotifyAck(a notifyAck) {
 func (n *Node) receiveJoinRequest(req joinRequest) {
 	if n.sys.neStale(n.id) {
 		for _, peer := range n.roster {
-			if peer != n.id && peer != req.Node && !n.sys.net.Crashed(peer) && !n.sys.neStale(peer) {
-				n.sys.send(n.id, peer, simnet.KindControl, req)
+			if peer != n.id && peer != req.Node && !n.sys.tr.Crashed(peer) && !n.sys.neStale(peer) {
+				n.sys.send(n.id, peer, runtime.KindControl, req)
 				return
 			}
 		}
 		return
 	}
 	if !n.isLeader() {
-		n.sys.send(n.id, n.leader, simnet.KindControl, req)
+		n.sys.send(n.id, n.leader, runtime.KindControl, req)
 		return
 	}
 	n.queue.Insert(mq.Change{Op: mq.OpNEJoin, NE: req.Node, Origin: n.id, Seq: n.nextSeq()})
-	n.sys.send(n.id, req.Node, simnet.KindControl, stateSnapshot{
+	n.sys.send(n.id, req.Node, runtime.KindControl, stateSnapshot{
 		Roster:  n.Roster(),
 		Leader:  n.leader,
 		Members: n.ringMems.Snapshot(),
@@ -673,7 +678,7 @@ func (n *Node) receiveSnapshot(s stateSnapshot) {
 // operations so every member of the kept fragment converges too.
 func (n *Node) receiveMergeRequest(req mergeRequest) {
 	if !n.isLeader() {
-		n.sys.send(n.id, n.leader, simnet.KindControl, req)
+		n.sys.send(n.id, n.leader, runtime.KindControl, req)
 		return
 	}
 	incoming := ids.NewMemberList()
@@ -690,7 +695,7 @@ func (n *Node) receiveMergeRequest(req mergeRequest) {
 	}
 	snap := stateSnapshot{Roster: n.Roster(), Leader: n.id, Members: n.ringMems.Snapshot()}
 	for _, j := range joiners {
-		n.sys.send(n.id, j, simnet.KindControl, snap)
+		n.sys.send(n.id, j, runtime.KindControl, snap)
 		n.queue.Insert(mq.Change{Op: mq.OpNEJoin, NE: j, Origin: n.id, Seq: n.nextSeq()})
 	}
 	n.sys.requestRound(n, token.FromLocal, ring.ID{})

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"github.com/rgbproto/rgb/internal/ids"
-	"github.com/rgbproto/rgb/internal/simnet"
+	"github.com/rgbproto/rgb/internal/runtime"
 )
 
 // This file implements the Membership-Partition/Merge extension that
@@ -83,7 +83,7 @@ func (s *System) MergeFragments(fragmentLeader, keptLeader ids.NodeID) {
 	if fl == nil {
 		panic("core: unknown fragment leader")
 	}
-	s.send(fragmentLeader, keptLeader, simnet.KindControl, mergeRequest{
+	s.send(fragmentLeader, keptLeader, runtime.KindControl, mergeRequest{
 		Roster:  fl.Roster(),
 		Members: fl.ringMems.Snapshot(),
 	})
@@ -104,7 +104,7 @@ func (s *System) FunctionWellRings() (ok, total int) {
 		total++
 		well := true
 		for _, m := range rg.Nodes() {
-			if s.net.Crashed(m) {
+			if s.tr.Crashed(m) {
 				continue
 			}
 			n := s.nodes[m]
@@ -129,7 +129,7 @@ func (s *System) RosterAgreement() int {
 		var ref *Node
 		bad := false
 		for _, m := range rg.Nodes() {
-			if s.net.Crashed(m) {
+			if s.tr.Crashed(m) {
 				continue
 			}
 			n := s.nodes[m]

@@ -1,14 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
-	"github.com/rgbproto/rgb/internal/des"
 	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/mathx"
 	"github.com/rgbproto/rgb/internal/ring"
-	"github.com/rgbproto/rgb/internal/simnet"
+	"github.com/rgbproto/rgb/internal/runtime"
 )
 
 // QueryScheme names the membership maintenance/query schemes of
@@ -63,11 +63,11 @@ type queryApp struct {
 	members  *ids.MemberList
 	replies  int
 	done     bool
-	doneAt   des.Time
+	doneAt   runtime.Time
 }
 
 // HandleMessage collects replies.
-func (a *queryApp) HandleMessage(msg simnet.Message) {
+func (a *queryApp) HandleMessage(msg runtime.Message) {
 	rep, ok := msg.Body.(queryReply)
 	if !ok || rep.ID != a.id || a.done {
 		return
@@ -80,52 +80,76 @@ func (a *queryApp) HandleMessage(msg simnet.Message) {
 	}
 	if a.replies >= a.expected {
 		a.done = true
-		a.doneAt = a.sys.kernel.Now()
+		a.doneAt = a.sys.clock.Now()
 	}
 }
 
 // RunQuery executes one Membership-Query from an application attached
 // at the given entry AP, using the scheme's maintenance level. It
-// advances the simulation until the query completes (or the event
-// queue drains) and returns the aggregated answer with its cost.
-func (s *System) RunQuery(entry ids.NodeID, scheme QueryScheme) QueryResult {
-	if scheme.Level < 0 || scheme.Level >= s.cfg.H {
-		panic(fmt.Sprintf("core: query level %d out of range", scheme.Level))
-	}
-	s.mustAP(entry)
-	s.querySeq++
-	app := &queryApp{
-		sys:      s,
-		node:     ids.MakeNodeID(ids.TierMH, 1<<20+int(s.querySeq)),
-		id:       s.querySeq,
-		expected: len(s.hier.Level(scheme.Level)),
-		members:  ids.NewMemberList(),
-	}
-	s.net.Register(app.node, app)
-	defer s.net.Unregister(app.node)
-
-	before := s.net.Stats()
-	start := s.kernel.Now()
-	s.send(app.node, entry, simnet.KindQuery, queryMsg{
-		ID:      app.id,
-		Level:   scheme.Level,
-		ReplyTo: app.node,
+// drives the runtime until the query completes (or the substrate
+// quiesces) and returns the aggregated answer with its cost.
+//
+// Unlike the other System methods, RunQuery may be called from any
+// goroutine on a live runtime: the state-touching phases run in
+// engine context, and only the wait between them happens on the
+// caller.
+func (s *System) RunQuery(entry ids.NodeID, scheme QueryScheme) (QueryResult, error) {
+	var app *queryApp
+	var before runtime.Stats
+	var start runtime.Time
+	// The sentinel is cleared by the setup phase itself: a closed live
+	// runtime drops the Do body, and the query must fail rather than
+	// dereference the never-built app.
+	setupErr := errors.New("core: runtime unavailable")
+	s.rt.Do(func() {
+		setupErr = nil
+		if scheme.Level < 0 || scheme.Level >= s.cfg.H {
+			setupErr = fmt.Errorf("core: level %d of height-%d hierarchy: %w", scheme.Level, s.cfg.H, ErrQueryLevel)
+			return
+		}
+		if err := s.requireAP(entry); err != nil {
+			setupErr = err
+			return
+		}
+		s.querySeq++
+		app = &queryApp{
+			sys:      s,
+			node:     ids.MakeNodeID(ids.TierMH, 1<<20+int(s.querySeq)),
+			id:       s.querySeq,
+			expected: len(s.hier.Level(scheme.Level)),
+			members:  ids.NewMemberList(),
+		}
+		s.tr.Register(app.node, app)
+		before = s.tr.Stats()
+		start = s.clock.Now()
+		s.send(app.node, entry, runtime.KindQuery, queryMsg{
+			ID:      app.id,
+			Level:   scheme.Level,
+			ReplyTo: app.node,
+		})
 	})
-	// Drive the simulation until the app has all replies or nothing
-	// is left to deliver.
-	for !app.done && s.kernel.Step() {
+	if setupErr != nil {
+		return QueryResult{}, setupErr
 	}
-	after := s.net.Stats()
-	latency := app.doneAt.Sub(start)
-	if !app.done {
-		latency = s.kernel.Now().Sub(start)
-	}
-	return QueryResult{
-		Members:  app.members.Snapshot(),
-		Messages: (after.DeliveredOf(simnet.KindQuery) - before.DeliveredOf(simnet.KindQuery)) + (after.DeliveredOf(simnet.KindReply) - before.DeliveredOf(simnet.KindReply)),
-		Latency:  latency,
-		Replies:  app.replies,
-	}
+	// Drive the runtime until the app has all replies or nothing is
+	// left to deliver.
+	s.rt.RunUntil(func() bool { return app.done })
+	var res QueryResult
+	s.rt.Do(func() {
+		s.tr.Unregister(app.node)
+		after := s.tr.Stats()
+		latency := app.doneAt.Sub(start)
+		if !app.done {
+			latency = s.clock.Now().Sub(start)
+		}
+		res = QueryResult{
+			Members:  app.members.Snapshot(),
+			Messages: (after.DeliveredOf(runtime.KindQuery) - before.DeliveredOf(runtime.KindQuery)) + (after.DeliveredOf(runtime.KindReply) - before.DeliveredOf(runtime.KindReply)),
+			Latency:  latency,
+			Replies:  app.replies,
+		}
+	})
+	return res, nil
 }
 
 // receiveQuery implements the routing of the Membership-Query
@@ -157,7 +181,7 @@ func (n *Node) receiveQuery(q queryMsg) {
 		// per target-level ring receives the query (the downward copy
 		// goes to ring leaders; a level-0 query answers at whichever
 		// top node the climb reached).
-		n.sys.send(n.id, q.ReplyTo, simnet.KindReply, queryReply{
+		n.sys.send(n.id, q.ReplyTo, runtime.KindReply, queryReply{
 			ID:      q.ID,
 			From:    n.ringID,
 			Members: n.ringMems.Snapshot(),
@@ -186,7 +210,7 @@ func (n *Node) forwardQuery(to ids.NodeID, q queryMsg) {
 	if to.IsZero() {
 		return
 	}
-	n.sys.send(n.id, to, simnet.KindQuery, q)
+	n.sys.send(n.id, to, runtime.KindQuery, q)
 }
 
 // ExpectedQueryReplies returns how many ring leaders answer a query at

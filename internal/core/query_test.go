@@ -1,10 +1,21 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/rgbproto/rgb/internal/ids"
 )
+
+// mustQuery runs a query that must not fail.
+func mustQuery(t *testing.T, sys *System, entry ids.NodeID, scheme QueryScheme) QueryResult {
+	t.Helper()
+	res, err := sys.RunQuery(entry, scheme)
+	if err != nil {
+		t.Fatalf("RunQuery: %v", err)
+	}
+	return res
+}
 
 // populate joins n members across the APs deterministically and runs
 // to quiescence.
@@ -20,7 +31,7 @@ func populate(t *testing.T, sys *System, n int) {
 func TestQueryTMSComplete(t *testing.T) {
 	sys := NewSystem(quietConfig(3, 5))
 	populate(t, sys, 25)
-	res := sys.RunQuery(sys.APs()[0], TMS())
+	res := mustQuery(t, sys, sys.APs()[0], TMS())
 	if len(res.Members) != 25 {
 		t.Fatalf("TMS answered %d members, want 25", len(res.Members))
 	}
@@ -36,7 +47,7 @@ func TestQueryTMSComplete(t *testing.T) {
 func TestQueryBMSComplete(t *testing.T) {
 	sys := NewSystem(quietConfig(3, 5))
 	populate(t, sys, 25)
-	res := sys.RunQuery(sys.APs()[7], BMS(3))
+	res := mustQuery(t, sys, sys.APs()[7], BMS(3))
 	missing, extra := sys.VerifyQueryAnswer(res)
 	if missing != 0 || extra != 0 {
 		t.Fatalf("BMS wrong: missing=%d extra=%d", missing, extra)
@@ -50,7 +61,7 @@ func TestQueryBMSComplete(t *testing.T) {
 func TestQueryIMSComplete(t *testing.T) {
 	sys := NewSystem(quietConfig(3, 5))
 	populate(t, sys, 25)
-	res := sys.RunQuery(sys.APs()[3], IMS(1))
+	res := mustQuery(t, sys, sys.APs()[3], IMS(1))
 	missing, extra := sys.VerifyQueryAnswer(res)
 	if missing != 0 || extra != 0 {
 		t.Fatalf("IMS wrong: missing=%d extra=%d", missing, extra)
@@ -66,9 +77,9 @@ func TestQueryIMSComplete(t *testing.T) {
 func TestQueryCostOrdering(t *testing.T) {
 	sys := NewSystem(quietConfig(3, 5))
 	populate(t, sys, 25)
-	tms := sys.RunQuery(sys.APs()[0], TMS())
-	ims := sys.RunQuery(sys.APs()[0], IMS(1))
-	bms := sys.RunQuery(sys.APs()[0], BMS(3))
+	tms := mustQuery(t, sys, sys.APs()[0], TMS())
+	ims := mustQuery(t, sys, sys.APs()[0], IMS(1))
+	bms := mustQuery(t, sys, sys.APs()[0], BMS(3))
 	if !(tms.Messages < ims.Messages && ims.Messages < bms.Messages) {
 		t.Errorf("message cost should order TMS < IMS < BMS: %d, %d, %d",
 			tms.Messages, ims.Messages, bms.Messages)
@@ -93,7 +104,7 @@ func TestQueryFromEveryEntryPoint(t *testing.T) {
 	sys := NewSystem(quietConfig(2, 5))
 	populate(t, sys, 10)
 	for _, ap := range sys.APs() {
-		res := sys.RunQuery(ap, TMS())
+		res := mustQuery(t, sys, ap, TMS())
 		if missing, extra := sys.VerifyQueryAnswer(res); missing != 0 || extra != 0 {
 			t.Fatalf("entry %s: missing=%d extra=%d", ap, missing, extra)
 		}
@@ -106,7 +117,7 @@ func TestQueryReflectsChurn(t *testing.T) {
 	sys.LeaveMember(ids.GUID(4))
 	sys.LeaveMember(ids.GUID(7))
 	sys.Run()
-	res := sys.RunQuery(sys.APs()[0], TMS())
+	res := mustQuery(t, sys, sys.APs()[0], TMS())
 	if len(res.Members) != 8 {
 		t.Fatalf("after leaves: %d members, want 8", len(res.Members))
 	}
@@ -119,12 +130,9 @@ func TestQueryReflectsChurn(t *testing.T) {
 
 func TestQueryLevelValidation(t *testing.T) {
 	sys := NewSystem(quietConfig(2, 5))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for out-of-range level")
-		}
-	}()
-	sys.RunQuery(sys.APs()[0], IMS(5))
+	if _, err := sys.RunQuery(sys.APs()[0], IMS(5)); !errors.Is(err, ErrQueryLevel) {
+		t.Fatalf("err = %v, want ErrQueryLevel", err)
+	}
 }
 
 func TestQuerySchemeNames(t *testing.T) {
@@ -139,7 +147,7 @@ func TestQuerySchemeNames(t *testing.T) {
 func TestQueryResultGUIDs(t *testing.T) {
 	sys := NewSystem(quietConfig(2, 5))
 	populate(t, sys, 3)
-	res := sys.RunQuery(sys.APs()[0], TMS())
+	res := mustQuery(t, sys, sys.APs()[0], TMS())
 	if len(res.GUIDs()) != 3 {
 		t.Fatalf("GUIDs = %v", res.GUIDs())
 	}

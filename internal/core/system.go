@@ -9,6 +9,7 @@ import (
 	"github.com/rgbproto/rgb/internal/mathx"
 	"github.com/rgbproto/rgb/internal/mq"
 	"github.com/rgbproto/rgb/internal/ring"
+	"github.com/rgbproto/rgb/internal/runtime"
 	"github.com/rgbproto/rgb/internal/simnet"
 	"github.com/rgbproto/rgb/internal/token"
 	"github.com/rgbproto/rgb/internal/topology"
@@ -25,7 +26,7 @@ type Member struct {
 
 	node    ids.NodeID // the MH's own message endpoint
 	sys     *System
-	ackedAt des.Time // when the last Holder-Acknowledgement arrived
+	ackedAt runtime.Time // when the last Holder-Acknowledgement arrived
 	acks    int
 }
 
@@ -35,14 +36,14 @@ func (m *Member) Node() ids.NodeID { return m.node }
 // Acks returns how many Holder-Acknowledgements this MH received.
 func (m *Member) Acks() int { return m.acks }
 
-// LastAckAt returns the virtual time of the latest acknowledgement.
-func (m *Member) LastAckAt() des.Time { return m.ackedAt }
+// LastAckAt returns the protocol time of the latest acknowledgement.
+func (m *Member) LastAckAt() runtime.Time { return m.ackedAt }
 
 // HandleMessage lets the MH consume Holder-Acknowledgements.
-func (m *Member) HandleMessage(msg simnet.Message) {
+func (m *Member) HandleMessage(msg runtime.Message) {
 	if _, ok := msg.Body.(holderAck); ok {
 		m.acks++
-		m.ackedAt = m.sys.kernel.Now()
+		m.ackedAt = m.sys.clock.Now()
 	}
 }
 
@@ -60,15 +61,25 @@ type RepairEvent struct {
 	Dead ids.NodeID
 }
 
-// System is a complete simulated RGB deployment: the hierarchy, all
-// network entities, the mobile hosts, and the event kernel driving
-// them.
+// System is a complete RGB deployment: the hierarchy, all network
+// entities, the mobile hosts, and the runtime substrate driving them.
+//
+// The protocol state machine talks only to the runtime.Clock and
+// runtime.Transport interfaces, so the same System runs on the
+// deterministic simulator (simnet.SimRuntime, the default) or on the
+// live in-process runtime (runtime.LiveRuntime).
+//
+// A System is not internally synchronized: every method that touches
+// protocol state must run in engine context. On the simulated runtime
+// that is any single-goroutine caller; on a live runtime, wrap calls
+// in Runtime().Do (the rgb.Service facade does this).
 type System struct {
-	cfg    Config
-	kernel *des.Kernel
-	net    *simnet.Network
-	hier   *topology.RingHierarchy
-	rng    *mathx.RNG
+	cfg   Config
+	rt    runtime.Runtime
+	clock runtime.Clock
+	tr    runtime.Transport
+	hier  *topology.RingHierarchy
+	rng   *mathx.RNG
 
 	nodes   map[ids.NodeID]*Node
 	members map[ids.GUID]*Member
@@ -90,17 +101,31 @@ type System struct {
 	querySeq   uint64
 	seqCounter uint64
 
-	heartbeats []*des.Ticker
+	eventSink  func(Event)
+	eventSeen  map[changeKey]struct{}
+	eventSeenQ []changeKey
+
+	heartbeats []runtime.Ticker
 }
 
-// NewSystem builds and wires a full deployment for the configuration.
+// NewSystem builds and wires a full deployment on the default
+// substrate: a fresh deterministic simulator runtime.
 func NewSystem(cfg Config) *System {
 	cfg.validate()
-	kernel := des.NewKernel()
-	net := simnet.New(kernel, cfg.Latency, cfg.Seed)
+	rt := simnet.NewSimRuntime(cfg.Latency, cfg.Seed)
 	if cfg.Loss > 0 {
-		net.SetLoss(cfg.Loss)
+		rt.Net().SetLoss(cfg.Loss)
 	}
+	return NewSystemOn(cfg, rt)
+}
+
+// NewSystemOn builds and wires a full deployment on the given runtime
+// substrate. The caller must invoke it in engine context (for a live
+// runtime, inside rt.Do). Config.Latency and Config.Loss apply only
+// to runtimes the System builds itself; a caller-supplied runtime
+// arrives with its own message plane already configured.
+func NewSystemOn(cfg Config, rt runtime.Runtime) *System {
+	cfg.validate()
 	hier := topology.NewRingHierarchy(cfg.H, cfg.R)
 	// Count entities and index ring leaders up front: the arena below
 	// holds every Node in one allocation, and child-leader lookup drops
@@ -113,8 +138,9 @@ func NewSystem(cfg Config) *System {
 	}
 	s := &System{
 		cfg:         cfg,
-		kernel:      kernel,
-		net:         net,
+		rt:          rt,
+		clock:       rt.Clock(),
+		tr:          rt.Transport(),
 		hier:        hier,
 		rng:         mathx.NewRNG(cfg.Seed ^ 0x9b2e5f4ac3d17086),
 		nodes:       make(map[ids.NodeID]*Node, total),
@@ -151,7 +177,7 @@ func NewSystem(cfg Config) *System {
 					n.childLeader = leaderOf[child]
 				}
 				s.nodes[id] = n
-				net.Register(id, n)
+				s.tr.Register(id, n)
 			}
 		}
 	}
@@ -161,11 +187,41 @@ func NewSystem(cfg Config) *System {
 	return s
 }
 
-// Kernel returns the simulation kernel.
-func (s *System) Kernel() *des.Kernel { return s.kernel }
+// Runtime returns the substrate the deployment runs on.
+func (s *System) Runtime() runtime.Runtime { return s.rt }
 
-// Net returns the simulated network.
-func (s *System) Net() *simnet.Network { return s.net }
+// Clock returns the substrate clock.
+func (s *System) Clock() runtime.Clock { return s.clock }
+
+// Transport returns the substrate message plane.
+func (s *System) Transport() runtime.Transport { return s.tr }
+
+// Kernel returns the simulation kernel when the System runs on the
+// simulated runtime, and nil otherwise.
+//
+// Deprecated: simulator-specific. Use Clock for time and timers, or
+// Runtime to drive the deployment; reach the kernel through
+// simnet.SimRuntime only for simulator-only concerns (trace hooks,
+// event counts).
+func (s *System) Kernel() *des.Kernel {
+	if rt, ok := s.rt.(*simnet.SimRuntime); ok {
+		return rt.Kernel()
+	}
+	return nil
+}
+
+// Net returns the simulated network when the System runs on the
+// simulated runtime, and nil otherwise.
+//
+// Deprecated: simulator-specific. Use Transport for the message
+// plane; reach the network through simnet.SimRuntime only for
+// simulator-only concerns (loss/trace configuration).
+func (s *System) Net() *simnet.Network {
+	if rt, ok := s.rt.(*simnet.SimRuntime); ok {
+		return rt.Net()
+	}
+	return nil
+}
 
 // Hierarchy returns the static topology.
 func (s *System) Hierarchy() *topology.RingHierarchy { return s.hier }
@@ -191,8 +247,8 @@ func (s *System) Rounds() uint64 { return s.rounds }
 func (s *System) OpsCarried() uint64 { return s.opsCarried }
 
 // send is the single funnel for protocol sends.
-func (s *System) send(from, to ids.NodeID, kind simnet.Kind, body any) {
-	s.net.SendKind(from, to, kind, body)
+func (s *System) send(from, to ids.NodeID, kind runtime.Kind, body any) {
+	s.tr.Send(runtime.Message{From: from, To: to, Kind: kind, Body: body})
 }
 
 // sameRing reports whether two entities belong to the same logical
@@ -233,7 +289,7 @@ func (s *System) requestRound(n *Node, dir token.Direction, source ring.ID) {
 // System brokers token ownership so that "at any time there is at most
 // one membership change message propagated along a ring" (§4.3).
 func (s *System) requestRoundWithBatch(n *Node, dir token.Direction, source ring.ID, batch mq.Batch) {
-	if s.net.Crashed(n.id) {
+	if s.tr.Crashed(n.id) {
 		// A crashed entity cannot start a round; park the request so
 		// it runs if the entity is restored.
 		s.ringPending[n.ringID] = append(s.ringPending[n.ringID], pendingRound{at: n.id, dir: dir, source: source, batch: batch})
@@ -280,7 +336,7 @@ func (s *System) dispatchPending(id ring.ID) {
 		next := queue[0]
 		queue = queue[1:]
 		n := s.nodes[next.at]
-		if n == nil || s.net.Crashed(next.at) {
+		if n == nil || s.tr.Crashed(next.at) {
 			continue
 		}
 		if next.dir == token.FromLocal && next.batch == nil && n.queue.Len() == 0 {
@@ -297,6 +353,7 @@ func (s *System) dispatchPending(id ring.ID) {
 // noteRepair records a repair event.
 func (s *System) noteRepair(id ring.ID, dead ids.NodeID) {
 	s.repairs = append(s.repairs, RepairEvent{Ring: id, Dead: dead})
+	s.emitRepair(id, dead)
 }
 
 // startHeartbeats arms one periodic empty round per ring for failure
@@ -305,7 +362,7 @@ func (s *System) startHeartbeats() {
 	for _, rg := range s.hier.Rings() {
 		id := rg.ID()
 		initial := rg.Leader()
-		t := s.kernel.Every(s.cfg.HeartbeatInterval, func() {
+		t := s.clock.Every(s.cfg.HeartbeatInterval, func() {
 			if s.ringBusy[id] {
 				return
 			}
@@ -327,13 +384,13 @@ func (s *System) currentLeaderOf(id ring.ID, seed ids.NodeID) *Node {
 	if probe == nil {
 		return nil
 	}
-	if !s.net.Crashed(probe.leader) {
+	if !s.tr.Crashed(probe.leader) {
 		if l := s.nodes[probe.leader]; l != nil {
 			return l
 		}
 	}
 	for _, m := range probe.roster {
-		if !s.net.Crashed(m) {
+		if !s.tr.Crashed(m) {
 			return s.nodes[m]
 		}
 	}
@@ -354,7 +411,7 @@ func (s *System) newMemberAt(guid ids.GUID, ap ids.NodeID) *Member {
 		}
 		s.mhOrdinal++
 		s.members[guid] = m
-		s.net.Register(m.node, m)
+		s.tr.Register(m.node, m)
 	}
 	s.luidSeq[ap]++
 	m.AP = ap
@@ -371,53 +428,77 @@ func (s *System) Member(guid ids.GUID) (*Member, bool) {
 
 // JoinMemberAt submits a Member-Join for guid at the given AP: the MH
 // contacts the AP (one wireless message), the AP queues the change,
-// and the one-round algorithm propagates it.
-func (s *System) JoinMemberAt(guid ids.GUID, ap ids.NodeID) *Member {
-	s.mustAP(ap)
+// and the one-round algorithm propagates it. Joining an operational
+// member again returns ErrDuplicateJoin; re-joining after a leave or
+// failure is allowed.
+func (s *System) JoinMemberAt(guid ids.GUID, ap ids.NodeID) (*Member, error) {
+	if guid == 0 {
+		return nil, fmt.Errorf("core: %w", ErrInvalidGUID)
+	}
+	if err := s.requireAP(ap); err != nil {
+		return nil, err
+	}
+	if m, ok := s.members[guid]; ok && m.Status.Operational() {
+		return nil, fmt.Errorf("core: %s at %s: %w", guid, m.AP, ErrDuplicateJoin)
+	}
 	m := s.newMemberAt(guid, ap)
-	s.send(m.node, ap, simnet.KindMemberMsg, memberMsg{Op: mq.OpMemberJoin, Member: s.infoOf(m)})
-	return m
+	s.send(m.node, ap, runtime.KindMemberMsg, memberMsg{Op: mq.OpMemberJoin, Member: s.infoOf(m)})
+	return m, nil
 }
 
 // JoinMember joins at a deterministic-pseudorandom AP.
-func (s *System) JoinMember(guid ids.GUID) *Member {
+func (s *System) JoinMember(guid ids.GUID) (*Member, error) {
 	aps := s.APs()
 	return s.JoinMemberAt(guid, aps[s.rng.Intn(len(aps))])
 }
 
 // LeaveMember submits a voluntary Member-Leave from the MH's current
 // AP.
-func (s *System) LeaveMember(guid ids.GUID) {
-	m := s.mustMember(guid)
+func (s *System) LeaveMember(guid ids.GUID) error {
+	m, err := s.memberOf(guid)
+	if err != nil {
+		return err
+	}
 	m.Status = ids.StatusVoluntaryDisc
-	s.send(m.node, m.AP, simnet.KindMemberMsg, memberMsg{Op: mq.OpMemberLeave, Member: s.infoOf(m)})
+	s.send(m.node, m.AP, runtime.KindMemberMsg, memberMsg{Op: mq.OpMemberLeave, Member: s.infoOf(m)})
+	return nil
 }
 
 // FailMember injects a Member-Failure detected by the serving AP
 // (faulty disconnection).
-func (s *System) FailMember(guid ids.GUID) {
-	m := s.mustMember(guid)
+func (s *System) FailMember(guid ids.GUID) error {
+	m, err := s.memberOf(guid)
+	if err != nil {
+		return err
+	}
 	m.Status = ids.StatusFailed
 	ap := s.nodes[m.AP]
 	ap.queue.Insert(mq.Change{Op: mq.OpMemberFailure, Member: s.infoOf(m), Origin: ap.id, Seq: ap.nextSeq()})
 	s.requestRound(ap, token.FromLocal, ring.ID{})
+	return nil
 }
 
 // HandoffMember moves the MH to a new AP: the MH registers at the new
 // AP (Member-Handoff) and deregisters at the old one, which updates
 // only its local list — the location change itself propagates from
 // the new AP.
-func (s *System) HandoffMember(guid ids.GUID, newAP ids.NodeID) {
-	s.mustAP(newAP)
-	m := s.mustMember(guid)
+func (s *System) HandoffMember(guid ids.GUID, newAP ids.NodeID) error {
+	if err := s.requireAP(newAP); err != nil {
+		return err
+	}
+	m, err := s.memberOf(guid)
+	if err != nil {
+		return err
+	}
 	oldAP := m.AP
 	if oldAP == newAP {
-		return
+		return nil
 	}
 	m.AP = newAP
 	s.luidSeq[newAP]++
 	m.LUID = ids.LUID{AP: newAP, Local: s.luidSeq[newAP]}
-	s.send(m.node, newAP, simnet.KindMemberMsg, memberMsg{Op: mq.OpMemberHandoff, Member: s.infoOf(m)})
+	s.send(m.node, newAP, runtime.KindMemberMsg, memberMsg{Op: mq.OpMemberHandoff, Member: s.infoOf(m)})
+	return nil
 }
 
 // FastHandoffHit reports whether the destination AP already knows the
@@ -431,24 +512,10 @@ func (s *System) infoOf(m *Member) ids.MemberInfo {
 	return ids.MemberInfo{GID: m.GID, GUID: m.GUID, LUID: m.LUID, AP: m.AP, Status: m.Status}
 }
 
-func (s *System) mustMember(guid ids.GUID) *Member {
-	m, ok := s.members[guid]
-	if !ok {
-		panic(fmt.Sprintf("core: unknown member %s", guid))
-	}
-	return m
-}
-
-func (s *System) mustAP(ap ids.NodeID) {
-	if s.hier.LevelOf(ap) != s.cfg.H-1 {
-		panic(fmt.Sprintf("core: %s is not a bottom-tier access proxy", ap))
-	}
-}
-
 // --- Failure injection ----------------------------------------------
 
 // CrashNE makes a network entity faulty (it stops sending/receiving).
-func (s *System) CrashNE(id ids.NodeID) { s.net.Crash(id) }
+func (s *System) CrashNE(id ids.NodeID) { s.tr.Crash(id) }
 
 // RestoreNE revives a previously crashed entity and re-admits it to
 // its ring via the NE-Join protocol: it asks a live, *current* ring
@@ -456,7 +523,7 @@ func (s *System) CrashNE(id ids.NodeID) { s.net.Crash(id) }
 // itself is quarantined as stale — its pre-crash state must not answer
 // join requests — until a state snapshot refreshes it.
 func (s *System) RestoreNE(id ids.NodeID) {
-	s.net.Restore(id)
+	s.tr.Restore(id)
 	n := s.nodes[id]
 	if n == nil {
 		return
@@ -467,8 +534,8 @@ func (s *System) RestoreNE(id ids.NodeID) {
 			continue
 		}
 		for _, peer := range rg.Nodes() {
-			if peer != id && !s.net.Crashed(peer) && !s.staleNE[peer] {
-				s.send(id, peer, simnet.KindControl, joinRequest{Node: id})
+			if peer != id && !s.tr.Crashed(peer) && !s.staleNE[peer] {
+				s.send(id, peer, runtime.KindControl, joinRequest{Node: id})
 				return
 			}
 		}
@@ -483,19 +550,19 @@ func (s *System) clearStale(id ids.NodeID) { delete(s.staleNE, id) }
 
 // --- Running ---------------------------------------------------------
 
-// Run drains all pending events (to quiescence). With heartbeats
-// enabled this would never return, so it stops tickers first if the
-// caller asks for quiescence via Run; use RunFor for heartbeat runs.
+// Run drains all pending work (to quiescence). With heartbeats
+// enabled this would never return, so it bounds the run to ten
+// heartbeat intervals instead; use RunFor for explicit heartbeat runs.
 func (s *System) Run() {
 	if s.cfg.HeartbeatInterval > 0 {
-		s.kernel.RunFor(10 * s.cfg.HeartbeatInterval)
+		s.rt.RunFor(10 * s.cfg.HeartbeatInterval)
 		return
 	}
-	s.kernel.Run()
+	s.rt.Run()
 }
 
-// RunFor advances virtual time by d.
-func (s *System) RunFor(d time.Duration) { s.kernel.RunFor(d) }
+// RunFor advances protocol time by d.
+func (s *System) RunFor(d time.Duration) { s.rt.RunFor(d) }
 
 // StopHeartbeats cancels all ring heartbeat tickers (so Run can reach
 // quiescence).
@@ -512,7 +579,7 @@ func (s *System) StopHeartbeats() {
 func (s *System) GlobalMembership() []ids.MemberInfo {
 	top := s.hier.Level(0)[0]
 	for _, id := range top.Nodes() {
-		if !s.net.Crashed(id) {
+		if !s.tr.Crashed(id) {
 			return s.nodes[id].ringMems.Snapshot()
 		}
 	}
@@ -554,10 +621,12 @@ func (s *System) MembershipDeviation(expected []ids.GUID) (missing, extra int) {
 // propagation messages (token passes + notifications) — the measured
 // counterpart of HCN_Ring (formula (6)) under DisseminateFull, or the
 // path-only cost under DisseminatePathOnly.
-func (s *System) MeasureDisseminationHops(guid ids.GUID, ap ids.NodeID) uint64 {
-	s.net.ResetStats()
-	s.JoinMemberAt(guid, ap)
-	s.kernel.Run()
-	st := s.net.Stats()
-	return st.PropagationHops()
+func (s *System) MeasureDisseminationHops(guid ids.GUID, ap ids.NodeID) (uint64, error) {
+	s.tr.ResetStats()
+	if _, err := s.JoinMemberAt(guid, ap); err != nil {
+		return 0, err
+	}
+	s.rt.Run()
+	st := s.tr.Stats()
+	return st.PropagationHops(), nil
 }

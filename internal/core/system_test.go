@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -8,6 +9,16 @@ import (
 	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/simnet"
 )
+
+// mustHops measures dissemination hops, failing the test on error.
+func mustHops(t *testing.T, sys *System, guid ids.GUID, ap ids.NodeID) uint64 {
+	t.Helper()
+	hops, err := sys.MeasureDisseminationHops(guid, ap)
+	if err != nil {
+		t.Fatalf("MeasureDisseminationHops: %v", err)
+	}
+	return hops
+}
 
 // quietConfig returns a deterministic, heartbeat-free configuration
 // with constant latency, suitable for exact message accounting.
@@ -28,7 +39,7 @@ func TestDisseminationHopsMatchFormula6(t *testing.T) {
 	for _, c := range cases {
 		sys := NewSystem(quietConfig(c.h, c.r))
 		ap := sys.APs()[0]
-		got := sys.MeasureDisseminationHops(ids.GUID(1), ap)
+		got := mustHops(t, sys, ids.GUID(1), ap)
 		var want uint64
 		if c.h == 1 {
 			// A single ring has no inter-ring links: r token hops.
@@ -47,7 +58,7 @@ func TestDisseminationHopsMatchFormula6(t *testing.T) {
 func TestDisseminationHopsIndependentOfOrigin(t *testing.T) {
 	for _, apIdx := range []int{0, 7, 24} {
 		sys := NewSystem(quietConfig(2, 5))
-		got := sys.MeasureDisseminationHops(ids.GUID(1), sys.APs()[apIdx])
+		got := mustHops(t, sys, ids.GUID(1), sys.APs()[apIdx])
 		if want := uint64(analytic.HCNRing(2, 5)); got != want {
 			t.Errorf("origin AP[%d]: %d hops, want %d", apIdx, got, want)
 		}
@@ -62,7 +73,7 @@ func TestPathOnlyHops(t *testing.T) {
 		cfg := quietConfig(c.h, c.r)
 		cfg.Dissemination = DisseminatePathOnly
 		sys := NewSystem(cfg)
-		got := sys.MeasureDisseminationHops(ids.GUID(1), sys.APs()[0])
+		got := mustHops(t, sys, ids.GUID(1), sys.APs()[0])
 		want := uint64(c.h*c.r + c.h - 1)
 		if got != want {
 			t.Errorf("h=%d r=%d path-only: %d hops, want %d", c.h, c.r, got, want)
@@ -240,7 +251,10 @@ func TestAggregationReducesCarriedOps(t *testing.T) {
 
 func TestMemberAcksArrive(t *testing.T) {
 	sys := NewSystem(quietConfig(2, 5))
-	m := sys.JoinMemberAt(ids.GUID(11), sys.APs()[0])
+	m, err := sys.JoinMemberAt(ids.GUID(11), sys.APs()[0])
+	if err != nil {
+		t.Fatalf("JoinMemberAt: %v", err)
+	}
 	sys.Run()
 	if m.Acks() == 0 {
 		t.Fatal("member never received a Holder-Acknowledgement")
@@ -338,13 +352,10 @@ func TestConfigValidation(t *testing.T) {
 	NewSystem(Config{H: 0, R: 1})
 }
 
-func TestMustAPRejectsUpperTier(t *testing.T) {
+func TestJoinRejectsUpperTier(t *testing.T) {
 	sys := NewSystem(quietConfig(3, 5))
 	top := sys.Hierarchy().Level(0)[0].Nodes()[0]
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic joining at a BR")
-		}
-	}()
-	sys.JoinMemberAt(ids.GUID(1), top)
+	if _, err := sys.JoinMemberAt(ids.GUID(1), top); !errors.Is(err, ErrNotAccessProxy) {
+		t.Fatalf("err = %v, want ErrNotAccessProxy", err)
+	}
 }

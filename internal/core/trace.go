@@ -1,0 +1,31 @@
+package core
+
+import (
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/workload"
+)
+
+// ApplyTrace schedules a workload scenario onto the system's clock;
+// drive the runtime afterwards to execute it. This is the single
+// binding between traces and protocol operations — the rgb facade,
+// the Service API and the experiment sweeper all delegate here.
+// Events that have become invalid by execution time (e.g. a handoff
+// for a member that already failed) are skipped; generated traces
+// only produce valid operations, and any residue surfaces in
+// MembershipDeviation rather than as a crash.
+//
+// Must be called in engine context (the Service wraps it in
+// Runtime().Do).
+func ApplyTrace(sys *System, tr workload.Trace) {
+	clock := sys.Clock()
+	workload.Apply(tr, func(at time.Duration, fn func()) {
+		clock.After(at, fn)
+	}, workload.Ops{
+		Join:    func(g ids.GUID, ap ids.NodeID) { _, _ = sys.JoinMemberAt(g, ap) },
+		Leave:   func(g ids.GUID) { _ = sys.LeaveMember(g) },
+		Fail:    func(g ids.GUID) { _ = sys.FailMember(g) },
+		Handoff: func(g ids.GUID, ap ids.NodeID) { _ = sys.HandoffMember(g, ap) },
+	})
+}

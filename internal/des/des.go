@@ -68,6 +68,16 @@ type Handle struct {
 // still pending; use Kernel.Live for that.
 func (h Handle) Valid() bool { return h.id != 0 }
 
+// Word packs the handle into a single opaque word (zero for the zero
+// Handle), so substrate-agnostic timer handles can carry it without
+// referencing this package's internals.
+func (h Handle) Word() uint64 { return uint64(h.id) | uint64(h.gen)<<32 }
+
+// HandleOfWord is the inverse of Word.
+func HandleOfWord(w uint64) Handle {
+	return Handle{id: uint32(w), gen: uint32(w >> 32)}
+}
+
 // slot is one event stored by value in the kernel's arena.
 type slot struct {
 	at   Time

@@ -38,7 +38,10 @@ func CompareTableI(workers int, seed uint64) []TableICell {
 		cfg.Seed = seed
 		cfg.Latency = simnet.ConstantLatency(1_000_000)
 		sys := core.NewSystem(cfg)
-		ring := sys.MeasureDisseminationHops(ids.GUID(1), sys.APs()[0])
+		ring, err := sys.MeasureDisseminationHops(ids.GUID(1), sys.APs()[0])
+		if err != nil {
+			panic(err) // Table I configurations are always valid
+		}
 
 		svc := tree.NewService(row.TreeH, row.R, true, seed)
 		treeHops := svc.MeasureRound(ids.GUID(1), svc.Tree().Leaves()[0]).FloodHops

@@ -21,7 +21,6 @@ import (
 	"time"
 
 	"github.com/rgbproto/rgb/internal/core"
-	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/mathx"
 	"github.com/rgbproto/rgb/internal/metrics"
 	"github.com/rgbproto/rgb/internal/simnet"
@@ -212,16 +211,16 @@ func RunScenario(sc Scenario, seed uint64) RunResult {
 		},
 		HopRate: sc.HopRate,
 	}, 1)
-	applyTrace(sys, tr)
+	core.ApplyTrace(sys, tr)
 	scheduleCrashes(sys, sc, seed)
 
-	t0 := sys.Kernel().Now()
+	t0 := sys.Clock().Now()
 	sys.RunFor(sc.Duration + 30*time.Second)
 
 	res := RunResult{
 		Scenario:    sc,
 		Seed:        seed,
-		VirtualTime: sys.Kernel().Now().Sub(t0),
+		VirtualTime: sys.Clock().Now().Sub(t0),
 	}
 	expected := workload.LiveAtEnd(tr)
 	res.ExpectedMembers = len(expected)
@@ -231,7 +230,7 @@ func RunScenario(sc Scenario, seed uint64) RunResult {
 
 	measureQueries(sys, sc, scheme, &res)
 
-	st := sys.Net().Stats()
+	st := sys.Transport().Stats()
 	c := metrics.NewCounters()
 	c.Add("messages.sent", int64(st.Sent))
 	c.Add("messages.delivered", int64(st.Delivered))
@@ -245,19 +244,6 @@ func RunScenario(sc Scenario, seed uint64) RunResult {
 
 	res.WallTime = time.Since(start)
 	return res
-}
-
-// applyTrace binds the trace's events onto the system's virtual clock
-// (the same binding rgb.ApplyTrace performs at the facade layer).
-func applyTrace(sys *core.System, tr workload.Trace) {
-	workload.Apply(tr, func(at time.Duration, fn func()) {
-		sys.Kernel().At(sys.Kernel().Now().Add(at), fn)
-	}, workload.Ops{
-		Join:    func(g ids.GUID, ap ids.NodeID) { sys.JoinMemberAt(g, ap) },
-		Leave:   sys.LeaveMember,
-		Fail:    sys.FailMember,
-		Handoff: sys.HandoffMember,
-	})
 }
 
 // scheduleCrashes arms the scenario's mid-run crash faults: a
@@ -277,12 +263,12 @@ func scheduleCrashes(sys *core.System, sc Scenario, seed uint64) {
 	for len(victims) < crash {
 		victims[rng.Intn(len(all))] = true
 	}
-	half := sys.Kernel().Now().Add(sc.Duration / 2)
 	// Map iteration order is irrelevant: all crashes fire at the same
 	// virtual instant and CrashNE calls commute.
+	clock := sys.Clock()
 	for idx := range victims {
 		victim := all[idx]
-		sys.Kernel().At(half, func() { sys.CrashNE(victim) })
+		clock.After(sc.Duration/2, func() { sys.CrashNE(victim) })
 	}
 }
 
@@ -296,7 +282,10 @@ func measureQueries(sys *core.System, sc Scenario, scheme core.QueryScheme, res 
 	lat := &metrics.Histogram{}
 	var msgs uint64
 	for q := 0; q < sc.Queries; q++ {
-		qr := sys.RunQuery(aps[(q*13)%len(aps)], scheme)
+		qr, err := sys.RunQuery(aps[(q*13)%len(aps)], scheme)
+		if err != nil {
+			panic(err) // scheme resolved against this hierarchy above
+		}
 		msgs += qr.Messages
 		lat.Add(qr.Latency)
 		missing, extra := sys.VerifyQueryAnswer(qr)

@@ -1,0 +1,77 @@
+package runtime
+
+import (
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mathx"
+)
+
+// LatencyModel decides the delivery delay of each message.
+type LatencyModel interface {
+	// Latency returns the in-flight time for a message from -> to.
+	// Implementations may consult the RNG for jitter; they must not
+	// retain it.
+	Latency(from, to ids.NodeID, rng *mathx.RNG) time.Duration
+}
+
+// ConstantLatency delivers every message after a fixed delay.
+type ConstantLatency time.Duration
+
+// Latency implements LatencyModel.
+func (c ConstantLatency) Latency(_, _ ids.NodeID, _ *mathx.RNG) time.Duration {
+	return time.Duration(c)
+}
+
+// UniformLatency delivers after a uniform delay in [Min, Max).
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Latency implements LatencyModel.
+func (u UniformLatency) Latency(_, _ ids.NodeID, rng *mathx.RNG) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Uniform(0, float64(u.Max-u.Min)))
+}
+
+// TierLatency models the 4-tier architecture: hops within low tiers
+// (between APs of one wireless access network) are fast, hops between
+// AGs cross an AS, and hops between BRs cross AS boundaries over BGP
+// paths, which the paper calls out for "high message latency". The
+// latency of a message is chosen by the *higher* tier of its two
+// endpoints, plus optional uniform jitter.
+type TierLatency struct {
+	AP     time.Duration // AP<->AP and MH<->AP hops
+	AG     time.Duration // hops touching an AG
+	BR     time.Duration // hops touching a BR
+	Jitter time.Duration // uniform extra in [0, Jitter)
+}
+
+// DefaultTierLatency is a plausible mobile-Internet profile: 2ms inside
+// an access network, 10ms across an AS, 50ms between ASs.
+func DefaultTierLatency() TierLatency {
+	return TierLatency{AP: 2 * time.Millisecond, AG: 10 * time.Millisecond, BR: 50 * time.Millisecond, Jitter: time.Millisecond}
+}
+
+// Latency implements LatencyModel.
+func (t TierLatency) Latency(from, to ids.NodeID, rng *mathx.RNG) time.Duration {
+	tier := from.Tier()
+	if !to.IsZero() && to.Tier() > tier {
+		tier = to.Tier()
+	}
+	var base time.Duration
+	switch tier {
+	case ids.TierBR:
+		base = t.BR
+	case ids.TierAG:
+		base = t.AG
+	default:
+		base = t.AP
+	}
+	if t.Jitter > 0 {
+		base += time.Duration(rng.Uniform(0, float64(t.Jitter)))
+	}
+	return base
+}

@@ -1,0 +1,470 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mathx"
+)
+
+var _ Runtime = (*LiveRuntime)(nil)
+
+// LiveConfig parameterizes a LiveRuntime.
+type LiveConfig struct {
+	// Latency is the message delay model; nil selects a constant
+	// 200µs, which keeps in-process deployments snappy while still
+	// exercising genuinely asynchronous delivery.
+	Latency LatencyModel
+
+	// Seed seeds the latency-jitter and loss RNG.
+	Seed uint64
+
+	// Loss is the independent per-message loss probability.
+	Loss float64
+
+	// MailboxDepth bounds each node's mailbox; messages beyond it are
+	// dropped (and counted), like any real bounded ingress queue.
+	// Zero selects 1024.
+	MailboxDepth int
+}
+
+// LiveRuntime runs the protocol engine in-process on real time: per-
+// node mailbox goroutines deliver messages after their model latency,
+// timers are real time.Timers, and a single engine goroutine
+// serializes every protocol callback — the same single-writer
+// discipline the simulator gets for free, enforced here with channels
+// instead of a virtual clock.
+//
+// The engine goroutine owns all protocol state. External callers
+// reach it through Do; mailbox pumps and timer firings enqueue onto
+// the same serialization channel, so handlers never race.
+type LiveRuntime struct {
+	clock *liveClock
+	tr    *liveTransport
+
+	start time.Time
+	exec  chan func()
+
+	// pending counts outstanding units of protocol work: armed
+	// timers and in-flight messages. Zero means quiescent.
+	pending atomic.Int64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	engineWG  sync.WaitGroup
+}
+
+// NewLiveRuntime starts a live runtime. The caller must Close it.
+func NewLiveRuntime(cfg LiveConfig) *LiveRuntime {
+	if cfg.Latency == nil {
+		cfg.Latency = ConstantLatency(200 * time.Microsecond)
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 1024
+	}
+	rt := &LiveRuntime{
+		start:  time.Now(),
+		exec:   make(chan func(), 4096),
+		closed: make(chan struct{}),
+	}
+	rt.clock = &liveClock{rt: rt}
+	rt.tr = &liveTransport{
+		rt:        rt,
+		latency:   cfg.Latency,
+		loss:      cfg.Loss,
+		rng:       mathx.NewRNG(cfg.Seed),
+		depth:     cfg.MailboxDepth,
+		endpoints: make(map[ids.NodeID]*mailbox),
+		crashed:   make(map[ids.NodeID]bool),
+	}
+	rt.engineWG.Add(1)
+	go rt.engine()
+	return rt
+}
+
+// engine is the single goroutine that owns all protocol state.
+func (rt *LiveRuntime) engine() {
+	defer rt.engineWG.Done()
+	for {
+		select {
+		case fn := <-rt.exec:
+			fn()
+		case <-rt.closed:
+			// Drain whatever is already queued so pending work items
+			// settle their accounting, then stop.
+			for {
+				select {
+				case fn := <-rt.exec:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// submit enqueues fn for the engine goroutine. After Close the work is
+// dropped — the runtime is dead and its state unreachable.
+func (rt *LiveRuntime) submit(fn func()) {
+	select {
+	case rt.exec <- fn:
+	case <-rt.closed:
+	}
+}
+
+// Clock implements Runtime.
+func (rt *LiveRuntime) Clock() Clock { return rt.clock }
+
+// Transport implements Runtime.
+func (rt *LiveRuntime) Transport() Transport { return rt.tr }
+
+// Do implements Runtime: fn runs on the engine goroutine; Do returns
+// once it completed. After Close, Do returns without running fn.
+func (rt *LiveRuntime) Do(fn func()) {
+	done := make(chan struct{})
+	rt.submit(func() {
+		fn()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-rt.closed:
+		// The engine may still drain the queue during shutdown; give
+		// fn a chance to have run, then give up.
+		select {
+		case <-done:
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Run implements Runtime: it blocks until no timers are armed and no
+// messages are in flight. The pending counter is monotone in the
+// sense that new work is registered before the work that created it
+// retires, so reading zero means true quiescence.
+func (rt *LiveRuntime) Run() {
+	for rt.pending.Load() != 0 {
+		select {
+		case <-rt.closed:
+			return
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// RunFor implements Runtime: live protocol time is wall time.
+func (rt *LiveRuntime) RunFor(d time.Duration) {
+	select {
+	case <-rt.closed:
+	case <-time.After(d):
+	}
+}
+
+// RunUntil implements Runtime: it polls pred in engine context until
+// it reports true or the runtime quiesces without it.
+func (rt *LiveRuntime) RunUntil(pred func() bool) bool {
+	for {
+		var ok bool
+		rt.Do(func() { ok = pred() })
+		if ok {
+			return true
+		}
+		if rt.pending.Load() == 0 {
+			// Quiescent and pred still false: give up, matching the
+			// simulator's drained-queue behaviour.
+			rt.Do(func() { ok = pred() })
+			return ok
+		}
+		select {
+		case <-rt.closed:
+			return false
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// Close implements Runtime: it stops the engine and the mailbox
+// pumps. In-flight work is dropped.
+func (rt *LiveRuntime) Close() error {
+	rt.closeOnce.Do(func() {
+		// Close mailboxes from engine context so the map is stable,
+		// then stop the engine itself.
+		rt.Do(func() {
+			for _, mb := range rt.tr.endpoints {
+				close(mb.ch)
+			}
+			rt.tr.endpoints = make(map[ids.NodeID]*mailbox)
+		})
+		close(rt.closed)
+		rt.engineWG.Wait()
+	})
+	return nil
+}
+
+// --- Clock ------------------------------------------------------------
+
+// liveTimerSlot is one timer in the clock's arena. Slots are recycled
+// through a free list with a generation counter, exactly like the
+// simulator kernel's event slots, so a TimerHandle can never touch a
+// newer occupant.
+type liveTimerSlot struct {
+	timer *time.Timer
+	gen   uint32
+	armed bool
+	fn    func(any)
+	arg   any
+}
+
+// liveClock implements Clock on real time.Timers. All state is owned
+// by the engine goroutine; timer firings re-enter through rt.submit.
+type liveClock struct {
+	rt    *LiveRuntime
+	slots []liveTimerSlot
+	free  []uint32
+}
+
+func (c *liveClock) Now() Time { return Time(time.Since(c.rt.start)) }
+
+func (c *liveClock) After(d time.Duration, fn func()) TimerHandle {
+	return c.AfterCall(d, func(any) { fn() }, nil)
+}
+
+func (c *liveClock) AfterCall(d time.Duration, fn func(any), arg any) TimerHandle {
+	if fn == nil {
+		panic("runtime: scheduling nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	var i uint32
+	if n := len(c.free); n > 0 {
+		i = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		c.slots = append(c.slots, liveTimerSlot{})
+		i = uint32(len(c.slots) - 1)
+	}
+	s := &c.slots[i]
+	s.armed = true
+	s.fn, s.arg = fn, arg
+	gen := s.gen
+	c.rt.pending.Add(1)
+	s.timer = time.AfterFunc(d, func() {
+		c.rt.submit(func() { c.fire(i, gen) })
+	})
+	return TimerHandle{W: uint64(i+1) | uint64(gen)<<32}
+}
+
+// fire runs on the engine goroutine when a timer elapses. A stale
+// generation means the timer was cancelled after its time.Timer had
+// already fired; only the pending accounting remains to settle.
+func (c *liveClock) fire(i uint32, gen uint32) {
+	defer c.rt.pending.Add(-1)
+	s := &c.slots[i]
+	if !s.armed || s.gen != gen {
+		return
+	}
+	fn, arg := s.fn, s.arg
+	c.release(i)
+	fn(arg)
+}
+
+// release retires a slot and bumps its generation.
+func (c *liveClock) release(i uint32) {
+	s := &c.slots[i]
+	s.gen++
+	s.armed = false
+	s.fn, s.arg, s.timer = nil, nil, nil
+	c.free = append(c.free, i)
+}
+
+func (c *liveClock) Cancel(h TimerHandle) bool {
+	if h.W == 0 {
+		return false
+	}
+	i := uint32(h.W) - 1
+	gen := uint32(h.W >> 32)
+	if int(i) >= len(c.slots) {
+		return false
+	}
+	s := &c.slots[i]
+	if !s.armed || s.gen != gen {
+		return false
+	}
+	stopped := s.timer.Stop()
+	c.release(i)
+	if stopped {
+		// The fire closure will never run; settle its accounting here.
+		c.rt.pending.Add(-1)
+	}
+	// If Stop reported false the time.Timer already fired: its queued
+	// fire closure finds the stale generation, does nothing, and
+	// decrements pending itself.
+	return true
+}
+
+// liveTicker re-arms itself through the clock after every firing.
+type liveTicker struct {
+	clock    *liveClock
+	interval time.Duration
+	fn       func()
+	handle   TimerHandle
+	stopped  bool
+}
+
+// liveTickerFire is the shared closure-free callback of all tickers.
+func liveTickerFire(a any) {
+	t := a.(*liveTicker)
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
+}
+
+func (t *liveTicker) arm() {
+	t.handle = t.clock.AfterCall(t.interval, liveTickerFire, t)
+}
+
+func (t *liveTicker) Stop() {
+	t.stopped = true
+	t.clock.Cancel(t.handle)
+}
+
+func (c *liveClock) Every(interval time.Duration, fn func()) Ticker {
+	if interval <= 0 {
+		panic("runtime: non-positive ticker interval")
+	}
+	if fn == nil {
+		panic("runtime: scheduling nil callback")
+	}
+	t := &liveTicker{clock: c, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+// --- Transport --------------------------------------------------------
+
+// inflightMsg is one message riding a mailbox with its delivery
+// deadline in protocol time.
+type inflightMsg struct {
+	msg Message
+	at  Time
+}
+
+// mailbox is one node's bounded ingress queue with its pump goroutine.
+type mailbox struct {
+	ch chan inflightMsg
+	ep Endpoint
+}
+
+// liveTransport implements Transport over per-node mailboxes. All
+// state is owned by the engine goroutine; only the pump goroutines
+// run outside it, and they touch nothing but their own channel.
+type liveTransport struct {
+	rt        *LiveRuntime
+	latency   LatencyModel
+	loss      float64
+	rng       *mathx.RNG
+	depth     int
+	endpoints map[ids.NodeID]*mailbox
+	crashed   map[ids.NodeID]bool
+	stats     Stats
+}
+
+func (t *liveTransport) Register(id ids.NodeID, ep Endpoint) {
+	if id.IsZero() {
+		panic("runtime: registering the zero NodeID")
+	}
+	if ep == nil {
+		panic("runtime: registering nil endpoint")
+	}
+	if old, ok := t.endpoints[id]; ok {
+		old.ep = ep // keep the existing mailbox and pump
+		return
+	}
+	mb := &mailbox{ch: make(chan inflightMsg, t.depth), ep: ep}
+	t.endpoints[id] = mb
+	go t.pump(mb)
+}
+
+// pump delivers one mailbox's messages after their latency deadline,
+// re-entering the engine for the handler call. The sleep is relative
+// to the message's own deadline, so a burst drains back to back.
+func (t *liveTransport) pump(mb *mailbox) {
+	for fl := range mb.ch {
+		if wait := time.Duration(fl.at - t.rt.clock.Now()); wait > 0 {
+			time.Sleep(wait)
+		}
+		msg := fl.msg
+		t.rt.submit(func() { t.deliver(mb, msg) })
+	}
+}
+
+// deliver runs on the engine goroutine: destination-side checks, then
+// the handler.
+func (t *liveTransport) deliver(mb *mailbox, msg Message) {
+	defer t.rt.pending.Add(-1)
+	if cur, ok := t.endpoints[msg.To]; !ok || cur != mb {
+		// Unregistered (or replaced) while the message was in flight.
+		t.stats.Dropped++
+		return
+	}
+	if t.crashed[msg.To] {
+		t.stats.Dropped++
+		return
+	}
+	t.stats.Delivered++
+	t.stats.ByKind[msg.Kind]++
+	mb.ep.HandleMessage(msg)
+}
+
+func (t *liveTransport) Unregister(id ids.NodeID) {
+	if mb, ok := t.endpoints[id]; ok {
+		delete(t.endpoints, id)
+		close(mb.ch)
+	}
+}
+
+func (t *liveTransport) Send(msg Message) {
+	msg.Sent = t.rt.clock.Now()
+	t.stats.Sent++
+	if t.crashed[msg.From] {
+		t.stats.Dropped++
+		return
+	}
+	if msg.To.IsZero() {
+		t.stats.Dropped++
+		return
+	}
+	if t.loss > 0 && t.rng.Bernoulli(t.loss) {
+		t.stats.Dropped++
+		return
+	}
+	mb, ok := t.endpoints[msg.To]
+	if !ok {
+		t.stats.Dropped++
+		return
+	}
+	delay := t.latency.Latency(msg.From, msg.To, t.rng)
+	t.rt.pending.Add(1)
+	select {
+	case mb.ch <- inflightMsg{msg: msg, at: msg.Sent.Add(delay)}:
+	default:
+		// Mailbox full: the bounded ingress queue drops, like any
+		// real receiver under overload.
+		t.stats.Dropped++
+		t.rt.pending.Add(-1)
+	}
+}
+
+func (t *liveTransport) Crash(id ids.NodeID)        { t.crashed[id] = true }
+func (t *liveTransport) Restore(id ids.NodeID)      { delete(t.crashed, id) }
+func (t *liveTransport) Crashed(id ids.NodeID) bool { return t.crashed[id] }
+func (t *liveTransport) Stats() Stats               { return t.stats }
+func (t *liveTransport) ResetStats()                { t.stats = Stats{} }

@@ -1,0 +1,205 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+)
+
+func newTestLive(t *testing.T) *LiveRuntime {
+	t.Helper()
+	rt := NewLiveRuntime(LiveConfig{Latency: ConstantLatency(100 * time.Microsecond), Seed: 1})
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+func TestLiveClockTimerFires(t *testing.T) {
+	rt := newTestLive(t)
+	var fired atomic.Bool
+	rt.Do(func() {
+		rt.Clock().After(time.Millisecond, func() { fired.Store(true) })
+	})
+	rt.Run()
+	if !fired.Load() {
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestLiveClockCancel(t *testing.T) {
+	rt := newTestLive(t)
+	var fired atomic.Bool
+	rt.Do(func() {
+		h := rt.Clock().After(5*time.Millisecond, func() { fired.Store(true) })
+		if !rt.Clock().Cancel(h) {
+			t.Error("Cancel reported false for a pending timer")
+		}
+		if rt.Clock().Cancel(h) {
+			t.Error("second Cancel reported true")
+		}
+		if rt.Clock().Cancel(TimerHandle{}) {
+			t.Error("cancelling the zero handle reported true")
+		}
+	})
+	rt.Run() // must quiesce without waiting the 5ms
+	if fired.Load() {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestLiveClockStaleHandle(t *testing.T) {
+	rt := newTestLive(t)
+	var first TimerHandle
+	rt.Do(func() {
+		first = rt.Clock().After(time.Microsecond, func() {})
+	})
+	rt.Run()
+	var cancelled bool
+	var secondFired atomic.Bool
+	rt.Do(func() {
+		// Recycle the slot, then cancel through the stale handle: the
+		// new timer must survive.
+		rt.Clock().After(2*time.Millisecond, func() { secondFired.Store(true) })
+		cancelled = rt.Clock().Cancel(first)
+	})
+	if cancelled {
+		t.Error("stale handle cancelled something")
+	}
+	rt.Run()
+	if !secondFired.Load() {
+		t.Fatal("recycled-slot timer lost")
+	}
+}
+
+func TestLiveTicker(t *testing.T) {
+	rt := newTestLive(t)
+	var fires atomic.Int64
+	var tick Ticker
+	rt.Do(func() {
+		tick = rt.Clock().Every(500*time.Microsecond, func() { fires.Add(1) })
+	})
+	time.Sleep(10 * time.Millisecond)
+	rt.Do(func() { tick.Stop() })
+	rt.Run()
+	got := fires.Load()
+	if got < 2 {
+		t.Fatalf("ticker fired %d times, want >= 2", got)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if fires.Load() != got {
+		t.Fatal("ticker fired after Stop")
+	}
+}
+
+// echoEndpoint replies once to every message it receives.
+type echoEndpoint struct {
+	rt   *LiveRuntime
+	id   ids.NodeID
+	got  atomic.Int64
+	peer ids.NodeID
+	ping bool // initiate one reply per received message
+}
+
+func (e *echoEndpoint) HandleMessage(msg Message) {
+	e.got.Add(1)
+	if e.ping {
+		e.rt.Transport().Send(Message{From: e.id, To: msg.From, Kind: KindControl, Body: "echo"})
+	}
+}
+
+func TestLiveTransportDelivery(t *testing.T) {
+	rt := newTestLive(t)
+	a := ids.MakeNodeID(ids.TierAP, 1)
+	b := ids.MakeNodeID(ids.TierAP, 2)
+	epA := &echoEndpoint{rt: rt, id: a}
+	epB := &echoEndpoint{rt: rt, id: b, ping: true}
+	rt.Do(func() {
+		rt.Transport().Register(a, epA)
+		rt.Transport().Register(b, epB)
+		for i := 0; i < 10; i++ {
+			rt.Transport().Send(Message{From: a, To: b, Kind: KindToken, Body: i})
+		}
+	})
+	rt.Run()
+	if got := epB.got.Load(); got != 10 {
+		t.Fatalf("b received %d, want 10", got)
+	}
+	if got := epA.got.Load(); got != 10 {
+		t.Fatalf("a received %d echoes, want 10", got)
+	}
+	var st Stats
+	rt.Do(func() { st = rt.Transport().Stats() })
+	if st.Sent != 20 || st.Delivered != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DeliveredOf(KindToken) != 10 || st.DeliveredOf(KindControl) != 10 {
+		t.Fatalf("per-kind stats = %+v", st.ByKind)
+	}
+}
+
+func TestLiveTransportCrashAndRestore(t *testing.T) {
+	rt := newTestLive(t)
+	a := ids.MakeNodeID(ids.TierAP, 1)
+	b := ids.MakeNodeID(ids.TierAP, 2)
+	epB := &echoEndpoint{rt: rt, id: b}
+	rt.Do(func() {
+		rt.Transport().Register(a, EndpointFunc(func(Message) {}))
+		rt.Transport().Register(b, epB)
+		rt.Transport().Crash(b)
+		rt.Transport().Send(Message{From: a, To: b, Kind: KindToken})
+	})
+	rt.Run()
+	if epB.got.Load() != 0 {
+		t.Fatal("crashed node received a message")
+	}
+	rt.Do(func() {
+		rt.Transport().Restore(b)
+		rt.Transport().Send(Message{From: a, To: b, Kind: KindToken})
+	})
+	rt.Run()
+	if epB.got.Load() != 1 {
+		t.Fatal("restored node did not receive")
+	}
+	var st Stats
+	rt.Do(func() { st = rt.Transport().Stats() })
+	if st.Dropped != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLiveRunQuiescesPromptly(t *testing.T) {
+	rt := newTestLive(t)
+	start := time.Now()
+	rt.Run() // nothing pending: must return immediately
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("idle Run took %v", elapsed)
+	}
+}
+
+func TestLiveRunUntil(t *testing.T) {
+	rt := newTestLive(t)
+	var done bool
+	rt.Do(func() {
+		rt.Clock().After(2*time.Millisecond, func() { done = true })
+	})
+	if !rt.RunUntil(func() bool { return done }) {
+		t.Fatal("RunUntil gave up before the timer fired")
+	}
+	if rt.RunUntil(func() bool { return false }) {
+		t.Fatal("RunUntil reported an unsatisfiable predicate")
+	}
+}
+
+func TestLiveCloseIdempotent(t *testing.T) {
+	rt := NewLiveRuntime(LiveConfig{})
+	rt.Do(func() {
+		rt.Transport().Register(ids.MakeNodeID(ids.TierAP, 1), EndpointFunc(func(Message) {}))
+	})
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

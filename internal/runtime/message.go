@@ -1,0 +1,76 @@
+package runtime
+
+import (
+	"fmt"
+
+	"github.com/rgbproto/rgb/internal/ids"
+)
+
+// Message is one protocol datagram in flight between network entities.
+type Message struct {
+	From ids.NodeID // sender
+	To   ids.NodeID // destination
+	Kind Kind       // protocol message class, used for accounting
+	Body any        // protocol payload; owned by the receiver after delivery
+	Sent Time       // protocol time the message was sent
+}
+
+// Kind classifies messages for the hop-count accounting of Section 5.1
+// and for debugging. The scalability analysis counts only the
+// propagation messages (KindToken and KindNotify) as "proposal message
+// hops"; acknowledgements and queries are counted separately.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindToken     Kind = iota // one-round token passing along a ring
+	KindNotify                // Notification-to-Parent / Notification-to-Child
+	KindAck                   // Holder-Acknowledgement
+	KindMemberMsg             // MH -> AP membership change (join/leave/...)
+	KindQuery                 // Membership-Query request
+	KindReply                 // Membership-Query reply
+	KindControl               // ring maintenance (repair, merge, probes)
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindToken:
+		return "token"
+	case KindNotify:
+		return "notify"
+	case KindAck:
+		return "ack"
+	case KindMemberMsg:
+		return "member"
+	case KindQuery:
+		return "query"
+	case KindReply:
+		return "reply"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Stats aggregates the transport-level counters used by the
+// experiments. Both the simulated and the live transport maintain the
+// same counters, so experiment code is substrate-agnostic.
+type Stats struct {
+	Sent      uint64           // messages submitted to Send
+	Delivered uint64           // messages actually delivered
+	Dropped   uint64           // lost to crash or random loss
+	ByKind    [numKinds]uint64 // delivered, per kind
+}
+
+// DeliveredOf returns the delivered count for one kind.
+func (s *Stats) DeliveredOf(k Kind) uint64 { return s.ByKind[k] }
+
+// PropagationHops returns the §5.1 hop count: delivered token plus
+// notification messages, i.e. the messages that carry a membership
+// change through the hierarchy.
+func (s *Stats) PropagationHops() uint64 {
+	return s.ByKind[KindToken] + s.ByKind[KindNotify]
+}

@@ -1,0 +1,158 @@
+// Package runtime defines the substrate the RGB protocol engine runs
+// over: a Clock for time and timers, and a Transport for message
+// delivery between network entities. The protocol state machine in
+// internal/core talks exclusively to these interfaces, so the same
+// engine runs
+//
+//   - inside the deterministic discrete-event simulator (the
+//     des.Kernel + simnet.Network pair, bound by simnet.SimRuntime),
+//     which is what every experiment and golden determinism test
+//     drives, and
+//   - as a live in-process deployment (LiveRuntime in this package):
+//     real time.Timers, per-node mailbox goroutines, and a single
+//     engine goroutine serializing all protocol state access.
+//
+// The split mirrors the paper's own layering: the ring hierarchy and
+// one-round token protocol sit above an arbitrary mobile-Internet
+// network, so nothing in the protocol may assume it can step a
+// simulation kernel.
+package runtime
+
+import (
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+)
+
+// TimerHandle names a timer armed through a Clock. The zero
+// TimerHandle refers to no timer, and cancelling it is a no-op. A
+// handle stays valid after its timer fires or is cancelled — stale
+// handles can never touch a newer timer.
+type TimerHandle struct {
+	// W is the implementation-defined packed representation (zero
+	// marks the zero handle). Callers treat it as opaque.
+	W uint64
+}
+
+// Valid reports whether the handle names a timer (as opposed to the
+// zero TimerHandle). It says nothing about whether the timer is still
+// pending.
+func (h TimerHandle) Valid() bool { return h.W != 0 }
+
+// Ticker is a repeating timer armed through Clock.Every.
+type Ticker interface {
+	// Stop cancels future firings. Safe to call multiple times and
+	// from within the ticker callback.
+	Stop()
+}
+
+// Clock provides time and timers to the protocol engine. All methods
+// must be called from engine context (inside the simulator's event
+// loop, or inside Runtime.Do for a live runtime); callbacks are
+// always invoked in engine context.
+type Clock interface {
+	// Now returns the current protocol time.
+	Now() Time
+
+	// After schedules fn to run d from now.
+	After(d time.Duration, fn func()) TimerHandle
+
+	// AfterCall schedules fn(arg) to run d from now. This is the
+	// closure-free path: fn is typically a shared per-object function
+	// and arg a pointer, so arming the timer allocates nothing on the
+	// simulated clock.
+	AfterCall(d time.Duration, fn func(any), arg any) TimerHandle
+
+	// Cancel stops the timer so it will not fire, reporting whether it
+	// did. Cancelling the zero handle, or a timer that already fired
+	// or was cancelled, is a harmless no-op.
+	Cancel(h TimerHandle) bool
+
+	// Every schedules fn to run every interval, first firing one
+	// interval from now.
+	Every(interval time.Duration, fn func()) Ticker
+}
+
+// Endpoint is a network entity able to receive messages. Handlers run
+// in engine context; they may send messages and set timers but must
+// not block.
+type Endpoint interface {
+	HandleMessage(msg Message)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(Message)
+
+// HandleMessage calls f(msg).
+func (f EndpointFunc) HandleMessage(msg Message) { f(msg) }
+
+// Transport is the message plane between network entities:
+// asynchronous unicast with unbounded (but finite) latency, message
+// loss, and crash faults. All methods must be called from engine
+// context.
+type Transport interface {
+	// Register attaches an endpoint under the given ID, replacing any
+	// previous registration.
+	Register(id ids.NodeID, ep Endpoint)
+
+	// Unregister removes the endpoint, if present.
+	Unregister(id ids.NodeID)
+
+	// Send submits a message for asynchronous delivery. Sends to the
+	// zero NodeID are dropped silently (callers use that for "no
+	// parent"), but counted.
+	Send(msg Message)
+
+	// Crash marks a node faulty: it stops sending and receiving.
+	Crash(id ids.NodeID)
+
+	// Restore clears the faulty state of a node.
+	Restore(id ids.NodeID)
+
+	// Crashed reports whether the node is currently faulty.
+	Crashed(id ids.NodeID) bool
+
+	// Stats returns a copy of the delivery counters.
+	Stats() Stats
+
+	// ResetStats zeroes all counters (topology and crash state kept).
+	ResetStats()
+}
+
+// Runtime bundles a Clock and Transport with the drive operations the
+// engine and its callers need. The simulated implementation is
+// simnet.SimRuntime; the live one is LiveRuntime.
+type Runtime interface {
+	Clock() Clock
+	Transport() Transport
+
+	// Do runs fn serialized with the runtime's event processing and
+	// returns when fn has completed. The simulator runs fn directly on
+	// the caller (it is single-threaded by construction); a live
+	// runtime marshals fn onto its engine goroutine. All access to
+	// protocol state from outside a handler must go through Do.
+	//
+	// After Close, fn may be dropped without running: callers that
+	// need to distinguish success must observe a side effect of fn
+	// itself (e.g. a sentinel cleared by fn).
+	Do(fn func())
+
+	// Run drives the runtime until quiescence: no pending timers, no
+	// in-flight messages. Do not call with periodic tickers armed —
+	// a ticker is always pending, so Run would never return.
+	Run()
+
+	// RunFor drives the runtime for d of protocol time (virtual for
+	// the simulator, wall-clock for a live runtime).
+	RunFor(d time.Duration)
+
+	// RunUntil drives the runtime until pred reports true, giving up
+	// at quiescence. It reports pred's final value. pred is evaluated
+	// in engine context.
+	RunUntil(pred func() bool) bool
+
+	// Close releases the runtime's resources. The simulator's Close is
+	// a no-op; a live runtime stops its goroutines. Using a runtime
+	// after Close is undefined.
+	Close() error
+}

@@ -9,167 +9,60 @@
 // asynchronous unicast delivery between network entities, unbounded
 // (but finite) latency, message loss, and crash faults. Everything is
 // driven by the des kernel, so runs are deterministic for a fixed seed.
+//
+// The message-plane vocabulary (Message, Kind, Endpoint, Stats, the
+// latency models) lives in internal/runtime and is aliased here: the
+// Network is one Transport implementation of that substrate, the
+// engine-facing twin of the live in-process transport.
 package simnet
 
 import (
-	"fmt"
 	"time"
 
 	"github.com/rgbproto/rgb/internal/des"
 	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/mathx"
+	"github.com/rgbproto/rgb/internal/runtime"
 )
 
-// Message is one protocol datagram in flight between network entities.
-type Message struct {
-	From ids.NodeID // sender
-	To   ids.NodeID // destination
-	Kind Kind       // protocol message class, used for accounting
-	Body any        // protocol payload; owned by the receiver after delivery
-	Sent des.Time   // virtual time the message was sent
-}
+// Message-plane vocabulary, shared with every Transport implementation.
+type (
+	// Message is one protocol datagram in flight.
+	Message = runtime.Message
+	// Kind classifies messages for hop-count accounting.
+	Kind = runtime.Kind
+	// Endpoint is a network entity able to receive messages.
+	Endpoint = runtime.Endpoint
+	// EndpointFunc adapts a function to the Endpoint interface.
+	EndpointFunc = runtime.EndpointFunc
+	// Stats aggregates the network-level counters.
+	Stats = runtime.Stats
+	// LatencyModel decides the delivery delay of each message.
+	LatencyModel = runtime.LatencyModel
+	// ConstantLatency delivers every message after a fixed delay.
+	ConstantLatency = runtime.ConstantLatency
+	// UniformLatency delivers after a uniform delay in [Min, Max).
+	UniformLatency = runtime.UniformLatency
+	// TierLatency models the 4-tier architecture's per-tier delays.
+	TierLatency = runtime.TierLatency
+)
 
-// Kind classifies messages for the hop-count accounting of Section 5.1
-// and for debugging. The scalability analysis counts only the
-// propagation messages (KindToken and KindNotify) as "proposal message
-// hops"; acknowledgements and queries are counted separately.
-type Kind uint8
-
-// Message kinds.
+// Message kinds (aliased from the runtime vocabulary).
 const (
-	KindToken     Kind = iota // one-round token passing along a ring
-	KindNotify                // Notification-to-Parent / Notification-to-Child
-	KindAck                   // Holder-Acknowledgement
-	KindMemberMsg             // MH -> AP membership change (join/leave/...)
-	KindQuery                 // Membership-Query request
-	KindReply                 // Membership-Query reply
-	KindControl               // ring maintenance (repair, merge, probes)
-	numKinds
+	KindToken     = runtime.KindToken
+	KindNotify    = runtime.KindNotify
+	KindAck       = runtime.KindAck
+	KindMemberMsg = runtime.KindMemberMsg
+	KindQuery     = runtime.KindQuery
+	KindReply     = runtime.KindReply
+	KindControl   = runtime.KindControl
 )
 
-// String names the kind.
-func (k Kind) String() string {
-	switch k {
-	case KindToken:
-		return "token"
-	case KindNotify:
-		return "notify"
-	case KindAck:
-		return "ack"
-	case KindMemberMsg:
-		return "member"
-	case KindQuery:
-		return "query"
-	case KindReply:
-		return "reply"
-	case KindControl:
-		return "control"
-	default:
-		return fmt.Sprintf("Kind(%d)", uint8(k))
-	}
-}
+// DefaultTierLatency is the standard mobile-Internet latency profile.
+func DefaultTierLatency() TierLatency { return runtime.DefaultTierLatency() }
 
-// Endpoint is a network entity able to receive messages. Handlers run
-// inside kernel events; they may send messages and set timers but must
-// not block.
-type Endpoint interface {
-	HandleMessage(msg Message)
-}
-
-// EndpointFunc adapts a function to the Endpoint interface.
-type EndpointFunc func(Message)
-
-// HandleMessage calls f(msg).
-func (f EndpointFunc) HandleMessage(msg Message) { f(msg) }
-
-// LatencyModel decides the delivery delay of each message.
-type LatencyModel interface {
-	// Latency returns the in-flight time for a message from -> to.
-	// Implementations may consult the RNG for jitter; they must not
-	// retain it.
-	Latency(from, to ids.NodeID, rng *mathx.RNG) time.Duration
-}
-
-// ConstantLatency delivers every message after a fixed delay.
-type ConstantLatency time.Duration
-
-// Latency implements LatencyModel.
-func (c ConstantLatency) Latency(_, _ ids.NodeID, _ *mathx.RNG) time.Duration {
-	return time.Duration(c)
-}
-
-// UniformLatency delivers after a uniform delay in [Min, Max).
-type UniformLatency struct {
-	Min, Max time.Duration
-}
-
-// Latency implements LatencyModel.
-func (u UniformLatency) Latency(_, _ ids.NodeID, rng *mathx.RNG) time.Duration {
-	if u.Max <= u.Min {
-		return u.Min
-	}
-	return u.Min + time.Duration(rng.Uniform(0, float64(u.Max-u.Min)))
-}
-
-// TierLatency models the 4-tier architecture: hops within low tiers
-// (between APs of one wireless access network) are fast, hops between
-// AGs cross an AS, and hops between BRs cross AS boundaries over BGP
-// paths, which the paper calls out for "high message latency". The
-// latency of a message is chosen by the *higher* tier of its two
-// endpoints, plus optional uniform jitter.
-type TierLatency struct {
-	AP     time.Duration // AP<->AP and MH<->AP hops
-	AG     time.Duration // hops touching an AG
-	BR     time.Duration // hops touching a BR
-	Jitter time.Duration // uniform extra in [0, Jitter)
-}
-
-// DefaultTierLatency is a plausible mobile-Internet profile: 2ms inside
-// an access network, 10ms across an AS, 50ms between ASs.
-func DefaultTierLatency() TierLatency {
-	return TierLatency{AP: 2 * time.Millisecond, AG: 10 * time.Millisecond, BR: 50 * time.Millisecond, Jitter: time.Millisecond}
-}
-
-// Latency implements LatencyModel.
-func (t TierLatency) Latency(from, to ids.NodeID, rng *mathx.RNG) time.Duration {
-	tier := from.Tier()
-	if !to.IsZero() && to.Tier() > tier {
-		tier = to.Tier()
-	}
-	var base time.Duration
-	switch tier {
-	case ids.TierBR:
-		base = t.BR
-	case ids.TierAG:
-		base = t.AG
-	default:
-		base = t.AP
-	}
-	if t.Jitter > 0 {
-		base += time.Duration(rng.Uniform(0, float64(t.Jitter)))
-	}
-	return base
-}
-
-// Stats aggregates the network-level counters used by the experiments.
-type Stats struct {
-	Sent      uint64           // messages submitted to Send
-	Delivered uint64           // messages actually delivered
-	Dropped   uint64           // lost to crash or random loss
-	ByKind    [numKinds]uint64 // delivered, per kind
-}
-
-// DeliveredOf returns the delivered count for one kind.
-func (s *Stats) DeliveredOf(k Kind) uint64 { return s.ByKind[k] }
-
-// PropagationHops returns the §5.1 hop count: delivered token plus
-// notification messages, i.e. the messages that carry a membership
-// change through the hierarchy.
-func (s *Stats) PropagationHops() uint64 {
-	return s.ByKind[KindToken] + s.ByKind[KindNotify]
-}
-
-// Network is the simulated message plane.
+// Network is the simulated message plane. It implements
+// runtime.Transport.
 type Network struct {
 	kernel    *des.Kernel
 	rng       *mathx.RNG
@@ -269,7 +162,7 @@ func (n *Network) ResetStats() { n.stats = Stats{} }
 // closure-free scheduling path, so a delivery allocates nothing once
 // the pool is warm.
 func (n *Network) Send(msg Message) {
-	msg.Sent = n.kernel.Now()
+	msg.Sent = runtime.Time(n.kernel.Now())
 	n.stats.Sent++
 	if n.crashed[msg.From] {
 		n.stats.Dropped++
@@ -332,4 +225,94 @@ func (n *Network) trace(msg Message, outcome string) {
 // SendKind is a convenience wrapper building the Message inline.
 func (n *Network) SendKind(from, to ids.NodeID, kind Kind, body any) {
 	n.Send(Message{From: from, To: to, Kind: kind, Body: body})
+}
+
+// --- Simulated runtime ------------------------------------------------
+
+// The simulated pair satisfies the substrate contracts.
+var (
+	_ runtime.Runtime   = (*SimRuntime)(nil)
+	_ runtime.Transport = (*Network)(nil)
+	_ runtime.Clock     = simClock{}
+)
+
+// SimRuntime binds the deterministic des kernel and the simulated
+// network into one runtime.Runtime: the substrate every experiment,
+// sweep and golden determinism test drives. Runs with a fixed seed
+// are bit-reproducible.
+type SimRuntime struct {
+	kernel *des.Kernel
+	net    *Network
+	clock  simClock
+}
+
+// NewSimRuntime builds a fresh kernel plus network pair. latency nil
+// selects the default 4-tier profile.
+func NewSimRuntime(latency LatencyModel, seed uint64) *SimRuntime {
+	if latency == nil {
+		latency = DefaultTierLatency()
+	}
+	kernel := des.NewKernel()
+	rt := &SimRuntime{kernel: kernel, net: New(kernel, latency, seed)}
+	rt.clock = simClock{kernel: kernel}
+	return rt
+}
+
+// Kernel returns the underlying DES kernel (simulator-only callers:
+// trace hooks, virtual-time assertions).
+func (rt *SimRuntime) Kernel() *des.Kernel { return rt.kernel }
+
+// Net returns the underlying simulated network (simulator-only
+// callers: loss/trace configuration).
+func (rt *SimRuntime) Net() *Network { return rt.net }
+
+// Clock implements runtime.Runtime.
+func (rt *SimRuntime) Clock() runtime.Clock { return rt.clock }
+
+// Transport implements runtime.Runtime.
+func (rt *SimRuntime) Transport() runtime.Transport { return rt.net }
+
+// Do implements runtime.Runtime. The simulator is single-threaded by
+// construction, so fn runs directly on the caller.
+func (rt *SimRuntime) Do(fn func()) { fn() }
+
+// Run implements runtime.Runtime: drain all pending events.
+func (rt *SimRuntime) Run() { rt.kernel.Run() }
+
+// RunFor implements runtime.Runtime: advance virtual time by d.
+func (rt *SimRuntime) RunFor(d time.Duration) { rt.kernel.RunFor(d) }
+
+// RunUntil implements runtime.Runtime: step events until pred holds
+// or the queue drains.
+func (rt *SimRuntime) RunUntil(pred func() bool) bool {
+	for !pred() && rt.kernel.Step() {
+	}
+	return pred()
+}
+
+// Close implements runtime.Runtime (no resources to release).
+func (rt *SimRuntime) Close() error { return nil }
+
+// simClock adapts the kernel to runtime.Clock. It is a value type so
+// the adapter itself never allocates.
+type simClock struct {
+	kernel *des.Kernel
+}
+
+func (c simClock) Now() runtime.Time { return runtime.Time(c.kernel.Now()) }
+
+func (c simClock) After(d time.Duration, fn func()) runtime.TimerHandle {
+	return runtime.TimerHandle{W: c.kernel.After(d, fn).Word()}
+}
+
+func (c simClock) AfterCall(d time.Duration, fn func(any), arg any) runtime.TimerHandle {
+	return runtime.TimerHandle{W: c.kernel.AfterCall(d, fn, arg).Word()}
+}
+
+func (c simClock) Cancel(h runtime.TimerHandle) bool {
+	return c.kernel.Cancel(des.HandleOfWord(h.W))
+}
+
+func (c simClock) Every(interval time.Duration, fn func()) runtime.Ticker {
+	return c.kernel.Every(interval, fn)
 }

@@ -1,0 +1,121 @@
+package rgb
+
+import (
+	"time"
+
+	"github.com/rgbproto/rgb/internal/core"
+)
+
+// serviceOptions accumulates the functional options of Open.
+type serviceOptions struct {
+	cfg        core.Config
+	scheme     core.QueryScheme
+	rt         Runtime
+	watchBuf   int
+	liveConfig *LiveConfig
+}
+
+// Option configures a Service at Open time.
+type Option func(*serviceOptions)
+
+// defaultServiceOptions is the base every Open starts from: a 3x5
+// hierarchy on the default simulated runtime with the TMS query
+// scheme.
+func defaultServiceOptions() serviceOptions {
+	return serviceOptions{
+		cfg:      core.DefaultConfig(3, 5),
+		scheme:   core.TMS(),
+		watchBuf: 1024,
+	}
+}
+
+// WithHierarchy sets the hierarchy shape: h ring levels with r
+// entities per ring (h >= 1, r >= 2).
+func WithHierarchy(h, r int) Option {
+	return func(o *serviceOptions) { o.cfg.H, o.cfg.R = h, r }
+}
+
+// WithSeed makes the deployment reproducible: it seeds the simulated
+// message plane, the AP-selection stream of Join, and (for a live
+// runtime the Service builds itself) the live latency jitter.
+func WithSeed(seed uint64) Option {
+	return func(o *serviceOptions) { o.cfg.Seed = seed }
+}
+
+// WithGroup sets the group identity served by the hierarchy.
+func WithGroup(gid GroupID) Option {
+	return func(o *serviceOptions) { o.cfg.GID = gid }
+}
+
+// WithQueryScheme sets the default Membership-Query scheme used by
+// Service.Query (TMS, BMS or IMS).
+func WithQueryScheme(scheme QueryScheme) Option {
+	return func(o *serviceOptions) { o.scheme = scheme }
+}
+
+// WithDissemination selects full vs path-only propagation.
+func WithDissemination(mode DisseminationMode) Option {
+	return func(o *serviceOptions) { o.cfg.Dissemination = mode }
+}
+
+// WithLatency sets the message-plane latency model (applies to the
+// runtime the Service builds itself; a runtime supplied through
+// WithRuntime arrives with its own message plane).
+func WithLatency(model LatencyModel) Option {
+	return func(o *serviceOptions) { o.cfg.Latency = model }
+}
+
+// WithLoss sets the independent per-message loss probability (applies
+// to the runtime the Service builds itself).
+func WithLoss(p float64) Option {
+	return func(o *serviceOptions) { o.cfg.Loss = p }
+}
+
+// WithHeartbeat enables periodic empty token rounds in every ring so
+// failures are detected without membership traffic.
+func WithHeartbeat(interval time.Duration) Option {
+	return func(o *serviceOptions) { o.cfg.HeartbeatInterval = interval }
+}
+
+// WithAggregation toggles MQ aggregation (on by default).
+func WithAggregation(on bool) Option {
+	return func(o *serviceOptions) { o.cfg.Aggregate = on }
+}
+
+// WithNeighborLists toggles ListOfNeighborMembers maintenance for
+// fast handoff (on by default).
+func WithNeighborLists(on bool) Option {
+	return func(o *serviceOptions) { o.cfg.NeighborLists = on }
+}
+
+// WithConfig replaces the whole protocol configuration at once, for
+// callers migrating from the deprecated Config-based facade. Options
+// applied after it refine it.
+func WithConfig(cfg Config) Option {
+	return func(o *serviceOptions) { o.cfg = cfg }
+}
+
+// WithRuntime runs the service on the given substrate instead of the
+// default simulated runtime. The Service does not close a supplied
+// runtime; the caller owns its lifecycle.
+func WithRuntime(rt Runtime) Option {
+	return func(o *serviceOptions) { o.rt = rt }
+}
+
+// WithLiveRuntime runs the service on a live in-process runtime the
+// Service builds (and closes) itself. The zero LiveConfig is a good
+// default; the service seed is used when cfg.Seed is zero.
+func WithLiveRuntime(cfg LiveConfig) Option {
+	return func(o *serviceOptions) { c := cfg; o.liveConfig = &c }
+}
+
+// WithWatchBuffer sets the per-subscriber event buffer of Watch
+// (default 1024). A subscriber that falls behind by more than the
+// buffer loses the overflow.
+func WithWatchBuffer(n int) Option {
+	return func(o *serviceOptions) {
+		if n > 0 {
+			o.watchBuf = n
+		}
+	}
+}

@@ -4,10 +4,30 @@
 // built on a Ring-based hierarchy of access proxies, access Gateways
 // and Border routers.
 //
-// The package is a facade over the implementation packages:
+// The primary entry point is the transport-agnostic Service API:
 //
-//   - a deterministic discrete-event simulator and 4-tier network
-//     model (internal/des, internal/simnet);
+//	svc, err := rgb.Open(rgb.WithHierarchy(3, 5), rgb.WithSeed(1))
+//	if err != nil { ... }
+//	defer svc.Close()
+//
+//	ctx := context.Background()
+//	events, _ := svc.Watch(ctx)          // membership change stream
+//	svc.JoinAt(ctx, rgb.GUID(1), svc.APs()[0])
+//	svc.Settle(ctx)                      // drive to quiescence
+//	members, _ := svc.Members(ctx)       // authoritative view
+//	res, _ := svc.Query(ctx, svc.APs()[7])
+//	fmt.Println(members, res.Members, <-events)
+//
+// The protocol engine talks only to the runtime substrate interfaces
+// (Clock, Transport): by default it runs on the deterministic
+// discrete-event simulator (NewSimRuntime), and rgb.WithLiveRuntime /
+// rgb.NewLiveRuntime run the identical engine live in-process on real
+// timers and per-node mailbox goroutines.
+//
+// The implementation packages underneath:
+//
+//   - the runtime substrate and its two implementations
+//     (internal/runtime, internal/des, internal/simnet);
 //   - the ring-based hierarchy and the One-Round Token Passing
 //     Membership algorithm with failure detection, local repair, and
 //     the TMS/BMS/IMS Membership-Query schemes (internal/core and its
@@ -19,20 +39,12 @@
 //   - mobility and churn workload generators (internal/mobility,
 //     internal/workload).
 //
-// Quick start:
-//
-//	sys := rgb.New(rgb.DefaultConfig(3, 5))
-//	sys.JoinMember(rgb.GUID(1))
-//	sys.Run()
-//	fmt.Println(sys.GlobalMembership())
-//
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's Table I and Table II.
+// See DESIGN.md for the system inventory and layering diagram, and
+// EXPERIMENTS.md for the reproduction of the paper's Table I and
+// Table II.
 package rgb
 
 import (
-	"time"
-
 	"github.com/rgbproto/rgb/internal/analytic"
 	"github.com/rgbproto/rgb/internal/core"
 	"github.com/rgbproto/rgb/internal/experiment"
@@ -43,9 +55,14 @@ import (
 	"github.com/rgbproto/rgb/internal/workload"
 )
 
-// Core protocol types.
+// Core protocol types. System remains exported for diagnostics
+// (Service.Inspect) and for callers migrating from the pre-Service
+// facade.
 type (
-	// System is a complete simulated RGB deployment.
+	// System is a complete RGB deployment on some runtime substrate.
+	//
+	// Deprecated: use Open and the Service API; reach a System only
+	// through Service.Inspect.
 	System = core.System
 	// Config parameterizes a deployment.
 	Config = core.Config
@@ -79,7 +96,10 @@ const (
 	DisseminatePathOnly = core.DisseminatePathOnly
 )
 
-// New builds a simulated deployment.
+// New builds a deployment on a fresh simulated runtime.
+//
+// Deprecated: use Open with options (WithConfig for an existing
+// Config). New remains as a thin shim for the pre-Service facade.
 func New(cfg Config) *System { return core.NewSystem(cfg) }
 
 // DefaultConfig returns a ready-to-run configuration for a full
@@ -177,13 +197,29 @@ const (
 // DefaultChurnConfig returns a moderate churn profile.
 func DefaultChurnConfig() ChurnConfig { return workload.DefaultChurnConfig() }
 
+// ChurnOver builds a churn trace over the given access proxies
+// (normally Service.APs).
+func ChurnOver(aps []NodeID, cfg ChurnConfig, firstGUID GUID) Trace {
+	return workload.Churn(aps, cfg, firstGUID)
+}
+
 // Churn builds a churn trace over the system's access proxies.
+//
+// Deprecated: use ChurnOver with Service.APs.
 func Churn(sys *System, cfg ChurnConfig, firstGUID GUID) Trace {
 	return workload.Churn(sys.APs(), cfg, firstGUID)
 }
 
+// NewGridOver tiles the given access proxies (normally Service.APs)
+// into square cells of the given edge length (meters).
+func NewGridOver(aps []NodeID, cellSize float64) *Grid {
+	return mobility.NewGrid(aps, cellSize)
+}
+
 // NewGrid tiles the system's APs into square cells of the given edge
 // length (meters).
+//
+// Deprecated: use NewGridOver with Service.APs.
 func NewGrid(sys *System, cellSize float64) *Grid {
 	return mobility.NewGrid(sys.APs(), cellSize)
 }
@@ -234,15 +270,11 @@ func RunScenario(sc SweepScenario, seed uint64) SweepRunResult {
 	return experiment.RunScenario(sc, seed)
 }
 
-// ApplyTrace schedules a scenario onto the system's virtual clock.
-// Run the system afterwards to execute it.
+// ApplyTrace schedules a scenario onto the system's clock. Run the
+// system afterwards to execute it. Events that have become invalid by
+// execution time are skipped.
+//
+// Deprecated: use Service.ApplyTrace.
 func ApplyTrace(sys *System, tr Trace) {
-	workload.Apply(tr, func(at time.Duration, fn func()) {
-		sys.Kernel().At(sys.Kernel().Now().Add(at), fn)
-	}, workload.Ops{
-		Join:    func(g GUID, ap NodeID) { sys.JoinMemberAt(g, ap) },
-		Leave:   sys.LeaveMember,
-		Fail:    sys.FailMember,
-		Handoff: sys.HandoffMember,
-	})
+	core.ApplyTrace(sys, tr)
 }

@@ -36,7 +36,10 @@ func TestFacadeQuery(t *testing.T) {
 	sys := New(DefaultConfig(2, 5))
 	sys.JoinMember(GUID(1))
 	sys.Run()
-	res := sys.RunQuery(sys.APs()[0], TMS())
+	res, err := sys.RunQuery(sys.APs()[0], TMS())
+	if err != nil {
+		t.Fatalf("RunQuery: %v", err)
+	}
 	if len(res.Members) != 1 {
 		t.Fatalf("TMS answer = %v", res.Members)
 	}

@@ -1,0 +1,73 @@
+package rgb
+
+import (
+	"github.com/rgbproto/rgb/internal/runtime"
+	"github.com/rgbproto/rgb/internal/simnet"
+)
+
+// Runtime substrate: the Service runs the protocol engine over a
+// pluggable Clock (time and timers) and Transport (message delivery),
+// bundled as a Runtime. Two implementations ship with the package:
+//
+//   - the deterministic discrete-event simulator (NewSimRuntime, the
+//     default), where protocol time is virtual and a fixed seed makes
+//     runs bit-reproducible; and
+//   - the live in-process runtime (NewLiveRuntime), where timers are
+//     real time.Timers and per-node mailbox goroutines deliver
+//     messages — the engine demonstrably does not depend on the
+//     simulator.
+type (
+	// Runtime bundles a Clock and Transport with drive operations.
+	Runtime = runtime.Runtime
+	// Clock provides protocol time and timers.
+	Clock = runtime.Clock
+	// Transport is the message plane between network entities.
+	Transport = runtime.Transport
+	// Stats aggregates transport-level delivery counters.
+	Stats = runtime.Stats
+	// LiveConfig parameterizes a live in-process runtime.
+	LiveConfig = runtime.LiveConfig
+
+	// Kind classifies messages for hop-count accounting.
+	Kind = runtime.Kind
+
+	// LatencyModel decides the delivery delay of each message.
+	LatencyModel = runtime.LatencyModel
+	// ConstantLatency delivers every message after a fixed delay.
+	ConstantLatency = runtime.ConstantLatency
+	// UniformLatency delivers after a uniform delay in [Min, Max).
+	UniformLatency = runtime.UniformLatency
+	// TierLatency models the 4-tier architecture's per-tier delays.
+	TierLatency = runtime.TierLatency
+)
+
+// Message kinds, for per-kind delivery accounting (Stats.DeliveredOf).
+const (
+	KindToken     = runtime.KindToken
+	KindNotify    = runtime.KindNotify
+	KindAck       = runtime.KindAck
+	KindMemberMsg = runtime.KindMemberMsg
+	KindQuery     = runtime.KindQuery
+	KindReply     = runtime.KindReply
+	KindControl   = runtime.KindControl
+)
+
+// DefaultTierLatency is the standard mobile-Internet latency profile:
+// 2ms inside an access network, 10ms across an AS, 50ms between ASs.
+func DefaultTierLatency() TierLatency { return runtime.DefaultTierLatency() }
+
+// NewSimRuntime builds a deterministic simulated runtime: a virtual
+// clock over an event kernel and a simulated message plane. latency
+// nil selects the default 4-tier profile. Runs with a fixed seed are
+// bit-reproducible.
+func NewSimRuntime(latency LatencyModel, seed uint64) Runtime {
+	return simnet.NewSimRuntime(latency, seed)
+}
+
+// NewLiveRuntime starts a live in-process runtime: real timers,
+// per-node mailbox goroutines, and a single engine goroutine
+// serializing all protocol state access. The caller (or the Service
+// that owns it) must Close it.
+func NewLiveRuntime(cfg LiveConfig) Runtime {
+	return runtime.NewLiveRuntime(cfg)
+}

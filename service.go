@@ -1,0 +1,395 @@
+package rgb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/core"
+	"github.com/rgbproto/rgb/internal/runtime"
+	"github.com/rgbproto/rgb/internal/simnet"
+)
+
+// Service is the RGB group membership service: the ring hierarchy and
+// the one-round token protocol running over a pluggable runtime
+// substrate. Open builds one; the zero value is not usable.
+//
+// Concurrency: on a live runtime every method is safe for concurrent
+// use — protocol state is only ever touched on the runtime's engine
+// goroutine. The simulated runtime is single-threaded by construction
+// (determinism requires it), so a sim-backed Service must be driven
+// from one goroutine at a time; its Do runs work inline on the
+// caller.
+type Service struct {
+	rt     runtime.Runtime
+	owned  bool // Close the runtime with the service
+	sys    *core.System
+	scheme core.QueryScheme
+
+	watchBuf int
+
+	mu            sync.Mutex
+	closed        bool
+	done          chan struct{}
+	nextWatcher   int
+	sinkInstalled bool
+	watchers      map[int]chan MembershipEvent
+}
+
+// Open builds and starts a membership service. With no options it
+// serves a 3x5 hierarchy on a fresh deterministic simulated runtime;
+// see the With... options for hierarchy shape, seeds, query scheme,
+// dissemination mode, and runtime selection.
+func Open(opts ...Option) (*Service, error) {
+	o := defaultServiceOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.cfg.H < 1 || o.cfg.R < 2 {
+		return nil, fmt.Errorf("%w (h=%d, r=%d)", ErrBadHierarchy, o.cfg.H, o.cfg.R)
+	}
+	if o.scheme.Level < 0 || o.scheme.Level >= o.cfg.H {
+		return nil, fmt.Errorf("rgb: default scheme level %d of height-%d hierarchy: %w", o.scheme.Level, o.cfg.H, ErrQueryLevel)
+	}
+
+	rt := o.rt
+	owned := false
+	switch {
+	case rt != nil:
+		// Caller-supplied substrate; the caller owns its lifecycle.
+	case o.liveConfig != nil:
+		lc := *o.liveConfig
+		if lc.Seed == 0 {
+			lc.Seed = o.cfg.Seed
+		}
+		rt = runtime.NewLiveRuntime(lc)
+		owned = true
+	default:
+		sim := simnet.NewSimRuntime(o.cfg.Latency, o.cfg.Seed)
+		if o.cfg.Loss > 0 {
+			sim.Net().SetLoss(o.cfg.Loss)
+		}
+		rt = sim
+		owned = true
+	}
+
+	var sys *core.System
+	rt.Do(func() { sys = core.NewSystemOn(o.cfg, rt) })
+	return &Service{
+		rt:       rt,
+		owned:    owned,
+		sys:      sys,
+		scheme:   o.scheme,
+		watchBuf: o.watchBuf,
+		done:     make(chan struct{}),
+		watchers: make(map[int]chan MembershipEvent),
+	}, nil
+}
+
+// Close shuts the service down: subscribers' channels are closed, and
+// a runtime the service built itself is closed with it. Close is
+// idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	watchers := s.watchers
+	s.watchers = make(map[int]chan MembershipEvent)
+	close(s.done)
+	s.mu.Unlock()
+
+	s.rt.Do(func() { s.sys.SetEventSink(nil) })
+	for _, ch := range watchers {
+		close(ch)
+	}
+	if s.owned {
+		return s.rt.Close()
+	}
+	return nil
+}
+
+// Runtime returns the substrate the service runs on.
+func (s *Service) Runtime() Runtime { return s.rt }
+
+// Config returns the active protocol configuration.
+func (s *Service) Config() Config { return s.sys.Config() }
+
+// TopologyInfo summarizes the static hierarchy of a service.
+type TopologyInfo struct {
+	Levels   int // ring levels (hierarchy height)
+	RingSize int // entities per ring
+	Rings    int // total logical rings
+	Entities int // total network entities
+	APs      int // bottommost access proxies
+}
+
+// Topology returns the static hierarchy shape.
+func (s *Service) Topology() TopologyInfo {
+	h := s.sys.Hierarchy()
+	cfg := s.sys.Config()
+	return TopologyInfo{
+		Levels:   cfg.H,
+		RingSize: cfg.R,
+		Rings:    h.NumRings(),
+		Entities: h.NumNodes(),
+		APs:      h.NumAPs(),
+	}
+}
+
+// APs returns the bottommost access proxies — the attachment points
+// for Join and Handoff.
+func (s *Service) APs() []NodeID {
+	src := s.sys.APs()
+	out := make([]NodeID, len(src))
+	copy(out, src)
+	return out
+}
+
+// do runs fn in engine context after the usual liveness checks. The
+// error starts as ErrClosed and is overwritten by fn itself: if the
+// runtime was closed underneath the service (a caller-owned runtime's
+// lifecycle is the caller's), a dropped fn reports ErrClosed instead
+// of silently succeeding.
+func (s *Service) do(ctx context.Context, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	err := ErrClosed
+	s.rt.Do(func() { err = fn() })
+	return err
+}
+
+// Join adds the member to the group at a deterministically chosen
+// access proxy and returns it. The join propagates asynchronously;
+// subscribe with Watch or call Settle to observe the commit.
+func (s *Service) Join(ctx context.Context, guid GUID) (NodeID, error) {
+	var ap NodeID
+	err := s.do(ctx, func() error {
+		m, err := s.sys.JoinMember(guid)
+		if err != nil {
+			return err
+		}
+		ap = m.AP
+		return nil
+	})
+	return ap, err
+}
+
+// JoinAt adds the member to the group at the given access proxy.
+func (s *Service) JoinAt(ctx context.Context, guid GUID, ap NodeID) error {
+	return s.do(ctx, func() error {
+		_, err := s.sys.JoinMemberAt(guid, ap)
+		return err
+	})
+}
+
+// Leave submits the member's voluntary departure.
+func (s *Service) Leave(ctx context.Context, guid GUID) error {
+	return s.do(ctx, func() error { return s.sys.LeaveMember(guid) })
+}
+
+// Fail injects a member failure as detected by its serving access
+// proxy (faulty disconnection).
+func (s *Service) Fail(ctx context.Context, guid GUID) error {
+	return s.do(ctx, func() error { return s.sys.FailMember(guid) })
+}
+
+// Handoff moves the member to a new access proxy (a cell crossing).
+func (s *Service) Handoff(ctx context.Context, guid GUID, newAP NodeID) error {
+	return s.do(ctx, func() error { return s.sys.HandoffMember(guid, newAP) })
+}
+
+// Members returns the authoritative group membership: the topmost
+// ring's view.
+func (s *Service) Members(ctx context.Context) ([]MemberInfo, error) {
+	var out []MemberInfo
+	err := s.do(ctx, func() error {
+		out = s.sys.GlobalMembership()
+		return nil
+	})
+	return out, err
+}
+
+// Query runs a Membership-Query from the given entry access proxy
+// with the service's configured scheme (WithQueryScheme; TMS by
+// default).
+func (s *Service) Query(ctx context.Context, entry NodeID) (QueryResult, error) {
+	return s.QueryWith(ctx, entry, s.scheme)
+}
+
+// QueryWith runs a Membership-Query with an explicit scheme. It
+// drives the runtime until the answer is complete.
+func (s *Service) QueryWith(ctx context.Context, entry NodeID, scheme QueryScheme) (QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return QueryResult{}, err
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return QueryResult{}, ErrClosed
+	}
+	// RunQuery manages its own engine-context phases; wrapping it in
+	// do would deadlock a live runtime.
+	return s.sys.RunQuery(entry, scheme)
+}
+
+// Watch subscribes to membership events: joins, leaves, failures,
+// handoffs (as they commit at the topmost ring) and ring repairs. The
+// channel closes when ctx is cancelled or the service closes. A
+// subscriber that falls behind by more than the watch buffer
+// (WithWatchBuffer) loses the overflow.
+func (s *Service) Watch(ctx context.Context) (<-chan MembershipEvent, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	id := s.nextWatcher
+	s.nextWatcher++
+	ch := make(chan MembershipEvent, s.watchBuf)
+	// The sink is installed on the first subscription ever and stays
+	// until Close: clearing it when the watcher set happens to drain
+	// would race with a concurrent new subscriber.
+	install := !s.sinkInstalled
+	s.sinkInstalled = true
+	s.watchers[id] = ch
+	s.mu.Unlock()
+
+	if install {
+		s.rt.Do(func() { s.sys.SetEventSink(s.broadcast) })
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.unwatch(id)
+		case <-s.done:
+			// Close already shut the channel down.
+		}
+	}()
+	return ch, nil
+}
+
+// broadcast fans one event out to every subscriber. It runs in engine
+// context; sends never block (lagging subscribers lose the overflow).
+func (s *Service) broadcast(ev MembershipEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.watchers {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// unwatch removes one subscriber and closes its channel. The event
+// sink stays installed (see Watch); an empty watcher set just makes
+// broadcast a no-op.
+func (s *Service) unwatch(id int) {
+	s.mu.Lock()
+	ch, ok := s.watchers[id]
+	if ok {
+		delete(s.watchers, id)
+	}
+	s.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
+// Settle drives the runtime to quiescence: every submitted change has
+// fully propagated when it returns. With heartbeats enabled a
+// deployment never quiesces, so Settle bounds the run to ten
+// heartbeat intervals instead.
+//
+// Cancellation is checked only at the boundaries: the blocking run in
+// the middle (the simulator draining its queue, or a live runtime
+// waiting out its in-flight work) is not interruptible.
+func (s *Service) Settle(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.sys.Run()
+	return ctx.Err()
+}
+
+// Advance drives the runtime for d of protocol time: virtual time on
+// the simulated runtime, wall time on a live one.
+func (s *Service) Advance(d time.Duration) { s.sys.RunFor(d) }
+
+// Crash makes a network entity faulty: it stops sending and
+// receiving until Restore.
+func (s *Service) Crash(ctx context.Context, id NodeID) error {
+	return s.do(ctx, func() error { s.sys.CrashNE(id); return nil })
+}
+
+// CrashAfter schedules a crash d of protocol time from now.
+func (s *Service) CrashAfter(d time.Duration, id NodeID) {
+	s.rt.Do(func() {
+		s.rt.Clock().After(d, func() { s.sys.CrashNE(id) })
+	})
+}
+
+// Restore revives a crashed entity; it rejoins its ring through the
+// NE-Join protocol.
+func (s *Service) Restore(ctx context.Context, id NodeID) error {
+	return s.do(ctx, func() error { s.sys.RestoreNE(id); return nil })
+}
+
+// ApplyTrace schedules a workload scenario onto the service's clock.
+// Drive the runtime afterwards (Settle or Advance) to execute it.
+// Events that have become invalid by execution time (e.g. a handoff
+// for a member that failed) are skipped.
+func (s *Service) ApplyTrace(tr Trace) {
+	s.rt.Do(func() { core.ApplyTrace(s.sys, tr) })
+}
+
+// ServiceMetrics summarizes a deployment's protocol counters.
+type ServiceMetrics struct {
+	Rounds            uint64 // completed token rounds
+	OpsCarried        uint64 // membership operations carried by rounds
+	Repairs           int    // local ring repairs performed
+	FunctionWellRings int    // rings currently reporting Function-Well
+	TotalRings        int    // total logical rings
+}
+
+// Metrics returns the service's protocol counters.
+func (s *Service) Metrics() ServiceMetrics {
+	var m ServiceMetrics
+	s.rt.Do(func() {
+		m.Rounds = s.sys.Rounds()
+		m.OpsCarried = s.sys.OpsCarried()
+		m.Repairs = len(s.sys.Repairs())
+		m.FunctionWellRings, m.TotalRings = s.sys.FunctionWellRings()
+	})
+	return m
+}
+
+// Stats returns the transport-level delivery counters.
+func (s *Service) Stats() Stats {
+	var st Stats
+	s.rt.Do(func() { st = s.sys.Transport().Stats() })
+	return st
+}
+
+// Inspect runs fn in engine context with the underlying protocol
+// System — the escape hatch for diagnostics and scenario tooling that
+// the designed surface does not cover (rosters, partitions, raw
+// member records). fn must not retain the System or block.
+func (s *Service) Inspect(fn func(sys *System)) {
+	s.rt.Do(func() { fn(s.sys) })
+}

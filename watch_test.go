@@ -1,0 +1,133 @@
+package rgb
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// watchGoldenSequence pins the exact event sequence a Watch
+// subscriber observes for a fixed-seed scenario on the deterministic
+// simulated runtime: joins committing in top-ring order, a handoff, a
+// leave, then a crash detected and repaired while a join propagates.
+// It is the causal-order contract of the subscription API: any change
+// to commit order, deduplication or repair reporting shows up as a
+// diff here. Re-pin only for a deliberate semantic change (use the
+// sequence printed by the failure and call it out in the PR).
+var watchGoldenSequence = []string{
+	// The three concurrent joins commit in jittered-latency order,
+	// fixed by the seed.
+	"join guid=mh-1 ap=AP-0",
+	"join guid=mh-3 ap=AP-4",
+	"join guid=mh-2 ap=AP-9",
+	"handoff guid=mh-1 ap=AP-9",
+	"leave guid=mh-2 ap=AP-9",
+	// The final join commits before the repair surfaces: the leader's
+	// upward notification outruns the retransmission timeout that
+	// detects the crashed successor.
+	"join guid=mh-4 ap=AP-0",
+	"repair ring=APR-1 dead=AP-1",
+}
+
+func TestWatchGoldenEventSequence(t *testing.T) {
+	ctx := context.Background()
+	svc := openTest(t, WithHierarchy(2, 4), WithSeed(5))
+	events, err := svc.Watch(ctx)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	aps := svc.APs()
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three joins commit in deterministic top-ring order.
+	must(svc.JoinAt(ctx, GUID(1), aps[0]))
+	must(svc.JoinAt(ctx, GUID(2), aps[9]))
+	must(svc.JoinAt(ctx, GUID(3), aps[4]))
+	must(svc.Settle(ctx))
+	// A handoff and a leave follow causally.
+	must(svc.Handoff(ctx, GUID(1), aps[9]))
+	must(svc.Settle(ctx))
+	must(svc.Leave(ctx, GUID(2)))
+	must(svc.Settle(ctx))
+	// Crash a ring-mate of AP-0, then join there: token
+	// retransmission detects the dead successor, repairs the ring
+	// (repair event), and the join still commits afterwards.
+	var victim NodeID
+	svc.Inspect(func(sys *System) { victim = sys.Node(aps[0]).Roster()[1] })
+	must(svc.Crash(ctx, victim))
+	must(svc.JoinAt(ctx, GUID(4), aps[0]))
+	must(svc.Settle(ctx))
+
+	var got []string
+drain:
+	for {
+		select {
+		case ev := <-events:
+			got = append(got, ev.String())
+		default:
+			break drain
+		}
+	}
+	want := watchGoldenSequence
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("watch event sequence changed:\n got:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// TestWatchEventsDeduplicated: a mid-round repair re-circulates the
+// token's batch; the member events behind it must still surface
+// exactly once.
+func TestWatchEventsDeduplicated(t *testing.T) {
+	ctx := context.Background()
+	svc := openTest(t, WithHierarchy(2, 5), WithSeed(11))
+	events, err := svc.Watch(ctx)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	aps := svc.APs()
+	// Crash two entities of the origin ring so the join's round
+	// repairs mid-flight and re-circulates its ops.
+	var victims []NodeID
+	svc.Inspect(func(sys *System) {
+		roster := sys.Node(aps[0]).Roster()
+		victims = []NodeID{roster[2], roster[3]}
+	})
+	for _, v := range victims {
+		if err := svc.Crash(ctx, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.JoinAt(ctx, GUID(1), aps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Settle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	joins, repairs := 0, 0
+	for {
+		select {
+		case ev := <-events:
+			switch ev.Kind {
+			case EventJoin:
+				joins++
+			case EventRepair:
+				repairs++
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if joins != 1 {
+		t.Fatalf("join observed %d times, want exactly 1", joins)
+	}
+	if repairs != 2 {
+		t.Fatalf("repairs observed = %d, want 2", repairs)
+	}
+}
