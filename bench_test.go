@@ -30,7 +30,10 @@ import (
 	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/mq"
 	"github.com/rgbproto/rgb/internal/reliability"
+	"github.com/rgbproto/rgb/internal/ring"
 	"github.com/rgbproto/rgb/internal/simnet"
+	"github.com/rgbproto/rgb/internal/token"
+	"github.com/rgbproto/rgb/internal/wire"
 )
 
 // fastConfig returns a quiet constant-latency configuration so hop
@@ -304,4 +307,100 @@ func pow(base, exp int) int {
 		out *= base
 	}
 	return out
+}
+
+// --- Wire codec benchmarks -------------------------------------------
+//
+// BenchmarkWireEncode / BenchmarkWireDecode measure the message-plane
+// codec per payload kind. The encode path is append-style with buffer
+// reuse and must stay at 0 B/op — it runs once per datagram on every
+// hop of a networked deployment.
+
+// wireBenchToken builds a representative mid-round token: a batch of
+// four aggregated operations circulating a five-entity ring.
+func wireBenchToken() *token.Token {
+	mk := func(i int) mq.Change {
+		ap := ids.MakeNodeID(ids.TierAP, i)
+		return mq.Change{
+			Op:      mq.OpMemberJoin,
+			Member:  ids.MemberInfo{GID: ids.NewGroupID(1), GUID: ids.GUID(100 + i), LUID: ids.LUID{AP: ap, Local: 1}, AP: ap},
+			Origin:  ap,
+			Seq:     uint64(i),
+			ReplyTo: ids.MakeNodeID(ids.TierMH, i),
+		}
+	}
+	route := make([]ids.NodeID, 5)
+	for i := range route {
+		route[i] = ids.MakeNodeID(ids.TierAP, i)
+	}
+	return &token.Token{
+		GID:          ids.NewGroupID(1),
+		Ring:         ring.ID{Tier: ids.TierAP, Index: 3},
+		Holder:       route[0],
+		Round:        42,
+		Ops:          mq.Batch{mk(0), mk(1), mk(2), mk(3)},
+		Dir:          token.FromLocal,
+		Route:        route,
+		Hops:         2,
+		Contributors: route[:2],
+	}
+}
+
+// wireBenchPayloads covers the protocol's hot payload kinds.
+func wireBenchPayloads() []struct {
+	name string
+	p    wire.Payload
+} {
+	ap := ids.MakeNodeID(ids.TierAP, 1)
+	members := make([]ids.MemberInfo, 8)
+	for i := range members {
+		members[i] = ids.MemberInfo{GID: ids.NewGroupID(1), GUID: ids.GUID(i + 1), AP: ap}
+	}
+	return []struct {
+		name string
+		p    wire.Payload
+	}{
+		{"token", wire.TokenMsg{Tok: wireBenchToken()}},
+		{"member-change", wire.MemberChange{Op: mq.OpMemberJoin, Member: members[0]}},
+		{"notify", wire.Notify{Batch: mq.Batch{{Op: mq.OpMemberJoin, Member: members[1], Origin: ap}}, From: ring.ID{Tier: ids.TierAP, Index: 1}, Up: true, Seq: 7}},
+		{"pass-ack", wire.PassAck{Ring: ring.ID{Tier: ids.TierAP, Index: 1}, Round: 42}},
+		{"query-reply", wire.QueryReply{ID: 9, From: ring.ID{Tier: ids.TierBR}, Members: members}},
+	}
+}
+
+// BenchmarkWireEncode: framed encode per payload kind. B/op must be 0
+// (append-style with buffer reuse; rgbbench diffs this in CI).
+func BenchmarkWireEncode(b *testing.B) {
+	from, to := ids.MakeNodeID(ids.TierAP, 0), ids.MakeNodeID(ids.TierAP, 1)
+	for _, tc := range wireBenchPayloads() {
+		b.Run(tc.name, func(b *testing.B) {
+			buf := make([]byte, 0, 4096)
+			var size int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = wire.AppendFrame(buf[:0], wire.Frame{From: from, To: to, Class: 1, TTL: 8, Payload: tc.p})
+				size = len(buf)
+			}
+			b.ReportMetric(float64(size), "frameB/op")
+		})
+	}
+}
+
+// BenchmarkWireDecode: framed decode per payload kind (allocates the
+// payload value — the receive-path cost of a networked hop).
+func BenchmarkWireDecode(b *testing.B) {
+	from, to := ids.MakeNodeID(ids.TierAP, 0), ids.MakeNodeID(ids.TierAP, 1)
+	for _, tc := range wireBenchPayloads() {
+		b.Run(tc.name, func(b *testing.B) {
+			enc := wire.AppendFrame(nil, wire.Frame{From: from, To: to, Class: 1, TTL: 8, Payload: tc.p})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.DecodeFrame(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// nodeProc is one rgbnode process under test, driven over its stdin
+// line protocol.
+type nodeProc struct {
+	t     *testing.T
+	cmd   *exec.Cmd
+	stdin *bufio.Writer
+	lines chan string
+}
+
+func (p *nodeProc) send(cmd string) {
+	p.t.Helper()
+	if _, err := p.stdin.WriteString(cmd + "\n"); err != nil {
+		p.t.Fatalf("write %q: %v", cmd, err)
+	}
+	p.stdin.Flush()
+}
+
+// expect reads lines until one starts with prefix (or times out) and
+// returns it.
+func (p *nodeProc) expect(prefix string, timeout time.Duration) string {
+	p.t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				p.t.Fatalf("process exited while waiting for %q", prefix)
+			}
+			if strings.HasPrefix(line, prefix) {
+				return line
+			}
+			if strings.HasPrefix(line, "err ") {
+				p.t.Fatalf("daemon error while waiting for %q: %s", prefix, line)
+			}
+		case <-deadline:
+			p.t.Fatalf("timed out waiting for %q", prefix)
+		}
+	}
+}
+
+// do sends a command and waits for its ok reply.
+func (p *nodeProc) do(cmd string) string {
+	p.t.Helper()
+	p.send(cmd)
+	return p.expect("ok "+strings.Fields(cmd)[0], 10*time.Second)
+}
+
+func startNode(t *testing.T, bin string, index int, peers []string, h, r int) *nodeProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-bind", peers[index],
+		"-index", fmt.Sprint(index),
+		"-peers", strings.Join(peers, ","),
+		"-h", fmt.Sprint(h), "-r", fmt.Sprint(r),
+		"-seed", "1",
+	)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = nil
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start rgbnode[%d]: %v", index, err)
+	}
+	p := &nodeProc{t: t, cmd: cmd, stdin: bufio.NewWriter(stdin), lines: make(chan string, 64)}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			p.lines <- sc.Text()
+		}
+		close(p.lines)
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return p
+}
+
+// TestThreeProcessSmoke is the networked-deployment acceptance test:
+// it builds the real rgbnode binary, launches three processes on
+// loopback forming one height-2 hierarchy, performs a join/leave/query
+// round across process boundaries, and asserts all three converge to
+// the identical membership before teardown. CI runs exactly this.
+func TestThreeProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping multi-process smoke")
+	}
+
+	bin := filepath.Join(t.TempDir(), "rgbnode")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Reserve three loopback ports (released just before the daemons
+	// bind them).
+	peers := make([]string, 3)
+	conns := make([]*net.UDPConn, 3)
+	for i := range peers {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		peers[i] = c.LocalAddr().String()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+
+	procs := make([]*nodeProc, 3)
+	for i := range procs {
+		procs[i] = startNode(t, bin, i, peers, 2, 3)
+	}
+	for i, p := range procs {
+		p.expect("ready", 15*time.Second)
+		t.Logf("rgbnode[%d] ready", i)
+	}
+
+	// Joins from different processes at APs spread across subtrees,
+	// a leave from the joining process, then convergence.
+	procs[0].do("join 1 0")
+	procs[0].do("join 2 4")
+	procs[1].do("join 3 7")
+	procs[1].do("join 4 2")
+	procs[2].do("join 5 5")
+	procs[1].do("leave 4")
+
+	const want = "members=mh-1,mh-2,mh-3,mh-5"
+	converged := func(p *nodeProc) bool {
+		p.send("query")
+		line := p.expect("ok query", 10*time.Second)
+		return strings.HasSuffix(line, want)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		allOK := true
+		for _, p := range procs {
+			if !converged(p) {
+				allOK = false
+			}
+		}
+		if allOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, p := range procs {
+				p.send("query")
+				t.Logf("proc %d: %s", i, p.expect("ok query", 5*time.Second))
+			}
+			t.Fatal("cluster did not converge to the expected membership")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Every process hosts one topmost-ring node; their authoritative
+	// views must agree with the queries.
+	for i, p := range procs {
+		p.send("members")
+		line := p.expect("ok members", 10*time.Second)
+		if !strings.HasSuffix(line, want) {
+			t.Fatalf("proc %d top view %q, want suffix %q", i, line, want)
+		}
+	}
+
+	// Wire sanity: traffic flowed, nothing failed to decode.
+	for i, p := range procs {
+		p.send("stats")
+		line := p.expect("ok stats", 10*time.Second)
+		if strings.Contains(line, "received=0 ") || !strings.Contains(line, "decode_errors=0") {
+			t.Fatalf("proc %d suspicious stats: %s", i, line)
+		}
+	}
+
+	for _, p := range procs {
+		p.do("quit")
+	}
+	for i, p := range procs {
+		if err := p.cmd.Wait(); err != nil {
+			t.Fatalf("rgbnode[%d] exit: %v", i, err)
+		}
+	}
+}

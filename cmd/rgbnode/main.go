@@ -1,0 +1,223 @@
+// Command rgbnode is the networked RGB membership daemon: one process
+// of a multi-process deployment. Each rgbnode binds a UDP address,
+// instantiates the hierarchy entities its cluster slot owns (topmost
+// ring node i plus its whole subtree go to slot i mod processes), and
+// exchanges every protocol message as wire-encoded datagrams with its
+// peers — the same engine that drives the simulator, now spread over
+// real sockets.
+//
+// Three processes on loopback form one height-2 hierarchy:
+//
+//	rgbnode -bind 127.0.0.1:7000 -index 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 -h 2 -r 3
+//	rgbnode -bind 127.0.0.1:7001 -index 1 -peers ...same...
+//	rgbnode -bind 127.0.0.1:7002 -index 2 -peers ...same...
+//
+// The daemon is driven by a line protocol on stdin (one command per
+// line, one "ok ..."/"err ..." reply per command on stdout):
+//
+//	join <guid> [apIndex]   submit a Member-Join (at the given AP index)
+//	leave <guid>            voluntary Member-Leave (same process that joined)
+//	fail <guid>             detected Member-Failure
+//	handoff <guid> <apIndex> move the member to another AP
+//	query [level]           Membership-Query (TMS by default)
+//	members                 local topmost-ring view (empty if not hosted here)
+//	settle                  wait for local quiescence
+//	stats                   transport + wire counters
+//	quit                    shut down
+//
+// A single process (no -peers) serves the whole hierarchy; rgb.Dial
+// clients can point at any process, preferably slot 0.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/rgbproto/rgb"
+)
+
+func main() {
+	bind := flag.String("bind", "127.0.0.1:7000", "UDP address to bind")
+	advertise := flag.String("advertise", "", "address peers use to reach this process (default: bind)")
+	index := flag.Int("index", 0, "this process's slot in -peers")
+	peers := flag.String("peers", "", "comma-separated advertise addresses of all processes (empty = single process)")
+	h := flag.Int("h", 2, "hierarchy height (ring levels)")
+	r := flag.Int("r", 3, "entities per ring")
+	seed := flag.Uint64("seed", 1, "deployment seed")
+	heartbeat := flag.Duration("heartbeat", 0, "heartbeat interval (0 disables)")
+	flag.Parse()
+
+	var extra []rgb.Option
+	if *heartbeat > 0 {
+		extra = append(extra, rgb.WithHeartbeat(*heartbeat))
+	}
+	if err := run(*bind, *advertise, *index, *peers, *h, *r, *seed, extra); err != nil {
+		fmt.Fprintln(os.Stderr, "rgbnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bind, advertise string, index int, peerList string, h, r int, seed uint64, extra []rgb.Option) error {
+	opts := []rgb.Option{
+		rgb.WithHierarchy(h, r),
+		rgb.WithSeed(seed),
+	}
+	opts = append(opts, extra...)
+	if advertise != "" {
+		opts = append(opts, rgb.WithAdvertise(advertise))
+	}
+	if peerList != "" {
+		peers := strings.Split(peerList, ",")
+		opts = append(opts, rgb.WithCluster(index, peers...))
+	}
+
+	svc, err := rgb.Listen(bind, opts...)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	topo := svc.Topology()
+	nrt := svc.Runtime().(*rgb.NetRuntime)
+	fmt.Printf("rgbnode: listening on %s index=%d entities=%d rings=%d aps=%d\n",
+		nrt.LocalAddr(), index, topo.Entities, topo.Rings, topo.APs)
+	fmt.Println("ready")
+
+	ctx := context.Background()
+	aps := svc.APs()
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit":
+			fmt.Println("ok quit")
+			return nil
+		case "settle":
+			if err := svc.Settle(ctx); err != nil {
+				fmt.Println("err settle:", err)
+				continue
+			}
+			fmt.Println("ok settle")
+		case "join":
+			guid, ap, err := guidAndAP(args, aps, true)
+			if err != nil {
+				fmt.Println("err", err)
+				continue
+			}
+			if err := svc.JoinAt(ctx, guid, ap); err != nil {
+				fmt.Println("err join:", err)
+				continue
+			}
+			fmt.Printf("ok join %s at %s\n", guid, ap)
+		case "leave":
+			guid, _, err := guidAndAP(args, aps, false)
+			if err != nil {
+				fmt.Println("err", err)
+				continue
+			}
+			if err := svc.Leave(ctx, guid); err != nil {
+				fmt.Println("err leave:", err)
+				continue
+			}
+			fmt.Printf("ok leave %s\n", guid)
+		case "fail":
+			guid, _, err := guidAndAP(args, aps, false)
+			if err != nil {
+				fmt.Println("err", err)
+				continue
+			}
+			if err := svc.Fail(ctx, guid); err != nil {
+				fmt.Println("err fail:", err)
+				continue
+			}
+			fmt.Printf("ok fail %s\n", guid)
+		case "handoff":
+			guid, ap, err := guidAndAP(args, aps, true)
+			if err != nil {
+				fmt.Println("err", err)
+				continue
+			}
+			if err := svc.Handoff(ctx, guid, ap); err != nil {
+				fmt.Println("err handoff:", err)
+				continue
+			}
+			fmt.Printf("ok handoff %s to %s\n", guid, ap)
+		case "query":
+			scheme := rgb.TMS()
+			if len(args) > 0 {
+				level, err := strconv.Atoi(args[0])
+				if err != nil {
+					fmt.Println("err bad level:", args[0])
+					continue
+				}
+				scheme = rgb.IMS(level)
+			}
+			res, err := svc.QueryWith(ctx, aps[0], scheme)
+			if err != nil {
+				fmt.Println("err query:", err)
+				continue
+			}
+			fmt.Printf("ok query n=%d members=%s\n", len(res.Members), renderGUIDs(res.Members))
+		case "members":
+			members, err := svc.Members(ctx)
+			if err != nil {
+				fmt.Println("err members:", err)
+				continue
+			}
+			fmt.Printf("ok members n=%d members=%s\n", len(members), renderGUIDs(members))
+		case "stats":
+			st := svc.Stats()
+			ns := nrt.NetStats()
+			fmt.Printf("ok stats sent=%d delivered=%d dropped=%d received=%d relayed=%d decode_errors=%d unknown_version=%d\n",
+				st.Sent, st.Delivered, st.Dropped, ns.Received, ns.Relayed, ns.DecodeErrors, ns.UnknownVersion)
+		default:
+			fmt.Println("err unknown command:", cmd)
+		}
+	}
+	return sc.Err()
+}
+
+// guidAndAP parses "<guid> [apIndex]" command arguments.
+func guidAndAP(args []string, aps []rgb.NodeID, wantAP bool) (rgb.GUID, rgb.NodeID, error) {
+	if len(args) < 1 {
+		return 0, 0, fmt.Errorf("missing guid")
+	}
+	g, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad guid %q", args[0])
+	}
+	ap := aps[int(g)%len(aps)]
+	if wantAP && len(args) > 1 {
+		i, err := strconv.Atoi(args[1])
+		if err != nil || i < 0 || i >= len(aps) {
+			return 0, 0, fmt.Errorf("bad ap index %q", args[1])
+		}
+		ap = aps[i]
+	}
+	return rgb.GUID(g), ap, nil
+}
+
+// renderGUIDs renders member GUIDs sorted and comma-separated.
+func renderGUIDs(members []rgb.MemberInfo) string {
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		if m.Status.Operational() {
+			out = append(out, m.GUID.String())
+		}
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return "-"
+	}
+	return strings.Join(out, ",")
+}

@@ -34,4 +34,15 @@ var (
 
 	// ErrClosed reports an operation on a closed Service.
 	ErrClosed = errors.New("rgb: service closed")
+
+	// ErrOptionUnsupported reports an Open option that the selected
+	// runtime substrate cannot honor (e.g. WithLoss combined with a
+	// caller-supplied WithRuntime, whose message plane arrives already
+	// configured). Returning it instead of silently ignoring the
+	// option keeps experiment configurations honest.
+	ErrOptionUnsupported = errors.New("rgb: option unsupported by the selected runtime")
+
+	// ErrBadCluster reports Listen/Dial cluster options that cannot
+	// describe a deployment (index out of range, missing peers).
+	ErrBadCluster = errors.New("rgb: invalid cluster configuration")
 )

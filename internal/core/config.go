@@ -97,6 +97,19 @@ type Config struct {
 	// membership traffic. Zero disables heartbeats (required by the
 	// hop-count experiments, which need a quiet network).
 	HeartbeatInterval time.Duration
+
+	// Owns filters which network entities this System instantiates
+	// (nil = all of them, the single-process default). A networked
+	// deployment partitions the hierarchy across processes: each
+	// process builds only its owned entities, and messages for the
+	// rest travel through the runtime transport's address book.
+	Owns func(ids.NodeID) bool
+
+	// MHBase offsets the ordinals of locally created mobile-host
+	// endpoints (and query apps) so the processes of one networked
+	// deployment never mint colliding endpoint identities. Zero for
+	// single-process deployments.
+	MHBase int
 }
 
 // DefaultConfig returns a ready-to-run configuration for an (h, r)

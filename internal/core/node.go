@@ -8,6 +8,7 @@ import (
 	"github.com/rgbproto/rgb/internal/ring"
 	"github.com/rgbproto/rgb/internal/runtime"
 	"github.com/rgbproto/rgb/internal/token"
+	"github.com/rgbproto/rgb/internal/wire"
 )
 
 // Node is one network entity (AP, AG or BR) of the ring-based
@@ -52,7 +53,7 @@ type Node struct {
 	// Token engine state. inFlight is stored by value (inFlightSet
 	// marks occupancy) so arming a pass allocates nothing.
 	roundSeq    uint64
-	inFlight    token.PassState // outstanding pass awaiting passAck
+	inFlight    token.PassState // outstanding pass awaiting wire.PassAck
 	inFlightSet bool
 	passTimer   runtime.TimerHandle
 	notifySeq   uint64
@@ -63,7 +64,7 @@ type Node struct {
 	ackScratch []ids.NodeID
 
 	// lastTok identifies the most recently processed token so a
-	// duplicate delivery (lost passAck followed by retransmission)
+	// duplicate delivery (lost wire.PassAck followed by retransmission)
 	// executes only once.
 	lastTokHolder ids.NodeID
 	lastTokRound  uint64
@@ -78,7 +79,7 @@ type Node struct {
 // owning node so the shared timeout callback needs no closure.
 type notifyRetry struct {
 	node    *Node
-	msg     notifyMsg
+	msg     wire.Notify
 	to      ids.NodeID
 	retries int
 	timer   runtime.TimerHandle
@@ -199,7 +200,7 @@ func (n *Node) excludeFromRoster(dead ids.NodeID) {
 		if n.leader == n.id && !n.parent.IsZero() {
 			// New leader announces itself so the parent can repair
 			// its Child pointer.
-			n.sendNotify(n.parent, notifyMsg{
+			n.sendNotify(n.parent, wire.Notify{
 				From:         n.ringID,
 				Up:           true,
 				LeaderUpdate: true,
@@ -228,25 +229,25 @@ func (n *Node) insertIntoRoster(joined ids.NodeID) {
 // HandleMessage implements runtime.Endpoint.
 func (n *Node) HandleMessage(msg runtime.Message) {
 	switch body := msg.Body.(type) {
-	case tokenMsg:
+	case wire.TokenMsg:
 		n.receiveToken(body.Tok, msg.From)
-	case memberMsg:
+	case wire.MemberChange:
 		n.receiveMemberMsg(body, msg.From)
-	case notifyMsg:
+	case wire.Notify:
 		n.receiveNotify(body, msg.From)
-	case notifyAck:
+	case wire.NotifyAck:
 		n.receiveNotifyAck(body)
-	case passAck:
+	case wire.PassAck:
 		n.receivePassAck(body)
-	case queryMsg:
+	case wire.Query:
 		n.receiveQuery(body)
-	case joinRequest:
+	case wire.JoinRequest:
 		n.receiveJoinRequest(body)
-	case stateSnapshot:
+	case wire.Snapshot:
 		n.receiveSnapshot(body)
-	case mergeRequest:
+	case wire.MergeRequest:
 		n.receiveMergeRequest(body)
-	case holderAck:
+	case wire.HolderAck:
 		// Informational at NEs; MH endpoints consume theirs directly.
 	default:
 		panic(fmt.Sprintf("core: %s got unknown message %T", n.id, msg.Body))
@@ -255,7 +256,7 @@ func (n *Node) HandleMessage(msg runtime.Message) {
 
 // receiveMemberMsg queues an MH-observed membership change
 // (Member-Join/Leave/Handoff/Failure) into the MQ and requests a round.
-func (n *Node) receiveMemberMsg(m memberMsg, from ids.NodeID) {
+func (n *Node) receiveMemberMsg(m wire.MemberChange, from ids.NodeID) {
 	n.queue.Insert(mq.Change{
 		Op:      m.Op,
 		Member:  m.Member,
@@ -316,7 +317,7 @@ func (n *Node) startRound(dir token.Direction, source ring.ID, extra mq.Batch) {
 // from the predecessor.
 func (n *Node) receiveToken(tok *token.Token, from ids.NodeID) {
 	// Acknowledge the pass so the sender's retransmission timer stops.
-	n.sys.send(n.id, from, runtime.KindControl, passAck{Ring: tok.Ring, Round: tok.Round})
+	n.sys.send(n.id, from, runtime.KindControl, wire.PassAck{Ring: tok.Ring, Round: tok.Round})
 
 	// Retransmission can deliver the same token twice (the first copy
 	// arrived but its acknowledgement was lost); execute only once.
@@ -351,13 +352,13 @@ func (n *Node) execute(tok *token.Token) {
 		// Notification-to-Parent: only the leader, only for changes
 		// climbing the hierarchy.
 		if n.isLeader() && tok.Dir != token.FromParent && !n.parent.IsZero() && n.parentOK {
-			n.sendNotify(n.parent, notifyMsg{Batch: rewriteReplyTo(tok.Ops, n.id), From: n.ringID, Up: true})
+			n.sendNotify(n.parent, wire.Notify{Batch: rewriteReplyTo(tok.Ops, n.id), From: n.ringID, Up: true})
 		}
 		// Notification-to-Child: full dissemination sends every batch
 		// down every child ring except the one it came from.
 		if n.sys.cfg.Dissemination == DisseminateFull && n.hasChild && n.childOK {
 			if !(tok.Dir == token.FromChild && tok.Source == n.childRing) {
-				n.sendNotify(n.childLeader, notifyMsg{Batch: rewriteReplyTo(tok.Ops, n.id), From: n.ringID, Up: false})
+				n.sendNotify(n.childLeader, wire.Notify{Batch: rewriteReplyTo(tok.Ops, n.id), From: n.ringID, Up: false})
 			}
 		}
 	}
@@ -474,7 +475,7 @@ func (n *Node) sendTokenAttempt() {
 	if !n.inFlightSet {
 		return
 	}
-	n.sys.send(n.id, n.inFlight.To, runtime.KindToken, tokenMsg{Tok: n.inFlight.Token})
+	n.sys.send(n.id, n.inFlight.To, runtime.KindToken, wire.TokenMsg{Tok: n.inFlight.Token})
 	n.passTimer = n.sys.clock.AfterCall(n.sys.cfg.RetransmitTimeout, passTimeoutCB, n)
 }
 
@@ -531,7 +532,7 @@ func (n *Node) clearInFlight() {
 }
 
 // receivePassAck clears the retransmission state.
-func (n *Node) receivePassAck(passAck) {
+func (n *Node) receivePassAck(wire.PassAck) {
 	n.sys.clock.Cancel(n.passTimer)
 	n.passTimer = runtime.TimerHandle{}
 	n.clearInFlight()
@@ -559,15 +560,15 @@ ops:
 			}
 		}
 		acked = append(acked, c.ReplyTo)
-		n.sys.send(n.id, c.ReplyTo, runtime.KindAck, holderAck{Ring: n.ringID, Round: tok.Round, Count: len(tok.Ops)})
+		n.sys.send(n.id, c.ReplyTo, runtime.KindAck, wire.HolderAck{Ring: n.ringID, Round: tok.Round, Count: len(tok.Ops)})
 	}
 	n.ackScratch = acked[:0]
 	n.sys.roundDone(n, tok, tok.Repaired)
 }
 
 // receiveNotify handles Notification-to-Parent / Notification-to-Child.
-func (n *Node) receiveNotify(m notifyMsg, from ids.NodeID) {
-	n.sys.send(n.id, from, runtime.KindControl, notifyAck{Seq: m.Seq})
+func (n *Node) receiveNotify(m wire.Notify, from ids.NodeID) {
+	n.sys.send(n.id, from, runtime.KindControl, wire.NotifyAck{Seq: m.Seq})
 	if m.Up {
 		// From a child ring below this node.
 		n.childOK = true
@@ -584,7 +585,7 @@ func (n *Node) receiveNotify(m notifyMsg, from ids.NodeID) {
 }
 
 // sendNotify sends a notification with retransmission protection.
-func (n *Node) sendNotify(to ids.NodeID, m notifyMsg) {
+func (n *Node) sendNotify(to ids.NodeID, m wire.Notify) {
 	n.notifySeq++
 	m.Seq = n.notifySeq
 	retry := &notifyRetry{node: n, msg: m, to: to}
@@ -618,7 +619,7 @@ func (r *notifyRetry) timedOut() {
 	}
 }
 
-func (n *Node) receiveNotifyAck(a notifyAck) {
+func (n *Node) receiveNotifyAck(a wire.NotifyAck) {
 	if retry, ok := n.notifyWait[a.Seq]; ok {
 		n.sys.clock.Cancel(retry.timer)
 		delete(n.notifyWait, a.Seq)
@@ -631,7 +632,7 @@ func (n *Node) receiveNotifyAck(a notifyAck) {
 // (restored, awaiting its own snapshot) must not answer — its
 // pre-crash view may wrongly claim leadership — so it re-routes to a
 // current ring-mate.
-func (n *Node) receiveJoinRequest(req joinRequest) {
+func (n *Node) receiveJoinRequest(req wire.JoinRequest) {
 	if n.sys.neStale(n.id) {
 		for _, peer := range n.roster {
 			if peer != n.id && peer != req.Node && !n.sys.tr.Crashed(peer) && !n.sys.neStale(peer) {
@@ -646,7 +647,7 @@ func (n *Node) receiveJoinRequest(req joinRequest) {
 		return
 	}
 	n.queue.Insert(mq.Change{Op: mq.OpNEJoin, NE: req.Node, Origin: n.id, Seq: n.nextSeq()})
-	n.sys.send(n.id, req.Node, runtime.KindControl, stateSnapshot{
+	n.sys.send(n.id, req.Node, runtime.KindControl, wire.Snapshot{
 		Roster:  n.Roster(),
 		Leader:  n.leader,
 		Members: n.ringMems.Snapshot(),
@@ -656,7 +657,7 @@ func (n *Node) receiveJoinRequest(req joinRequest) {
 
 // receiveSnapshot initializes this node from a leader's state after
 // rejoin and lifts the staleness quarantine.
-func (n *Node) receiveSnapshot(s stateSnapshot) {
+func (n *Node) receiveSnapshot(s wire.Snapshot) {
 	n.roster = append([]ids.NodeID(nil), s.Roster...)
 	// Adopt the current leader BEFORE self-insertion: the insert
 	// position (right after the leader) must match where the other
@@ -676,7 +677,7 @@ func (n *Node) receiveSnapshot(s stateSnapshot) {
 // its entities, snapshot the merged state back to them (so the very
 // next token can traverse the united ring), and circulate NE-Join
 // operations so every member of the kept fragment converges too.
-func (n *Node) receiveMergeRequest(req mergeRequest) {
+func (n *Node) receiveMergeRequest(req wire.MergeRequest) {
 	if !n.isLeader() {
 		n.sys.send(n.id, n.leader, runtime.KindControl, req)
 		return
@@ -693,7 +694,7 @@ func (n *Node) receiveMergeRequest(req mergeRequest) {
 			n.insertIntoRoster(joined)
 		}
 	}
-	snap := stateSnapshot{Roster: n.Roster(), Leader: n.id, Members: n.ringMems.Snapshot()}
+	snap := wire.Snapshot{Roster: n.Roster(), Leader: n.id, Members: n.ringMems.Snapshot()}
 	for _, j := range joiners {
 		n.sys.send(n.id, j, runtime.KindControl, snap)
 		n.queue.Insert(mq.Change{Op: mq.OpNEJoin, NE: j, Origin: n.id, Seq: n.nextSeq()})

@@ -5,6 +5,7 @@ import (
 
 	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/runtime"
+	"github.com/rgbproto/rgb/internal/wire"
 )
 
 // This file implements the Membership-Partition/Merge extension that
@@ -67,7 +68,7 @@ func (s *System) PartitionRing(ringID fmt.Stringer, fragment map[ids.NodeID]bool
 	// The kept fragment announces its (possibly new) leader upward.
 	kn := s.nodes[keepLeader]
 	if !kn.parent.IsZero() {
-		kn.sendNotify(kn.parent, notifyMsg{From: kn.ringID, Up: true, LeaderUpdate: true, NewLeader: keepLeader})
+		kn.sendNotify(kn.parent, wire.Notify{From: kn.ringID, Up: true, LeaderUpdate: true, NewLeader: keepLeader})
 	}
 	return keepLeader, splitLeader
 }
@@ -83,7 +84,7 @@ func (s *System) MergeFragments(fragmentLeader, keptLeader ids.NodeID) {
 	if fl == nil {
 		panic("core: unknown fragment leader")
 	}
-	s.send(fragmentLeader, keptLeader, runtime.KindControl, mergeRequest{
+	s.send(fragmentLeader, keptLeader, runtime.KindControl, wire.MergeRequest{
 		Roster:  fl.Roster(),
 		Members: fl.ringMems.Snapshot(),
 	})

@@ -9,6 +9,7 @@ import (
 	"github.com/rgbproto/rgb/internal/mathx"
 	"github.com/rgbproto/rgb/internal/ring"
 	"github.com/rgbproto/rgb/internal/runtime"
+	"github.com/rgbproto/rgb/internal/wire"
 )
 
 // QueryScheme names the membership maintenance/query schemes of
@@ -68,7 +69,7 @@ type queryApp struct {
 
 // HandleMessage collects replies.
 func (a *queryApp) HandleMessage(msg runtime.Message) {
-	rep, ok := msg.Body.(queryReply)
+	rep, ok := msg.Body.(wire.QueryReply)
 	if !ok || rep.ID != a.id || a.done {
 		return
 	}
@@ -114,7 +115,7 @@ func (s *System) RunQuery(entry ids.NodeID, scheme QueryScheme) (QueryResult, er
 		s.querySeq++
 		app = &queryApp{
 			sys:      s,
-			node:     ids.MakeNodeID(ids.TierMH, 1<<20+int(s.querySeq)),
+			node:     ids.MakeNodeID(ids.TierMH, s.cfg.MHBase+1<<20+int(s.querySeq)),
 			id:       s.querySeq,
 			expected: len(s.hier.Level(scheme.Level)),
 			members:  ids.NewMemberList(),
@@ -122,7 +123,7 @@ func (s *System) RunQuery(entry ids.NodeID, scheme QueryScheme) (QueryResult, er
 		s.tr.Register(app.node, app)
 		before = s.tr.Stats()
 		start = s.clock.Now()
-		s.send(app.node, entry, runtime.KindQuery, queryMsg{
+		s.send(app.node, entry, runtime.KindQuery, wire.Query{
 			ID:      app.id,
 			Level:   scheme.Level,
 			ReplyTo: app.node,
@@ -162,7 +163,7 @@ func (s *System) RunQuery(entry ids.NodeID, scheme QueryScheme) (QueryResult, er
 // target level) the query fans out: each ring circulates it so every
 // node forwards one copy to its child ring's leader, until leaders at
 // the target level reply with their ListOfRingMembers.
-func (n *Node) receiveQuery(q queryMsg) {
+func (n *Node) receiveQuery(q wire.Query) {
 	if !q.Down {
 		// Climbing toward the top.
 		if n.level > 0 {
@@ -181,7 +182,7 @@ func (n *Node) receiveQuery(q queryMsg) {
 		// per target-level ring receives the query (the downward copy
 		// goes to ring leaders; a level-0 query answers at whichever
 		// top node the climb reached).
-		n.sys.send(n.id, q.ReplyTo, runtime.KindReply, queryReply{
+		n.sys.send(n.id, q.ReplyTo, runtime.KindReply, wire.QueryReply{
 			ID:      q.ID,
 			From:    n.ringID,
 			Members: n.ringMems.Snapshot(),
@@ -206,7 +207,7 @@ func (n *Node) receiveQuery(q queryMsg) {
 	}
 }
 
-func (n *Node) forwardQuery(to ids.NodeID, q queryMsg) {
+func (n *Node) forwardQuery(to ids.NodeID, q wire.Query) {
 	if to.IsZero() {
 		return
 	}

@@ -13,6 +13,7 @@ import (
 	"github.com/rgbproto/rgb/internal/simnet"
 	"github.com/rgbproto/rgb/internal/token"
 	"github.com/rgbproto/rgb/internal/topology"
+	"github.com/rgbproto/rgb/internal/wire"
 )
 
 // Member is the data structure an MH keeps (Section 4.2): group,
@@ -41,7 +42,7 @@ func (m *Member) LastAckAt() runtime.Time { return m.ackedAt }
 
 // HandleMessage lets the MH consume Holder-Acknowledgements.
 func (m *Member) HandleMessage(msg runtime.Message) {
-	if _, ok := msg.Body.(holderAck); ok {
+	if _, ok := msg.Body.(wire.HolderAck); ok {
 		m.acks++
 		m.ackedAt = m.sys.clock.Now()
 	}
@@ -150,12 +151,23 @@ func NewSystemOn(cfg Config, rt runtime.Runtime) *System {
 		luidSeq:     make(map[ids.NodeID]uint32),
 		staleNE:     make(map[ids.NodeID]bool),
 	}
-	arena := make([]Node, total)
+	owned := 0
+	for _, rg := range hier.Rings() {
+		for _, id := range rg.Nodes() {
+			if s.owns(id) {
+				owned++
+			}
+		}
+	}
+	arena := make([]Node, owned)
 	next := 0
 	for level := 0; level < s.hier.NumLevels(); level++ {
 		for _, rg := range s.hier.Level(level) {
 			parent := s.hier.ParentOf(rg.ID())
 			for _, id := range rg.Nodes() {
+				if !s.owns(id) {
+					continue
+				}
 				n := &arena[next]
 				next++
 				*n = Node{
@@ -247,8 +259,14 @@ func (s *System) Rounds() uint64 { return s.rounds }
 func (s *System) OpsCarried() uint64 { return s.opsCarried }
 
 // send is the single funnel for protocol sends.
-func (s *System) send(from, to ids.NodeID, kind runtime.Kind, body any) {
+func (s *System) send(from, to ids.NodeID, kind runtime.Kind, body wire.Payload) {
 	s.tr.Send(runtime.Message{From: from, To: to, Kind: kind, Body: body})
+}
+
+// owns reports whether this System instantiates the given entity
+// (always true for single-process deployments).
+func (s *System) owns(id ids.NodeID) bool {
+	return s.cfg.Owns == nil || s.cfg.Owns(id)
 }
 
 // sameRing reports whether two entities belong to the same logical
@@ -357,16 +375,29 @@ func (s *System) noteRepair(id ring.ID, dead ids.NodeID) {
 }
 
 // startHeartbeats arms one periodic empty round per ring for failure
-// detection in the absence of membership traffic.
+// detection in the absence of membership traffic. In a partitioned
+// deployment only rings with a locally-owned member are armed, and a
+// tick fires only when the current leader view is local — so across
+// processes with consistent views, each ring beats exactly once.
 func (s *System) startHeartbeats() {
 	for _, rg := range s.hier.Rings() {
 		id := rg.ID()
-		initial := rg.Leader()
+		ringNodes := rg.Nodes()
+		anyOwned := false
+		for _, m := range ringNodes {
+			if s.owns(m) {
+				anyOwned = true
+				break
+			}
+		}
+		if !anyOwned {
+			continue
+		}
 		t := s.clock.Every(s.cfg.HeartbeatInterval, func() {
 			if s.ringBusy[id] {
 				return
 			}
-			leaderNode := s.currentLeaderOf(id, initial)
+			leaderNode := s.currentLeaderOf(ringNodes)
 			if leaderNode == nil {
 				return
 			}
@@ -377,16 +408,27 @@ func (s *System) startHeartbeats() {
 	}
 }
 
-// currentLeaderOf finds a live node of the ring and returns its view
-// of the leader (falling back across crashed entities).
-func (s *System) currentLeaderOf(id ring.ID, seed ids.NodeID) *Node {
-	probe := s.nodes[seed]
+// currentLeaderOf finds a locally-owned, live node of the ring whose
+// leader view is itself local and live (falling back across crashed
+// entities).
+func (s *System) currentLeaderOf(ringNodes []ids.NodeID) *Node {
+	var probe *Node
+	for _, m := range ringNodes {
+		if n := s.nodes[m]; n != nil && !s.tr.Crashed(m) {
+			probe = n
+			break
+		}
+	}
 	if probe == nil {
 		return nil
 	}
 	if !s.tr.Crashed(probe.leader) {
 		if l := s.nodes[probe.leader]; l != nil {
 			return l
+		}
+		if s.cfg.Owns != nil {
+			// The leader lives in another process; it beats the ring.
+			return nil
 		}
 	}
 	for _, m := range probe.roster {
@@ -406,13 +448,20 @@ func (s *System) newMemberAt(guid ids.GUID, ap ids.NodeID) *Member {
 		m = &Member{
 			GID:  s.cfg.GID,
 			GUID: guid,
-			node: ids.MakeNodeID(ids.TierMH, s.mhOrdinal),
+			node: ids.MakeNodeID(ids.TierMH, s.cfg.MHBase+s.mhOrdinal),
 			sys:  s,
 		}
 		s.mhOrdinal++
 		s.members[guid] = m
 		s.tr.Register(m.node, m)
 	}
+	// The care-of identity is minted from this System's per-AP
+	// counter. In a partitioned deployment two processes joining
+	// members at the same (remote) AP can mint the same Local value —
+	// every membership list is keyed by GUID, so nothing breaks, but
+	// a networked deployment that needs globally unique LUIDs must
+	// have the AP's owner assign them (a future handshake; today the
+	// LUID is informational, mirroring the paper's care-of address).
 	s.luidSeq[ap]++
 	m.AP = ap
 	m.LUID = ids.LUID{AP: ap, Local: s.luidSeq[ap]}
@@ -442,7 +491,7 @@ func (s *System) JoinMemberAt(guid ids.GUID, ap ids.NodeID) (*Member, error) {
 		return nil, fmt.Errorf("core: %s at %s: %w", guid, m.AP, ErrDuplicateJoin)
 	}
 	m := s.newMemberAt(guid, ap)
-	s.send(m.node, ap, runtime.KindMemberMsg, memberMsg{Op: mq.OpMemberJoin, Member: s.infoOf(m)})
+	s.send(m.node, ap, runtime.KindMemberMsg, wire.MemberChange{Op: mq.OpMemberJoin, Member: s.infoOf(m)})
 	return m, nil
 }
 
@@ -460,7 +509,7 @@ func (s *System) LeaveMember(guid ids.GUID) error {
 		return err
 	}
 	m.Status = ids.StatusVoluntaryDisc
-	s.send(m.node, m.AP, runtime.KindMemberMsg, memberMsg{Op: mq.OpMemberLeave, Member: s.infoOf(m)})
+	s.send(m.node, m.AP, runtime.KindMemberMsg, wire.MemberChange{Op: mq.OpMemberLeave, Member: s.infoOf(m)})
 	return nil
 }
 
@@ -473,6 +522,14 @@ func (s *System) FailMember(guid ids.GUID) error {
 	}
 	m.Status = ids.StatusFailed
 	ap := s.nodes[m.AP]
+	if ap == nil {
+		// The serving AP lives in another process: deliver the
+		// detected failure as a message instead of direct queue
+		// surgery. (The single-process path below stays message-free
+		// so fixed-seed traces are unchanged.)
+		s.send(m.node, m.AP, runtime.KindMemberMsg, wire.MemberChange{Op: mq.OpMemberFailure, Member: s.infoOf(m)})
+		return nil
+	}
 	ap.queue.Insert(mq.Change{Op: mq.OpMemberFailure, Member: s.infoOf(m), Origin: ap.id, Seq: ap.nextSeq()})
 	s.requestRound(ap, token.FromLocal, ring.ID{})
 	return nil
@@ -497,7 +554,7 @@ func (s *System) HandoffMember(guid ids.GUID, newAP ids.NodeID) error {
 	m.AP = newAP
 	s.luidSeq[newAP]++
 	m.LUID = ids.LUID{AP: newAP, Local: s.luidSeq[newAP]}
-	s.send(m.node, newAP, runtime.KindMemberMsg, memberMsg{Op: mq.OpMemberHandoff, Member: s.infoOf(m)})
+	s.send(m.node, newAP, runtime.KindMemberMsg, wire.MemberChange{Op: mq.OpMemberHandoff, Member: s.infoOf(m)})
 	return nil
 }
 
@@ -535,7 +592,7 @@ func (s *System) RestoreNE(id ids.NodeID) {
 		}
 		for _, peer := range rg.Nodes() {
 			if peer != id && !s.tr.Crashed(peer) && !s.staleNE[peer] {
-				s.send(id, peer, runtime.KindControl, joinRequest{Node: id})
+				s.send(id, peer, runtime.KindControl, wire.JoinRequest{Node: id})
 				return
 			}
 		}
@@ -579,10 +636,13 @@ func (s *System) StopHeartbeats() {
 func (s *System) GlobalMembership() []ids.MemberInfo {
 	top := s.hier.Level(0)[0]
 	for _, id := range top.Nodes() {
-		if !s.tr.Crashed(id) {
-			return s.nodes[id].ringMems.Snapshot()
+		if n := s.nodes[id]; n != nil && !s.tr.Crashed(id) {
+			return n.ringMems.Snapshot()
 		}
 	}
+	// No topmost node is hosted here (a partitioned process owning
+	// only lower rings, or a pure client): the authoritative view
+	// must be fetched with a Membership-Query instead.
 	return nil
 }
 

@@ -30,6 +30,101 @@ type LiveConfig struct {
 	MailboxDepth int
 }
 
+// engineCore is the single-goroutine execution discipline shared by
+// the real-time runtimes (the in-process LiveRuntime and the UDP
+// NetRuntime): one engine goroutine owns all protocol state, a pending
+// counter tracks outstanding units of work (armed timers, in-flight
+// local deliveries), and close semantics drain the queue. It is the
+// live-side counterpart of the simulator kernel's event loop.
+type engineCore struct {
+	start time.Time
+	exec  chan func()
+
+	// pending counts outstanding units of protocol work. Zero means
+	// locally quiescent (a networked runtime additionally considers
+	// socket idle time; see NetRuntime.Run).
+	pending atomic.Int64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+func newEngineCore() *engineCore {
+	e := &engineCore{
+		start:  time.Now(),
+		exec:   make(chan func(), 4096),
+		closed: make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.loop()
+	return e
+}
+
+// loop is the single goroutine that owns all protocol state.
+func (e *engineCore) loop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case fn := <-e.exec:
+			fn()
+		case <-e.closed:
+			// Drain whatever is already queued so pending work items
+			// settle their accounting, then stop.
+			for {
+				select {
+				case fn := <-e.exec:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// submit enqueues fn for the engine goroutine. After close the work is
+// dropped — the runtime is dead and its state unreachable.
+func (e *engineCore) submit(fn func()) {
+	select {
+	case e.exec <- fn:
+	case <-e.closed:
+	}
+}
+
+// do runs fn on the engine goroutine and returns once it completed.
+// After close, do returns without running fn (modulo the shutdown
+// drain).
+func (e *engineCore) do(fn func()) {
+	done := make(chan struct{})
+	e.submit(func() {
+		fn()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-e.closed:
+		// The engine may still drain the queue during shutdown; give
+		// fn a chance to have run, then give up.
+		select {
+		case <-done:
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// stop shuts the engine down, running prep in engine context first.
+// Idempotent.
+func (e *engineCore) stop(prep func()) {
+	e.closeOnce.Do(func() {
+		if prep != nil {
+			e.do(prep)
+		}
+		close(e.closed)
+		e.wg.Wait()
+	})
+}
+
 // LiveRuntime runs the protocol engine in-process on real time: per-
 // node mailbox goroutines deliver messages after their model latency,
 // timers are real time.Timers, and a single engine goroutine
@@ -41,19 +136,9 @@ type LiveConfig struct {
 // reach it through Do; mailbox pumps and timer firings enqueue onto
 // the same serialization channel, so handlers never race.
 type LiveRuntime struct {
+	eng   *engineCore
 	clock *liveClock
 	tr    *liveTransport
-
-	start time.Time
-	exec  chan func()
-
-	// pending counts outstanding units of protocol work: armed
-	// timers and in-flight messages. Zero means quiescent.
-	pending atomic.Int64
-
-	closed    chan struct{}
-	closeOnce sync.Once
-	engineWG  sync.WaitGroup
 }
 
 // NewLiveRuntime starts a live runtime. The caller must Close it.
@@ -64,14 +149,11 @@ func NewLiveRuntime(cfg LiveConfig) *LiveRuntime {
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = 1024
 	}
-	rt := &LiveRuntime{
-		start:  time.Now(),
-		exec:   make(chan func(), 4096),
-		closed: make(chan struct{}),
-	}
-	rt.clock = &liveClock{rt: rt}
+	rt := &LiveRuntime{eng: newEngineCore()}
+	rt.clock = &liveClock{eng: rt.eng}
 	rt.tr = &liveTransport{
-		rt:        rt,
+		eng:       rt.eng,
+		clock:     rt.clock,
 		latency:   cfg.Latency,
 		loss:      cfg.Loss,
 		rng:       mathx.NewRNG(cfg.Seed),
@@ -79,40 +161,7 @@ func NewLiveRuntime(cfg LiveConfig) *LiveRuntime {
 		endpoints: make(map[ids.NodeID]*mailbox),
 		crashed:   make(map[ids.NodeID]bool),
 	}
-	rt.engineWG.Add(1)
-	go rt.engine()
 	return rt
-}
-
-// engine is the single goroutine that owns all protocol state.
-func (rt *LiveRuntime) engine() {
-	defer rt.engineWG.Done()
-	for {
-		select {
-		case fn := <-rt.exec:
-			fn()
-		case <-rt.closed:
-			// Drain whatever is already queued so pending work items
-			// settle their accounting, then stop.
-			for {
-				select {
-				case fn := <-rt.exec:
-					fn()
-				default:
-					return
-				}
-			}
-		}
-	}
-}
-
-// submit enqueues fn for the engine goroutine. After Close the work is
-// dropped — the runtime is dead and its state unreachable.
-func (rt *LiveRuntime) submit(fn func()) {
-	select {
-	case rt.exec <- fn:
-	case <-rt.closed:
-	}
 }
 
 // Clock implements Runtime.
@@ -123,32 +172,16 @@ func (rt *LiveRuntime) Transport() Transport { return rt.tr }
 
 // Do implements Runtime: fn runs on the engine goroutine; Do returns
 // once it completed. After Close, Do returns without running fn.
-func (rt *LiveRuntime) Do(fn func()) {
-	done := make(chan struct{})
-	rt.submit(func() {
-		fn()
-		close(done)
-	})
-	select {
-	case <-done:
-	case <-rt.closed:
-		// The engine may still drain the queue during shutdown; give
-		// fn a chance to have run, then give up.
-		select {
-		case <-done:
-		case <-time.After(10 * time.Millisecond):
-		}
-	}
-}
+func (rt *LiveRuntime) Do(fn func()) { rt.eng.do(fn) }
 
 // Run implements Runtime: it blocks until no timers are armed and no
 // messages are in flight. The pending counter is monotone in the
 // sense that new work is registered before the work that created it
 // retires, so reading zero means true quiescence.
 func (rt *LiveRuntime) Run() {
-	for rt.pending.Load() != 0 {
+	for rt.eng.pending.Load() != 0 {
 		select {
-		case <-rt.closed:
+		case <-rt.eng.closed:
 			return
 		case <-time.After(200 * time.Microsecond):
 		}
@@ -158,7 +191,7 @@ func (rt *LiveRuntime) Run() {
 // RunFor implements Runtime: live protocol time is wall time.
 func (rt *LiveRuntime) RunFor(d time.Duration) {
 	select {
-	case <-rt.closed:
+	case <-rt.eng.closed:
 	case <-time.After(d):
 	}
 }
@@ -172,14 +205,14 @@ func (rt *LiveRuntime) RunUntil(pred func() bool) bool {
 		if ok {
 			return true
 		}
-		if rt.pending.Load() == 0 {
+		if rt.eng.pending.Load() == 0 {
 			// Quiescent and pred still false: give up, matching the
 			// simulator's drained-queue behaviour.
 			rt.Do(func() { ok = pred() })
 			return ok
 		}
 		select {
-		case <-rt.closed:
+		case <-rt.eng.closed:
 			return false
 		case <-time.After(200 * time.Microsecond):
 		}
@@ -189,17 +222,13 @@ func (rt *LiveRuntime) RunUntil(pred func() bool) bool {
 // Close implements Runtime: it stops the engine and the mailbox
 // pumps. In-flight work is dropped.
 func (rt *LiveRuntime) Close() error {
-	rt.closeOnce.Do(func() {
-		// Close mailboxes from engine context so the map is stable,
-		// then stop the engine itself.
-		rt.Do(func() {
-			for _, mb := range rt.tr.endpoints {
-				close(mb.ch)
-			}
-			rt.tr.endpoints = make(map[ids.NodeID]*mailbox)
-		})
-		close(rt.closed)
-		rt.engineWG.Wait()
+	// Close mailboxes from engine context so the map is stable, then
+	// stop the engine itself.
+	rt.eng.stop(func() {
+		for _, mb := range rt.tr.endpoints {
+			close(mb.ch)
+		}
+		rt.tr.endpoints = make(map[ids.NodeID]*mailbox)
 	})
 	return nil
 }
@@ -219,14 +248,15 @@ type liveTimerSlot struct {
 }
 
 // liveClock implements Clock on real time.Timers. All state is owned
-// by the engine goroutine; timer firings re-enter through rt.submit.
+// by the engine goroutine; timer firings re-enter through eng.submit.
+// It serves every real-time runtime (LiveRuntime and NetRuntime).
 type liveClock struct {
-	rt    *LiveRuntime
+	eng   *engineCore
 	slots []liveTimerSlot
 	free  []uint32
 }
 
-func (c *liveClock) Now() Time { return Time(time.Since(c.rt.start)) }
+func (c *liveClock) Now() Time { return Time(time.Since(c.eng.start)) }
 
 func (c *liveClock) After(d time.Duration, fn func()) TimerHandle {
 	return c.AfterCall(d, func(any) { fn() }, nil)
@@ -251,9 +281,9 @@ func (c *liveClock) AfterCall(d time.Duration, fn func(any), arg any) TimerHandl
 	s.armed = true
 	s.fn, s.arg = fn, arg
 	gen := s.gen
-	c.rt.pending.Add(1)
+	c.eng.pending.Add(1)
 	s.timer = time.AfterFunc(d, func() {
-		c.rt.submit(func() { c.fire(i, gen) })
+		c.eng.submit(func() { c.fire(i, gen) })
 	})
 	return TimerHandle{W: uint64(i+1) | uint64(gen)<<32}
 }
@@ -262,7 +292,7 @@ func (c *liveClock) AfterCall(d time.Duration, fn func(any), arg any) TimerHandl
 // generation means the timer was cancelled after its time.Timer had
 // already fired; only the pending accounting remains to settle.
 func (c *liveClock) fire(i uint32, gen uint32) {
-	defer c.rt.pending.Add(-1)
+	defer c.eng.pending.Add(-1)
 	s := &c.slots[i]
 	if !s.armed || s.gen != gen {
 		return
@@ -298,7 +328,7 @@ func (c *liveClock) Cancel(h TimerHandle) bool {
 	c.release(i)
 	if stopped {
 		// The fire closure will never run; settle its accounting here.
-		c.rt.pending.Add(-1)
+		c.eng.pending.Add(-1)
 	}
 	// If Stop reported false the time.Timer already fired: its queued
 	// fire closure finds the stale generation, does nothing, and
@@ -367,7 +397,8 @@ type mailbox struct {
 // state is owned by the engine goroutine; only the pump goroutines
 // run outside it, and they touch nothing but their own channel.
 type liveTransport struct {
-	rt        *LiveRuntime
+	eng       *engineCore
+	clock     *liveClock
 	latency   LatencyModel
 	loss      float64
 	rng       *mathx.RNG
@@ -398,18 +429,18 @@ func (t *liveTransport) Register(id ids.NodeID, ep Endpoint) {
 // to the message's own deadline, so a burst drains back to back.
 func (t *liveTransport) pump(mb *mailbox) {
 	for fl := range mb.ch {
-		if wait := time.Duration(fl.at - t.rt.clock.Now()); wait > 0 {
+		if wait := time.Duration(fl.at - t.clock.Now()); wait > 0 {
 			time.Sleep(wait)
 		}
 		msg := fl.msg
-		t.rt.submit(func() { t.deliver(mb, msg) })
+		t.eng.submit(func() { t.deliver(mb, msg) })
 	}
 }
 
 // deliver runs on the engine goroutine: destination-side checks, then
 // the handler.
 func (t *liveTransport) deliver(mb *mailbox, msg Message) {
-	defer t.rt.pending.Add(-1)
+	defer t.eng.pending.Add(-1)
 	if cur, ok := t.endpoints[msg.To]; !ok || cur != mb {
 		// Unregistered (or replaced) while the message was in flight.
 		t.stats.Dropped++
@@ -432,7 +463,7 @@ func (t *liveTransport) Unregister(id ids.NodeID) {
 }
 
 func (t *liveTransport) Send(msg Message) {
-	msg.Sent = t.rt.clock.Now()
+	msg.Sent = t.clock.Now()
 	t.stats.Sent++
 	if t.crashed[msg.From] {
 		t.stats.Dropped++
@@ -452,14 +483,14 @@ func (t *liveTransport) Send(msg Message) {
 		return
 	}
 	delay := t.latency.Latency(msg.From, msg.To, t.rng)
-	t.rt.pending.Add(1)
+	t.eng.pending.Add(1)
 	select {
 	case mb.ch <- inflightMsg{msg: msg, at: msg.Sent.Add(delay)}:
 	default:
 		// Mailbox full: the bounded ingress queue drops, like any
 		// real receiver under overload.
 		t.stats.Dropped++
-		t.rt.pending.Add(-1)
+		t.eng.pending.Add(-1)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/wire"
 )
 
 func newTestLive(t *testing.T) *LiveRuntime {
@@ -104,7 +105,7 @@ type echoEndpoint struct {
 func (e *echoEndpoint) HandleMessage(msg Message) {
 	e.got.Add(1)
 	if e.ping {
-		e.rt.Transport().Send(Message{From: e.id, To: msg.From, Kind: KindControl, Body: "echo"})
+		e.rt.Transport().Send(Message{From: e.id, To: msg.From, Kind: KindControl, Body: wire.Probe{}})
 	}
 }
 
@@ -118,7 +119,7 @@ func TestLiveTransportDelivery(t *testing.T) {
 		rt.Transport().Register(a, epA)
 		rt.Transport().Register(b, epB)
 		for i := 0; i < 10; i++ {
-			rt.Transport().Send(Message{From: a, To: b, Kind: KindToken, Body: i})
+			rt.Transport().Send(Message{From: a, To: b, Kind: KindToken, Body: wire.Probe{Seq: uint64(i)}})
 		}
 	})
 	rt.Run()

@@ -4,15 +4,20 @@ import (
 	"fmt"
 
 	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/wire"
 )
 
 // Message is one protocol datagram in flight between network entities.
+// The payload is a member of the closed wire union — every message the
+// transport carries has a defined binary encoding, so the identical
+// engine runs over in-process delivery (payloads passed as Go values)
+// and over real sockets (payloads passed through the wire codec).
 type Message struct {
-	From ids.NodeID // sender
-	To   ids.NodeID // destination
-	Kind Kind       // protocol message class, used for accounting
-	Body any        // protocol payload; owned by the receiver after delivery
-	Sent Time       // protocol time the message was sent
+	From ids.NodeID   // sender
+	To   ids.NodeID   // destination
+	Kind Kind         // protocol message class, used for accounting
+	Body wire.Payload // protocol payload; owned by the receiver after delivery
+	Sent Time         // protocol time the message was sent
 }
 
 // Kind classifies messages for the hop-count accounting of Section 5.1

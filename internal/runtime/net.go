@@ -1,0 +1,567 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mathx"
+	"github.com/rgbproto/rgb/internal/wire"
+)
+
+var _ Runtime = (*NetRuntime)(nil)
+
+// bookLimit bounds the per-destination maps a long-running networked
+// process accretes (learned return addresses, reusable encode
+// buffers): past it the map is simply cleared — learning re-warms on
+// the next packet, buffers on the next send.
+const bookLimit = 4096
+
+// NetConfig parameterizes a NetRuntime — the networked substrate where
+// each process hosts a subset of the hierarchy's entities and every
+// message crosses a real UDP socket through the wire codec.
+type NetConfig struct {
+	// Bind is the local UDP listen address (e.g. "127.0.0.1:7001";
+	// port 0 picks a free port). Required.
+	Bind string
+
+	// Advertise is the address other processes use to reach this one.
+	// Empty derives it from the bound socket (with unspecified hosts
+	// rewritten to the loopback address).
+	Advertise string
+
+	// Peers lists the advertise addresses of every process of the
+	// deployment, slot-indexed; Index is this process's slot. A
+	// single-process deployment may leave Peers nil.
+	Peers []string
+	Index int
+
+	// Owners maps each network entity to the Peers slot hosting it.
+	// Entities owned by Index are served locally; all others are
+	// routed to their owner's address. Nil means every entity is
+	// local (single-process deployment or pure client).
+	Owners map[ids.NodeID]int
+
+	// DefaultRoute, when set, is where frames for unrouteable node IDs
+	// are sent — the client ("Dial") mode: a process that owns no
+	// entities routes everything at one cluster member, which relays.
+	DefaultRoute string
+
+	// MHSlotShift, when non-zero, routes mobile-host-tier endpoint IDs
+	// by ownership block: the Peers slot of an MH endpoint is its
+	// ordinal right-shifted by MHSlotShift. Processes mint their MH
+	// ordinals inside their own block (core.Config.MHBase), so replies
+	// to mobile hosts and query apps of any process route without
+	// learning. Ordinals whose block lies outside Peers (external
+	// clients) fall back to learned/default routes.
+	MHSlotShift uint
+
+	// Seed seeds the loss-emulation RNG.
+	Seed uint64
+
+	// Loss is an emulated independent egress loss probability, so
+	// loss-model experiments run unchanged on the networked substrate.
+	Loss float64
+
+	// TTL is the relay hop budget stamped on egress frames (default 8).
+	TTL uint8
+
+	// SettleTimeout bounds Run/RunUntil: a networked runtime cannot
+	// prove global quiescence, so after this long without pred
+	// becoming true it gives up (default 5s).
+	SettleTimeout time.Duration
+
+	// QuiesceIdle is how long the socket must stay silent (with no
+	// pending local work) before the runtime considers itself
+	// quiescent (default 50ms).
+	QuiesceIdle time.Duration
+}
+
+// NetStats counts wire-level events that the substrate-agnostic Stats
+// cannot see: decode failures, version mismatches, routing misses and
+// relays.
+type NetStats struct {
+	Received       uint64 // datagrams read from the socket
+	DecodeErrors   uint64 // frames rejected by the codec
+	UnknownVersion uint64 // frames from a different wire version
+	UnknownPeer    uint64 // frames/sends with no route to the destination
+	Relayed        uint64 // frames forwarded toward their owner
+	TTLExpired     uint64 // relay candidates dropped at TTL exhaustion
+	Oversize       uint64 // frames larger than one UDP datagram, dropped
+}
+
+// NetRuntime runs the protocol engine over real UDP sockets: the same
+// engineCore/liveClock discipline as LiveRuntime (one engine goroutine
+// owns all protocol state, timers are real time.Timers), with the
+// message plane replaced by a datagram socket and the wire codec. A
+// peer address book routes entity IDs to their owning process;
+// addresses of transient endpoints (mobile hosts, query apps) are
+// learned from packet sources, and frames for non-local entities are
+// relayed toward their owner with a TTL budget.
+type NetRuntime struct {
+	eng   *engineCore
+	clock *liveClock
+	tr    *netTransport
+
+	settleTimeout time.Duration
+	quiesceIdle   time.Duration
+}
+
+// NewNetRuntime binds the UDP socket and starts the runtime. The
+// caller must Close it.
+func NewNetRuntime(cfg NetConfig) (*NetRuntime, error) {
+	if cfg.Bind == "" {
+		return nil, errors.New("runtime: NetConfig.Bind required")
+	}
+	bind, err := net.ResolveUDPAddr("udp", cfg.Bind)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: bind %q: %w", cfg.Bind, err)
+	}
+	conn, err := net.ListenUDP("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: listen %q: %w", cfg.Bind, err)
+	}
+
+	// loopback is where this process reaches itself: the bound socket,
+	// with an unspecified host rewritten to 127.0.0.1. self is what
+	// peers are told (Advertise may be a NAT'd or load-balanced name
+	// that does not hairpin, so local traffic never uses it).
+	loopback := conn.LocalAddr().(*net.UDPAddr)
+	if loopback.IP == nil || loopback.IP.IsUnspecified() {
+		loopback = &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: loopback.Port}
+	}
+	self := loopback
+	if cfg.Advertise != "" {
+		if self, err = net.ResolveUDPAddr("udp", cfg.Advertise); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("runtime: advertise %q: %w", cfg.Advertise, err)
+		}
+	}
+
+	peerAddrs := make([]*net.UDPAddr, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		if i == cfg.Index {
+			peerAddrs[i] = loopback
+			continue
+		}
+		if peerAddrs[i], err = net.ResolveUDPAddr("udp", p); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("runtime: peer %q: %w", p, err)
+		}
+	}
+
+	var defaultRoute *net.UDPAddr
+	if cfg.DefaultRoute != "" {
+		if defaultRoute, err = net.ResolveUDPAddr("udp", cfg.DefaultRoute); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("runtime: default route %q: %w", cfg.DefaultRoute, err)
+		}
+	}
+
+	static := make(map[ids.NodeID]*net.UDPAddr, len(cfg.Owners))
+	for id, slot := range cfg.Owners {
+		if slot == cfg.Index || slot < 0 || slot >= len(peerAddrs) {
+			static[id] = loopback
+			continue
+		}
+		static[id] = peerAddrs[slot]
+	}
+
+	ttl := cfg.TTL
+	if ttl == 0 {
+		ttl = 8
+	}
+	settle := cfg.SettleTimeout
+	if settle <= 0 {
+		settle = 5 * time.Second
+	}
+	idle := cfg.QuiesceIdle
+	if idle <= 0 {
+		idle = 50 * time.Millisecond
+	}
+
+	rt := &NetRuntime{
+		eng:           newEngineCore(),
+		settleTimeout: settle,
+		quiesceIdle:   idle,
+	}
+	rt.clock = &liveClock{eng: rt.eng}
+	rt.tr = &netTransport{
+		eng:          rt.eng,
+		clock:        rt.clock,
+		conn:         conn,
+		rng:          mathx.NewRNG(cfg.Seed),
+		loss:         cfg.Loss,
+		ttl:          ttl,
+		self:         self,
+		loopback:     loopback,
+		peers:        peerAddrs,
+		selfIndex:    cfg.Index,
+		mhShift:      cfg.MHSlotShift,
+		static:       static,
+		learned:      make(map[ids.NodeID]*net.UDPAddr),
+		defaultRoute: defaultRoute,
+		local:        make(map[ids.NodeID]Endpoint),
+		crashed:      make(map[ids.NodeID]bool),
+		peerBuf:      make(map[ids.NodeID][]byte),
+	}
+	rt.tr.touch()
+	go rt.tr.readLoop()
+	return rt, nil
+}
+
+// LocalAddr returns the address the socket actually bound (useful
+// with a ":0" Bind).
+func (rt *NetRuntime) LocalAddr() *net.UDPAddr {
+	return rt.tr.conn.LocalAddr().(*net.UDPAddr)
+}
+
+// Advertise returns the address peers use to reach this runtime.
+func (rt *NetRuntime) Advertise() *net.UDPAddr { return rt.tr.self }
+
+// Clock implements Runtime.
+func (rt *NetRuntime) Clock() Clock { return rt.clock }
+
+// Transport implements Runtime.
+func (rt *NetRuntime) Transport() Transport { return rt.tr }
+
+// Do implements Runtime.
+func (rt *NetRuntime) Do(fn func()) { rt.eng.do(fn) }
+
+// NetStats returns a copy of the wire-level counters.
+func (rt *NetRuntime) NetStats() NetStats {
+	var ns NetStats
+	rt.eng.do(func() { ns = rt.tr.nstats })
+	return ns
+}
+
+// quiescent reports local quiescence: no pending timers or queued
+// deliveries, and a silent socket for the idle window. Remote
+// processes may still be working — networked quiescence is a
+// heuristic, which is why Run and RunUntil are additionally bounded
+// by the settle timeout.
+func (rt *NetRuntime) quiescent() bool {
+	return rt.eng.pending.Load() == 0 &&
+		time.Since(time.Unix(0, rt.tr.lastActivity.Load())) > rt.quiesceIdle
+}
+
+// Run implements Runtime: it blocks until local quiescence (or the
+// settle timeout, whichever comes first).
+func (rt *NetRuntime) Run() {
+	deadline := time.Now().Add(rt.settleTimeout)
+	for !rt.quiescent() && time.Now().Before(deadline) {
+		select {
+		case <-rt.eng.closed:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// RunFor implements Runtime: networked protocol time is wall time.
+func (rt *NetRuntime) RunFor(d time.Duration) {
+	select {
+	case <-rt.eng.closed:
+	case <-time.After(d):
+	}
+}
+
+// RunUntil implements Runtime: it polls pred in engine context until
+// it reports true, giving up at local quiescence or the settle
+// timeout.
+func (rt *NetRuntime) RunUntil(pred func() bool) bool {
+	deadline := time.Now().Add(rt.settleTimeout)
+	for {
+		var ok bool
+		rt.Do(func() { ok = pred() })
+		if ok {
+			return true
+		}
+		if rt.quiescent() || !time.Now().Before(deadline) {
+			rt.Do(func() { ok = pred() })
+			return ok
+		}
+		select {
+		case <-rt.eng.closed:
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Close implements Runtime: it closes the socket (stopping the read
+// loop) and then the engine. In-flight work is dropped.
+func (rt *NetRuntime) Close() error {
+	err := rt.tr.conn.Close()
+	rt.eng.stop(nil)
+	return err
+}
+
+// --- Transport --------------------------------------------------------
+
+// netTransport implements Transport over one UDP socket. All state is
+// owned by the engine goroutine except lastActivity (atomic) and the
+// socket itself; the read loop decodes off-engine and re-enters
+// through submit.
+type netTransport struct {
+	eng      *engineCore
+	clock    *liveClock
+	conn     *net.UDPConn
+	rng      *mathx.RNG
+	loss     float64
+	ttl      uint8
+	self     *net.UDPAddr // what peers are told (Advertise)
+	loopback *net.UDPAddr // how this process reaches itself
+
+	// peers/selfIndex/mhShift route mobile-host-tier IDs by ownership
+	// block (see NetConfig.MHSlotShift).
+	peers     []*net.UDPAddr
+	selfIndex int
+	mhShift   uint
+
+	// static routes entity IDs to their owning process (self included);
+	// learned holds return addresses observed for transient endpoints
+	// (mobile hosts, query apps) that no static entry covers.
+	static       map[ids.NodeID]*net.UDPAddr
+	learned      map[ids.NodeID]*net.UDPAddr
+	defaultRoute *net.UDPAddr
+
+	local   map[ids.NodeID]Endpoint
+	crashed map[ids.NodeID]bool
+
+	stats  Stats
+	nstats NetStats
+
+	// peerBuf holds one reusable encode buffer per destination, so the
+	// steady-state send path allocates nothing.
+	peerBuf  map[ids.NodeID][]byte
+	relayBuf []byte
+
+	lastActivity atomic.Int64 // UnixNano of the last send or receive
+}
+
+func (t *netTransport) touch() { t.lastActivity.Store(time.Now().UnixNano()) }
+
+// readLoop runs off-engine: it blocks on the socket, decodes each
+// datagram (decoding shares no state), and hands the frame to the
+// engine goroutine.
+func (t *netTransport) readLoop() {
+	buf := make([]byte, wire.MaxDatagram)
+	for {
+		n, src, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.eng.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.touch()
+		f, derr := wire.DecodeFrame(buf[:n])
+		t.eng.pending.Add(1)
+		t.eng.submit(func() { t.dispatch(f, src, derr) })
+	}
+}
+
+// dispatch runs on the engine goroutine: accounting, return-address
+// learning, local delivery or relay.
+func (t *netTransport) dispatch(f wire.Frame, src *net.UDPAddr, derr error) {
+	defer t.eng.pending.Add(-1)
+	t.nstats.Received++
+	if derr != nil {
+		if errors.Is(derr, wire.ErrUnknownVersion) {
+			t.nstats.UnknownVersion++
+		} else {
+			t.nstats.DecodeErrors++
+		}
+		return
+	}
+	if int(f.Class) >= int(numKinds) {
+		t.nstats.DecodeErrors++
+		return
+	}
+	// Return-address learning: transient endpoints (MHs, query apps)
+	// are not in the static book; remember where their traffic comes
+	// from so replies route back. Static entries are never overridden,
+	// and the book is bounded so a flood of spoofed sender IDs cannot
+	// grow it without limit.
+	if _, isStatic := t.static[f.From]; !isStatic && !f.From.IsZero() {
+		if _, isLocal := t.local[f.From]; !isLocal {
+			if _, known := t.learned[f.From]; !known && len(t.learned) >= bookLimit {
+				clear(t.learned)
+			}
+			t.learned[f.From] = src
+		}
+	}
+	ep, ok := t.local[f.To]
+	if !ok {
+		t.relay(f)
+		return
+	}
+	if t.crashed[f.To] {
+		t.stats.Dropped++
+		return
+	}
+	t.stats.Delivered++
+	t.stats.ByKind[Kind(f.Class)]++
+	ep.HandleMessage(Message{
+		From: f.From,
+		To:   f.To,
+		Kind: Kind(f.Class),
+		Body: f.Payload,
+		Sent: t.clock.Now(),
+	})
+}
+
+// relay forwards a frame addressed to an entity this process does not
+// host toward its owner (or a learned/default route), spending TTL.
+// This is what lets a single-contact client reach any entity of the
+// cluster and get replies back.
+func (t *netTransport) relay(f wire.Frame) {
+	if f.TTL <= 1 {
+		t.nstats.TTLExpired++
+		t.stats.Dropped++
+		return
+	}
+	addr := t.route(f.To)
+	if addr == nil || udpAddrEqual(addr, t.self) || udpAddrEqual(addr, t.loopback) {
+		t.nstats.UnknownPeer++
+		t.stats.Dropped++
+		return
+	}
+	f.TTL--
+	t.relayBuf = wire.AppendFrame(t.relayBuf[:0], f)
+	if len(t.relayBuf) > wire.MaxDatagram {
+		t.nstats.Oversize++
+		t.stats.Dropped++
+		return
+	}
+	if _, err := t.conn.WriteToUDP(t.relayBuf, addr); err != nil {
+		t.stats.Dropped++
+		return
+	}
+	t.nstats.Relayed++
+	t.touch()
+}
+
+// route resolves a destination: local endpoints to self, hierarchy
+// entities through the static book, cluster-resident mobile-host
+// endpoints by ownership block, external transient endpoints through
+// the learned addresses, everything else to the default route (if
+// any).
+func (t *netTransport) route(id ids.NodeID) *net.UDPAddr {
+	if _, ok := t.local[id]; ok {
+		return t.loopback
+	}
+	if a, ok := t.static[id]; ok {
+		return a
+	}
+	if t.mhShift > 0 && id.Tier() == ids.TierMH {
+		if slot := id.Ordinal() >> t.mhShift; slot >= 0 && slot < len(t.peers) {
+			return t.peers[slot]
+		}
+	}
+	if a, ok := t.learned[id]; ok {
+		return a
+	}
+	return t.defaultRoute
+}
+
+// Register implements Transport.
+func (t *netTransport) Register(id ids.NodeID, ep Endpoint) {
+	if id.IsZero() {
+		panic("runtime: registering the zero NodeID")
+	}
+	if ep == nil {
+		panic("runtime: registering nil endpoint")
+	}
+	t.local[id] = ep
+}
+
+// Unregister implements Transport.
+func (t *netTransport) Unregister(id ids.NodeID) { delete(t.local, id) }
+
+// Send implements Transport: encode into the destination's reusable
+// buffer and write the datagram. Every message — including one for an
+// endpoint of this very process — crosses the socket, so the wire
+// codec is exercised on every hop.
+func (t *netTransport) Send(msg Message) {
+	msg.Sent = t.clock.Now()
+	t.stats.Sent++
+	if t.crashed[msg.From] {
+		t.stats.Dropped++
+		return
+	}
+	if msg.To.IsZero() {
+		t.stats.Dropped++
+		return
+	}
+	if t.loss > 0 && t.rng.Bernoulli(t.loss) {
+		t.stats.Dropped++
+		return
+	}
+	addr := t.route(msg.To)
+	if addr == nil {
+		t.nstats.UnknownPeer++
+		t.stats.Dropped++
+		return
+	}
+	prev, known := t.peerBuf[msg.To]
+	buf := wire.AppendFrame(prev[:0], wire.Frame{
+		From:    msg.From,
+		To:      msg.To,
+		Class:   uint8(msg.Kind),
+		TTL:     t.ttl,
+		Payload: msg.Body,
+	})
+	if !known && len(t.peerBuf) >= bookLimit {
+		// Transient destinations (query apps, dial clients) would
+		// otherwise grow the buffer map without bound over a daemon's
+		// lifetime; dropping the warm buffers only costs re-growth.
+		clear(t.peerBuf)
+	}
+	t.peerBuf[msg.To] = buf
+	if len(buf) > wire.MaxDatagram {
+		// An aggregated batch or snapshot past one datagram cannot be
+		// shipped; dropping it surfaces in the counters instead of
+		// stalling silently (the ring's retransmission will keep
+		// trying — an Oversize count that grows in lockstep with
+		// Dropped is the diagnostic).
+		t.nstats.Oversize++
+		t.stats.Dropped++
+		return
+	}
+	if _, err := t.conn.WriteToUDP(buf, addr); err != nil {
+		t.stats.Dropped++
+		return
+	}
+	t.touch()
+}
+
+// Crash implements Transport (local fault emulation, as on the other
+// substrates: a crashed entity neither sends nor receives).
+func (t *netTransport) Crash(id ids.NodeID) { t.crashed[id] = true }
+
+// Restore implements Transport.
+func (t *netTransport) Restore(id ids.NodeID) { delete(t.crashed, id) }
+
+// Crashed implements Transport.
+func (t *netTransport) Crashed(id ids.NodeID) bool { return t.crashed[id] }
+
+// Stats implements Transport.
+func (t *netTransport) Stats() Stats { return t.stats }
+
+// ResetStats implements Transport.
+func (t *netTransport) ResetStats() { t.stats = Stats{} }
+
+// udpAddrEqual compares resolved UDP addresses.
+func udpAddrEqual(a, b *net.UDPAddr) bool {
+	return a != nil && b != nil && a.Port == b.Port && a.IP.Equal(b.IP)
+}

@@ -1,0 +1,215 @@
+package runtime
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/wire"
+)
+
+func newTestNet(t *testing.T, cfg NetConfig) *NetRuntime {
+	t.Helper()
+	if cfg.Bind == "" {
+		cfg.Bind = "127.0.0.1:0"
+	}
+	if cfg.QuiesceIdle == 0 {
+		cfg.QuiesceIdle = 20 * time.Millisecond
+	}
+	rt, err := NewNetRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewNetRuntime: %v", err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	return rt
+}
+
+// countingEndpoint records deliveries and optionally replies.
+type countingEndpoint struct {
+	rt   *NetRuntime
+	id   ids.NodeID
+	got  atomic.Int64
+	last atomic.Uint64
+	ping bool
+}
+
+func (e *countingEndpoint) HandleMessage(msg Message) {
+	e.got.Add(1)
+	if p, ok := msg.Body.(wire.Probe); ok {
+		e.last.Store(p.Seq)
+	}
+	if e.ping {
+		e.rt.Transport().Send(Message{From: e.id, To: msg.From, Kind: KindControl, Body: wire.Probe{}})
+	}
+}
+
+// TestNetTransportLoopbackDelivery: messages between two endpoints of
+// one process cross the real socket and arrive decoded.
+func TestNetTransportLoopbackDelivery(t *testing.T) {
+	rt := newTestNet(t, NetConfig{})
+	a := ids.MakeNodeID(ids.TierAP, 1)
+	b := ids.MakeNodeID(ids.TierAP, 2)
+	epA := &countingEndpoint{rt: rt, id: a}
+	epB := &countingEndpoint{rt: rt, id: b, ping: true}
+	rt.Do(func() {
+		rt.Transport().Register(a, epA)
+		rt.Transport().Register(b, epB)
+		for i := 0; i < 10; i++ {
+			rt.Transport().Send(Message{From: a, To: b, Kind: KindToken, Body: wire.Probe{Seq: uint64(i)}})
+		}
+	})
+	rt.Run()
+	if got := epB.got.Load(); got != 10 {
+		t.Fatalf("b received %d, want 10", got)
+	}
+	if got := epA.got.Load(); got != 10 {
+		t.Fatalf("a received %d echoes, want 10", got)
+	}
+	var st Stats
+	rt.Do(func() { st = rt.Transport().Stats() })
+	if st.Sent != 20 || st.Delivered != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DeliveredOf(KindToken) != 10 || st.DeliveredOf(KindControl) != 10 {
+		t.Fatalf("per-kind stats = %+v", st.ByKind)
+	}
+}
+
+// TestNetTransportCrossProcess: two runtimes with a static address
+// book exchange messages over loopback UDP.
+func TestNetTransportCrossProcess(t *testing.T) {
+	a := ids.MakeNodeID(ids.TierAP, 1)
+	b := ids.MakeNodeID(ids.TierAP, 2)
+	owners := map[ids.NodeID]int{a: 0, b: 1}
+
+	// Reserve two ports so both sides know the full book up front.
+	addr0, close0 := reserveUDP(t)
+	addr1, close1 := reserveUDP(t)
+	close0()
+	close1()
+	peers := []string{addr0, addr1}
+
+	rt0 := newTestNet(t, NetConfig{Bind: addr0, Peers: peers, Index: 0, Owners: owners})
+	rt1 := newTestNet(t, NetConfig{Bind: addr1, Peers: peers, Index: 1, Owners: owners})
+
+	epA := &countingEndpoint{rt: rt0, id: a}
+	epB := &countingEndpoint{rt: rt1, id: b, ping: true}
+	rt0.Do(func() { rt0.Transport().Register(a, epA) })
+	rt1.Do(func() { rt1.Transport().Register(b, epB) })
+
+	rt0.Do(func() {
+		for i := 0; i < 5; i++ {
+			rt0.Transport().Send(Message{From: a, To: b, Kind: KindNotify, Body: wire.Probe{Seq: uint64(i)}})
+		}
+	})
+	waitFor(t, func() bool { return epB.got.Load() == 5 && epA.got.Load() == 5 })
+	if epB.last.Load() != 4 {
+		t.Fatalf("last probe seq = %d, want 4", epB.last.Load())
+	}
+}
+
+// TestNetTransportDecodeAccounting: garbage and wrong-version
+// datagrams are counted, not delivered, and never crash the runtime.
+func TestNetTransportDecodeAccounting(t *testing.T) {
+	rt := newTestNet(t, NetConfig{})
+	a := ids.MakeNodeID(ids.TierAP, 1)
+	ep := &countingEndpoint{rt: rt, id: a}
+	rt.Do(func() { rt.Transport().Register(a, ep) })
+
+	conn, err := net.DialUDP("udp", nil, rt.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Garbage, then a frame with a hostile version byte.
+	conn.Write([]byte("not a frame at all"))
+	bad := wire.AppendFrame(nil, wire.Frame{From: a, To: a, Class: 0, TTL: 2, Payload: wire.Probe{}})
+	bad[2] = 42 // version
+	conn.Write(bad)
+	good := wire.AppendFrame(nil, wire.Frame{From: ids.MakeNodeID(ids.TierAP, 9), To: a, Class: 0, TTL: 2, Payload: wire.Probe{Seq: 7}})
+	conn.Write(good)
+
+	waitFor(t, func() bool { return ep.got.Load() == 1 })
+	ns := rt.NetStats()
+	if ns.DecodeErrors != 1 || ns.UnknownVersion != 1 || ns.Received != 3 {
+		t.Fatalf("net stats = %+v", ns)
+	}
+}
+
+// TestNetTransportRelay: a frame for an entity another process owns is
+// forwarded toward its owner, and TTL exhaustion is accounted.
+func TestNetTransportRelay(t *testing.T) {
+	a := ids.MakeNodeID(ids.TierAP, 1)
+	b := ids.MakeNodeID(ids.TierAP, 2)
+	owners := map[ids.NodeID]int{a: 0, b: 1}
+
+	addr0, close0 := reserveUDP(t)
+	addr1, close1 := reserveUDP(t)
+	close0()
+	close1()
+	peers := []string{addr0, addr1}
+
+	rt0 := newTestNet(t, NetConfig{Bind: addr0, Peers: peers, Index: 0, Owners: owners})
+	rt1 := newTestNet(t, NetConfig{Bind: addr1, Peers: peers, Index: 1, Owners: owners})
+	epB := &countingEndpoint{rt: rt1, id: b}
+	rt1.Do(func() { rt1.Transport().Register(b, epB) })
+
+	// A third party sends a frame for b at rt0; rt0 relays it.
+	conn, err := net.DialUDP("udp", nil, rt0.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write(wire.AppendFrame(nil, wire.Frame{From: ids.MakeNodeID(ids.TierMH, 5), To: b, Class: 0, TTL: 4, Payload: wire.Probe{Seq: 11}}))
+	waitFor(t, func() bool { return epB.got.Load() == 1 })
+	if ns := rt0.NetStats(); ns.Relayed != 1 {
+		t.Fatalf("relay stats = %+v", ns)
+	}
+
+	// TTL 1 dies at the first relay hop.
+	conn.Write(wire.AppendFrame(nil, wire.Frame{From: ids.MakeNodeID(ids.TierMH, 5), To: b, Class: 0, TTL: 1, Payload: wire.Probe{}}))
+	waitFor(t, func() bool { return rt0.NetStats().TTLExpired == 1 })
+	if epB.got.Load() != 1 {
+		t.Fatal("TTL-expired frame was delivered")
+	}
+}
+
+// TestNetRuntimeTimers: the clock shared with LiveRuntime works on the
+// networked substrate.
+func TestNetRuntimeTimers(t *testing.T) {
+	rt := newTestNet(t, NetConfig{})
+	var fired atomic.Bool
+	rt.Do(func() {
+		rt.Clock().After(2*time.Millisecond, func() { fired.Store(true) })
+	})
+	rt.Run()
+	if !fired.Load() {
+		t.Fatal("timer did not fire")
+	}
+}
+
+func waitFor(t *testing.T, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// reserveUDP binds an ephemeral UDP port and returns its address plus
+// a release func; the tiny window between release and rebind is
+// acceptable on loopback.
+func reserveUDP(t *testing.T) (string, func()) {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn.LocalAddr().String(), func() { conn.Close() }
+}

@@ -23,6 +23,7 @@ import (
 	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/mathx"
 	"github.com/rgbproto/rgb/internal/runtime"
+	"github.com/rgbproto/rgb/internal/wire"
 )
 
 // Message-plane vocabulary, shared with every Transport implementation.
@@ -223,7 +224,7 @@ func (n *Network) trace(msg Message, outcome string) {
 }
 
 // SendKind is a convenience wrapper building the Message inline.
-func (n *Network) SendKind(from, to ids.NodeID, kind Kind, body any) {
+func (n *Network) SendKind(from, to ids.NodeID, kind Kind, body wire.Payload) {
 	n.Send(Message{From: from, To: to, Kind: kind, Body: body})
 }
 

@@ -7,6 +7,7 @@ import (
 	"github.com/rgbproto/rgb/internal/des"
 	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/mathx"
+	"github.com/rgbproto/rgb/internal/wire"
 )
 
 func ap(i int) ids.NodeID { return ids.MakeNodeID(ids.TierAP, i) }
@@ -23,12 +24,12 @@ func TestDeliverBasic(t *testing.T) {
 	k, n := newNet(t)
 	var got []Message
 	n.Register(ap(1), EndpointFunc(func(m Message) { got = append(got, m) }))
-	n.SendKind(ap(0), ap(1), KindToken, "hello")
+	n.SendKind(ap(0), ap(1), KindToken, wire.Probe{Seq: 99})
 	k.Run()
 	if len(got) != 1 {
 		t.Fatalf("delivered %d messages", len(got))
 	}
-	if got[0].Body.(string) != "hello" || got[0].From != ap(0) {
+	if got[0].Body.(wire.Probe).Seq != 99 || got[0].From != ap(0) {
 		t.Fatalf("message corrupted: %+v", got[0])
 	}
 	if k.Now() != des.Time(time.Millisecond) {
@@ -43,9 +44,9 @@ func TestDeliverBasic(t *testing.T) {
 func TestDeliveryOrderPreservedForEqualLatency(t *testing.T) {
 	k, n := newNet(t)
 	var got []int
-	n.Register(ap(1), EndpointFunc(func(m Message) { got = append(got, m.Body.(int)) }))
+	n.Register(ap(1), EndpointFunc(func(m Message) { got = append(got, int(m.Body.(wire.Probe).Seq)) }))
 	for i := 0; i < 10; i++ {
-		n.SendKind(ap(0), ap(1), KindToken, i)
+		n.SendKind(ap(0), ap(1), KindToken, wire.Probe{Seq: uint64(i)})
 	}
 	k.Run()
 	for i, v := range got {
@@ -268,9 +269,9 @@ func TestDeterministicDelivery(t *testing.T) {
 		k := des.NewKernel()
 		n := New(k, UniformLatency{Min: time.Millisecond, Max: 10 * time.Millisecond}, 42)
 		var got []int
-		n.Register(ap(1), EndpointFunc(func(m Message) { got = append(got, m.Body.(int)) }))
+		n.Register(ap(1), EndpointFunc(func(m Message) { got = append(got, int(m.Body.(wire.Probe).Seq)) }))
 		for i := 0; i < 100; i++ {
-			n.SendKind(ap(0), ap(1), KindToken, i)
+			n.SendKind(ap(0), ap(1), KindToken, wire.Probe{Seq: uint64(i)})
 		}
 		k.Run()
 		return got

@@ -220,3 +220,29 @@ func (rh *RingHierarchy) Validate() error {
 	}
 	return nil
 }
+
+// SubtreeOwners partitions the hierarchy's entities across nprocs
+// process slots for a networked deployment: node i of the topmost ring
+// goes to slot i%nprocs, and every deeper entity follows its topmost
+// ancestor, so each whole subtree lives in one process and
+// parent/child notifications cross a process boundary only at the top
+// ring. The assignment is a pure function of (h, r, nprocs), so every
+// process of a deployment computes the identical address book.
+func (rh *RingHierarchy) SubtreeOwners(nprocs int) map[ids.NodeID]int {
+	if nprocs < 1 {
+		nprocs = 1
+	}
+	owners := make(map[ids.NodeID]int, rh.NumNodes())
+	for i, id := range rh.levels[0][0].Nodes() {
+		owners[id] = i % nprocs
+	}
+	for level := 1; level < rh.H; level++ {
+		for _, rg := range rh.levels[level] {
+			slot := owners[rh.ParentOf(rg.ID())]
+			for _, id := range rg.Nodes() {
+				owners[id] = slot
+			}
+		}
+	}
+	return owners
+}

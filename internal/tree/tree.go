@@ -24,15 +24,14 @@ import (
 	"github.com/rgbproto/rgb/internal/mq"
 	"github.com/rgbproto/rgb/internal/simnet"
 	"github.com/rgbproto/rgb/internal/topology"
+	"github.com/rgbproto/rgb/internal/wire"
 )
 
 // proposal is the membership-change message of the one-round
-// algorithm. Up marks the convergecast phase (LMS toward root); the
+// algorithm (the wire.TreeProposal payload of the closed message
+// union). Up marks the convergecast phase (LMS toward root); the
 // flood phase sets Up false.
-type proposal struct {
-	Change mq.Change
-	Up     bool
-}
+type proposal = wire.TreeProposal
 
 // Server is one logical membership server (LMS or GMS).
 type Server struct {

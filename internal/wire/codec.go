@@ -1,0 +1,555 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mq"
+	"github.com/rgbproto/rgb/internal/ring"
+	"github.com/rgbproto/rgb/internal/token"
+)
+
+// Wire format. All integers are little-endian, all lengths explicit;
+// decoding never panics on arbitrary input and never allocates more
+// than the input could actually hold.
+//
+// Payload frame (the unit AppendPayload/DecodePayload handle):
+//
+//	[kind u8][bodyLen u32][body bodyLen bytes]
+//
+// Datagram envelope (the unit the UDP transport exchanges):
+//
+//	['R']['G'][version u8][class u8][ttl u8][from u64][to u64][payload frame]
+//
+// Version rules: the version byte covers the whole envelope including
+// every payload body layout. Any layout change bumps Version; a
+// receiver drops (and counts) datagrams with an unknown version.
+// Payload kinds are append-only — never renumbered.
+const (
+	// Version is the wire-format version emitted by this build.
+	Version = 1
+
+	magic0 = 'R'
+	magic1 = 'G'
+
+	payloadHeaderSize = 1 + 4
+	envelopeSize      = 2 + 1 + 1 + 1 + 8 + 8
+
+	// MaxDatagram bounds one encoded frame; the UDP transport sizes
+	// its receive buffers with it.
+	MaxDatagram = 64 << 10
+)
+
+// Codec errors. Match with errors.Is.
+var (
+	// ErrTruncated reports input shorter than its own layout claims.
+	ErrTruncated = errors.New("wire: truncated")
+
+	// ErrBadMagic reports an envelope that does not start with the
+	// protocol magic.
+	ErrBadMagic = errors.New("wire: bad magic")
+
+	// ErrUnknownVersion reports an envelope from a different
+	// wire-format version. The transport accounts these separately
+	// from plain decode errors.
+	ErrUnknownVersion = errors.New("wire: unknown version")
+
+	// ErrUnknownPayload reports a payload kind this build does not
+	// know.
+	ErrUnknownPayload = errors.New("wire: unknown payload kind")
+
+	// ErrMalformed reports a structurally invalid payload body.
+	ErrMalformed = errors.New("wire: malformed payload")
+)
+
+// Frame is one decoded datagram envelope.
+type Frame struct {
+	From    ids.NodeID
+	To      ids.NodeID
+	Class   uint8 // accounting class (runtime.Kind), carried opaquely
+	TTL     uint8 // relay hop budget
+	Payload Payload
+}
+
+// AppendFrame appends the full datagram encoding of f to b. With a
+// reused buffer the encode path performs no allocation.
+func AppendFrame(b []byte, f Frame) []byte {
+	b = append(b, magic0, magic1, Version, f.Class, f.TTL)
+	b = appendU64(b, uint64(f.From))
+	b = appendU64(b, uint64(f.To))
+	return AppendPayload(b, f.Payload)
+}
+
+// DecodeFrame decodes one datagram. It is strict: trailing bytes,
+// truncated layouts, unknown kinds and out-of-range lengths all error.
+func DecodeFrame(b []byte) (Frame, error) {
+	if len(b) < envelopeSize {
+		return Frame{}, ErrTruncated
+	}
+	if b[0] != magic0 || b[1] != magic1 {
+		return Frame{}, ErrBadMagic
+	}
+	if b[2] != Version {
+		return Frame{}, ErrUnknownVersion
+	}
+	f := Frame{
+		Class: b[3],
+		TTL:   b[4],
+		From:  ids.NodeID(binary.LittleEndian.Uint64(b[5:])),
+		To:    ids.NodeID(binary.LittleEndian.Uint64(b[13:])),
+	}
+	p, n, err := DecodePayload(b[envelopeSize:])
+	if err != nil {
+		return Frame{}, err
+	}
+	if envelopeSize+n != len(b) {
+		return Frame{}, ErrMalformed
+	}
+	f.Payload = p
+	return f, nil
+}
+
+// AppendPayload appends the framed encoding of p (nil encodes as
+// KindNone with an empty body).
+func AppendPayload(b []byte, p Payload) []byte {
+	if p == nil {
+		return append(b, byte(KindNone), 0, 0, 0, 0)
+	}
+	b = append(b, byte(p.PayloadKind()), 0, 0, 0, 0)
+	start := len(b)
+	b = p.AppendTo(b)
+	binary.LittleEndian.PutUint32(b[start-4:start], uint32(len(b)-start))
+	return b
+}
+
+// DecodePayload decodes one framed payload from the front of b,
+// returning the payload, the number of bytes consumed, and any error.
+// A KindNone frame yields a nil Payload.
+func DecodePayload(b []byte) (Payload, int, error) {
+	if len(b) < payloadHeaderSize {
+		return nil, 0, ErrTruncated
+	}
+	kind := PayloadKind(b[0])
+	n := int(binary.LittleEndian.Uint32(b[1:]))
+	if n > len(b)-payloadHeaderSize {
+		return nil, 0, ErrTruncated
+	}
+	consumed := payloadHeaderSize + n
+	if kind == KindNone {
+		if n != 0 {
+			return nil, 0, ErrMalformed
+		}
+		return nil, consumed, nil
+	}
+	if kind >= numPayloadKinds {
+		return nil, 0, ErrUnknownPayload
+	}
+	r := reader{b: b[payloadHeaderSize:consumed]}
+	p := decodeBody(kind, &r)
+	if r.bad || r.off != n {
+		return nil, 0, ErrMalformed
+	}
+	return p, consumed, nil
+}
+
+// --- Append helpers ---------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendRingID(b []byte, id ring.ID) []byte {
+	b = append(b, byte(id.Tier))
+	return appendU32(b, uint32(id.Index))
+}
+
+func appendMemberInfo(b []byte, m ids.MemberInfo) []byte {
+	b = appendU32(b, uint32(m.GID))
+	b = appendU64(b, uint64(m.GUID))
+	b = appendU64(b, uint64(m.LUID.AP))
+	b = appendU32(b, m.LUID.Local)
+	b = appendU64(b, uint64(m.AP))
+	return append(b, byte(m.Status))
+}
+
+func appendChange(b []byte, c mq.Change) []byte {
+	b = append(b, byte(c.Op))
+	b = appendMemberInfo(b, c.Member)
+	b = appendU64(b, uint64(c.NE))
+	b = appendU64(b, uint64(c.Origin))
+	b = appendU64(b, c.Seq)
+	return appendU64(b, uint64(c.ReplyTo))
+}
+
+func appendNodeIDs(b []byte, s []ids.NodeID) []byte {
+	b = appendU32(b, uint32(len(s)))
+	for _, id := range s {
+		b = appendU64(b, uint64(id))
+	}
+	return b
+}
+
+func appendMembers(b []byte, s []ids.MemberInfo) []byte {
+	b = appendU32(b, uint32(len(s)))
+	for _, m := range s {
+		b = appendMemberInfo(b, m)
+	}
+	return b
+}
+
+func appendBatch(b []byte, batch mq.Batch) []byte {
+	b = appendU32(b, uint32(len(batch)))
+	for _, c := range batch {
+		b = appendChange(b, c)
+	}
+	return b
+}
+
+// Fixed element sizes, used to bound slice counts against the bytes
+// actually present (a hostile length field must not drive a huge
+// allocation).
+const (
+	memberInfoSize = 4 + 8 + 8 + 4 + 8 + 1
+	changeSize     = 1 + memberInfoSize + 8 + 8 + 8 + 8
+)
+
+// --- Reader -----------------------------------------------------------
+
+// reader is a bounds-checked cursor over one payload body. On any
+// short read it latches bad and every further read yields zeros, so
+// decode code stays straight-line.
+type reader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *reader) u8() uint8 {
+	if r.bad || r.off+1 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.bad || r.off+4 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.bad || r.off+8 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) boolean() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.bad = true
+		return false
+	}
+}
+
+// count reads a slice length and validates it against the bytes left
+// for elements of elemSize.
+func (r *reader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.bad || n < 0 || n*elemSize > len(r.b)-r.off {
+		r.bad = true
+		return 0
+	}
+	return n
+}
+
+func (r *reader) nodeID() ids.NodeID { return ids.NodeID(r.u64()) }
+
+func (r *reader) ringID() ring.ID {
+	t := ids.Tier(r.u8())
+	return ring.ID{Tier: t, Index: int(r.u32())}
+}
+
+func (r *reader) memberInfo() ids.MemberInfo {
+	return ids.MemberInfo{
+		GID:    ids.GroupID(r.u32()),
+		GUID:   ids.GUID(r.u64()),
+		LUID:   ids.LUID{AP: ids.NodeID(r.u64()), Local: r.u32()},
+		AP:     ids.NodeID(r.u64()),
+		Status: ids.Status(r.u8()),
+	}
+}
+
+func (r *reader) change() mq.Change {
+	return mq.Change{
+		Op:      mq.Op(r.u8()),
+		Member:  r.memberInfo(),
+		NE:      r.nodeID(),
+		Origin:  r.nodeID(),
+		Seq:     r.u64(),
+		ReplyTo: r.nodeID(),
+	}
+}
+
+func (r *reader) nodeIDs() []ids.NodeID {
+	n := r.count(8)
+	if r.bad || n == 0 {
+		return nil
+	}
+	out := make([]ids.NodeID, n)
+	for i := range out {
+		out[i] = r.nodeID()
+	}
+	return out
+}
+
+func (r *reader) members() []ids.MemberInfo {
+	n := r.count(memberInfoSize)
+	if r.bad || n == 0 {
+		return nil
+	}
+	out := make([]ids.MemberInfo, n)
+	for i := range out {
+		out[i] = r.memberInfo()
+	}
+	return out
+}
+
+func (r *reader) batch() mq.Batch {
+	n := r.count(changeSize)
+	if r.bad || n == 0 {
+		return nil
+	}
+	out := make(mq.Batch, n)
+	for i := range out {
+		out[i] = r.change()
+	}
+	return out
+}
+
+// --- Per-payload bodies -----------------------------------------------
+
+// AppendTo implements Payload.
+func (m TokenMsg) AppendTo(b []byte) []byte {
+	t := m.Tok
+	b = appendU32(b, uint32(t.GID))
+	b = appendRingID(b, t.Ring)
+	b = appendU64(b, uint64(t.Holder))
+	b = appendU64(b, t.Round)
+	b = append(b, byte(t.Dir))
+	b = appendRingID(b, t.Source)
+	b = appendU32(b, uint32(t.Hops))
+	b = appendBool(b, t.Repaired)
+	b = appendBatch(b, t.Ops)
+	b = appendNodeIDs(b, t.Route)
+	return appendNodeIDs(b, t.Contributors)
+}
+
+func decodeTokenMsg(r *reader) Payload {
+	t := &token.Token{
+		GID:    ids.GroupID(r.u32()),
+		Ring:   r.ringID(),
+		Holder: r.nodeID(),
+		Round:  r.u64(),
+		Dir:    token.Direction(r.u8()),
+	}
+	t.Source = r.ringID()
+	t.Hops = int(r.u32())
+	t.Repaired = r.boolean()
+	t.Ops = r.batch()
+	t.Route = r.nodeIDs()
+	t.Contributors = r.nodeIDs()
+	return TokenMsg{Tok: t}
+}
+
+// AppendTo implements Payload.
+func (m MemberChange) AppendTo(b []byte) []byte {
+	b = append(b, byte(m.Op))
+	return appendMemberInfo(b, m.Member)
+}
+
+func decodeMemberChange(r *reader) Payload {
+	return MemberChange{Op: mq.Op(r.u8()), Member: r.memberInfo()}
+}
+
+// AppendTo implements Payload.
+func (m Notify) AppendTo(b []byte) []byte {
+	b = appendBatch(b, m.Batch)
+	b = appendRingID(b, m.From)
+	b = appendBool(b, m.Up)
+	b = appendBool(b, m.LeaderUpdate)
+	b = appendU64(b, uint64(m.NewLeader))
+	return appendU64(b, m.Seq)
+}
+
+func decodeNotify(r *reader) Payload {
+	return Notify{
+		Batch:        r.batch(),
+		From:         r.ringID(),
+		Up:           r.boolean(),
+		LeaderUpdate: r.boolean(),
+		NewLeader:    r.nodeID(),
+		Seq:          r.u64(),
+	}
+}
+
+// AppendTo implements Payload.
+func (m NotifyAck) AppendTo(b []byte) []byte { return appendU64(b, m.Seq) }
+
+func decodeNotifyAck(r *reader) Payload { return NotifyAck{Seq: r.u64()} }
+
+// AppendTo implements Payload.
+func (m PassAck) AppendTo(b []byte) []byte {
+	b = appendRingID(b, m.Ring)
+	return appendU64(b, m.Round)
+}
+
+func decodePassAck(r *reader) Payload {
+	return PassAck{Ring: r.ringID(), Round: r.u64()}
+}
+
+// AppendTo implements Payload.
+func (m HolderAck) AppendTo(b []byte) []byte {
+	b = appendRingID(b, m.Ring)
+	b = appendU64(b, m.Round)
+	return appendU32(b, uint32(m.Count))
+}
+
+func decodeHolderAck(r *reader) Payload {
+	return HolderAck{Ring: r.ringID(), Round: r.u64(), Count: int(r.u32())}
+}
+
+// AppendTo implements Payload.
+func (m JoinRequest) AppendTo(b []byte) []byte { return appendU64(b, uint64(m.Node)) }
+
+func decodeJoinRequest(r *reader) Payload { return JoinRequest{Node: r.nodeID()} }
+
+// AppendTo implements Payload.
+func (m Snapshot) AppendTo(b []byte) []byte {
+	b = appendNodeIDs(b, m.Roster)
+	b = appendU64(b, uint64(m.Leader))
+	return appendMembers(b, m.Members)
+}
+
+func decodeSnapshot(r *reader) Payload {
+	return Snapshot{Roster: r.nodeIDs(), Leader: r.nodeID(), Members: r.members()}
+}
+
+// AppendTo implements Payload.
+func (m MergeRequest) AppendTo(b []byte) []byte {
+	b = appendNodeIDs(b, m.Roster)
+	return appendMembers(b, m.Members)
+}
+
+func decodeMergeRequest(r *reader) Payload {
+	return MergeRequest{Roster: r.nodeIDs(), Members: r.members()}
+}
+
+// AppendTo implements Payload.
+func (m Query) AppendTo(b []byte) []byte {
+	b = appendU64(b, m.ID)
+	b = appendU32(b, uint32(m.Level))
+	b = appendU64(b, uint64(m.ReplyTo))
+	b = appendBool(b, m.Down)
+	b = appendU64(b, uint64(m.Entry))
+	return appendRingID(b, m.EntryRing)
+}
+
+func decodeQuery(r *reader) Payload {
+	return Query{
+		ID:        r.u64(),
+		Level:     int(r.u32()),
+		ReplyTo:   r.nodeID(),
+		Down:      r.boolean(),
+		Entry:     r.nodeID(),
+		EntryRing: r.ringID(),
+	}
+}
+
+// AppendTo implements Payload.
+func (m QueryReply) AppendTo(b []byte) []byte {
+	b = appendU64(b, m.ID)
+	b = appendRingID(b, m.From)
+	return appendMembers(b, m.Members)
+}
+
+func decodeQueryReply(r *reader) Payload {
+	return QueryReply{ID: r.u64(), From: r.ringID(), Members: r.members()}
+}
+
+// AppendTo implements Payload.
+func (m TreeProposal) AppendTo(b []byte) []byte {
+	b = appendChange(b, m.Change)
+	return appendBool(b, m.Up)
+}
+
+func decodeTreeProposal(r *reader) Payload {
+	return TreeProposal{Change: r.change(), Up: r.boolean()}
+}
+
+// AppendTo implements Payload.
+func (m Probe) AppendTo(b []byte) []byte { return appendU64(b, m.Seq) }
+
+func decodeProbe(r *reader) Payload { return Probe{Seq: r.u64()} }
+
+// decodeBody dispatches on the payload kind.
+func decodeBody(k PayloadKind, r *reader) Payload {
+	switch k {
+	case KindTokenMsg:
+		return decodeTokenMsg(r)
+	case KindMemberChange:
+		return decodeMemberChange(r)
+	case KindNotify:
+		return decodeNotify(r)
+	case KindNotifyAck:
+		return decodeNotifyAck(r)
+	case KindPassAck:
+		return decodePassAck(r)
+	case KindHolderAck:
+		return decodeHolderAck(r)
+	case KindJoinRequest:
+		return decodeJoinRequest(r)
+	case KindSnapshot:
+		return decodeSnapshot(r)
+	case KindMergeRequest:
+		return decodeMergeRequest(r)
+	case KindQuery:
+		return decodeQuery(r)
+	case KindQueryReply:
+		return decodeQueryReply(r)
+	case KindTreeProposal:
+		return decodeTreeProposal(r)
+	case KindProbe:
+		return decodeProbe(r)
+	default:
+		r.bad = true
+		return nil
+	}
+}

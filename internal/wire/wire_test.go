@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mq"
+	"github.com/rgbproto/rgb/internal/ring"
+	"github.com/rgbproto/rgb/internal/token"
+)
+
+func ap(i int) ids.NodeID { return ids.MakeNodeID(ids.TierAP, i) }
+
+func sampleMember(i int) ids.MemberInfo {
+	return ids.MemberInfo{
+		GID:    ids.NewGroupID(7),
+		GUID:   ids.GUID(100 + i),
+		LUID:   ids.LUID{AP: ap(i), Local: uint32(i + 1)},
+		AP:     ap(i),
+		Status: ids.StatusOperational,
+	}
+}
+
+func sampleChange(i int) mq.Change {
+	return mq.Change{
+		Op:      mq.OpMemberJoin,
+		Member:  sampleMember(i),
+		NE:      ap(i + 3),
+		Origin:  ap(0),
+		Seq:     uint64(900 + i),
+		ReplyTo: ids.MakeNodeID(ids.TierMH, i),
+	}
+}
+
+func sampleToken() *token.Token {
+	return &token.Token{
+		GID:          ids.NewGroupID(7),
+		Ring:         ring.ID{Tier: ids.TierAP, Index: 4},
+		Holder:       ap(1),
+		Round:        99,
+		Ops:          mq.Batch{sampleChange(0), sampleChange(1)},
+		Dir:          token.FromChild,
+		Source:       ring.ID{Tier: ids.TierAG, Index: 2},
+		Route:        []ids.NodeID{ap(1), ap(2), ap(3)},
+		Hops:         5,
+		Repaired:     true,
+		Contributors: []ids.NodeID{ap(2)},
+	}
+}
+
+// samplePayloads covers every kind of the closed union.
+func samplePayloads() []Payload {
+	return []Payload{
+		TokenMsg{Tok: sampleToken()},
+		MemberChange{Op: mq.OpMemberHandoff, Member: sampleMember(2)},
+		Notify{
+			Batch:        mq.Batch{sampleChange(2)},
+			From:         ring.ID{Tier: ids.TierAP, Index: 9},
+			Up:           true,
+			LeaderUpdate: true,
+			NewLeader:    ap(4),
+			Seq:          12,
+		},
+		NotifyAck{Seq: 12},
+		PassAck{Ring: ring.ID{Tier: ids.TierBR, Index: 0}, Round: 3},
+		HolderAck{Ring: ring.ID{Tier: ids.TierAP, Index: 1}, Round: 8, Count: 2},
+		JoinRequest{Node: ap(5)},
+		Snapshot{
+			Roster:  []ids.NodeID{ap(0), ap(1)},
+			Leader:  ap(0),
+			Members: []ids.MemberInfo{sampleMember(0), sampleMember(1)},
+		},
+		MergeRequest{Roster: []ids.NodeID{ap(2)}, Members: []ids.MemberInfo{sampleMember(3)}},
+		Query{ID: 7, Level: 2, ReplyTo: ids.MakeNodeID(ids.TierMH, 1), Down: true, Entry: ap(1), EntryRing: ring.ID{Tier: ids.TierAP, Index: 3}},
+		QueryReply{ID: 7, From: ring.ID{Tier: ids.TierAP, Index: 3}, Members: []ids.MemberInfo{sampleMember(4)}},
+		TreeProposal{Change: sampleChange(5), Up: true},
+		Probe{Seq: 42},
+	}
+}
+
+// TestPayloadRoundTrip: encode -> decode reproduces every payload kind
+// exactly (token payloads compare through the pointee).
+func TestPayloadRoundTrip(t *testing.T) {
+	for _, p := range samplePayloads() {
+		b := AppendPayload(nil, p)
+		got, n, err := DecodePayload(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", p.PayloadKind(), err)
+		}
+		if n != len(b) {
+			t.Fatalf("%s: consumed %d of %d bytes", p.PayloadKind(), n, len(b))
+		}
+		want := any(p)
+		gotAny := any(got)
+		if tm, ok := p.(TokenMsg); ok {
+			want = *tm.Tok
+			gotAny = *got.(TokenMsg).Tok
+		}
+		if !reflect.DeepEqual(gotAny, want) {
+			t.Fatalf("%s: round trip mismatch:\n got %#v\nwant %#v", p.PayloadKind(), gotAny, want)
+		}
+	}
+}
+
+// TestNilPayloadRoundTrip: a nil payload travels as KindNone.
+func TestNilPayloadRoundTrip(t *testing.T) {
+	b := AppendPayload(nil, nil)
+	p, n, err := DecodePayload(b)
+	if err != nil || p != nil || n != len(b) {
+		t.Fatalf("nil round trip: p=%v n=%d err=%v", p, n, err)
+	}
+}
+
+// TestFrameRoundTrip: the datagram envelope preserves addressing,
+// class, TTL and payload.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, p := range samplePayloads() {
+		f := Frame{From: ap(1), To: ap(2), Class: 3, TTL: 8, Payload: p}
+		b := AppendFrame(nil, f)
+		got, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("%s: decode frame: %v", p.PayloadKind(), err)
+		}
+		if got.From != f.From || got.To != f.To || got.Class != f.Class || got.TTL != f.TTL {
+			t.Fatalf("%s: envelope mismatch: %+v", p.PayloadKind(), got)
+		}
+		// Canonical re-encode must be byte-identical.
+		if b2 := AppendFrame(nil, got); !bytes.Equal(b, b2) {
+			t.Fatalf("%s: re-encode differs", p.PayloadKind())
+		}
+	}
+}
+
+// TestEncodeDoesNotAllocateWithReusedBuffer: the append-style encode
+// path must be zero-allocation once the buffer has grown.
+func TestEncodeDoesNotAllocateWithReusedBuffer(t *testing.T) {
+	payloads := samplePayloads()
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, p := range payloads {
+			buf = AppendFrame(buf[:0], Frame{From: ap(0), To: ap(1), Class: 1, TTL: 4, Payload: p})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode path allocates: %.1f allocs/run", allocs)
+	}
+}
+
+// TestDecodeErrors: the codec classifies bad input without panicking.
+func TestDecodeErrors(t *testing.T) {
+	good := AppendFrame(nil, Frame{From: ap(0), To: ap(1), Class: 1, TTL: 2, Payload: Probe{Seq: 1}})
+
+	cases := []struct {
+		name string
+		b    []byte
+		err  error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short envelope", good[:10], ErrTruncated},
+		{"bad magic", append([]byte("XX"), good[2:]...), ErrBadMagic},
+		{"unknown version", func() []byte { b := append([]byte(nil), good...); b[2] = 99; return b }(), ErrUnknownVersion},
+		{"unknown payload", func() []byte { b := append([]byte(nil), good...); b[envelopeSize] = byte(numPayloadKinds); return b }(), ErrUnknownPayload},
+		{"trailing bytes", append(append([]byte(nil), good...), 0xFF), ErrMalformed},
+		{"truncated body", good[:len(good)-2], ErrTruncated},
+		{"length overrun", func() []byte {
+			b := append([]byte(nil), good...)
+			b[envelopeSize+1] = 0xFF // claim a body far larger than present
+			return b
+		}(), ErrTruncated},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeFrame(tc.b); !errors.Is(err, tc.err) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.err)
+		}
+	}
+}
+
+// TestHostileLengthDoesNotAllocate: a length field claiming millions of
+// elements over a tiny body must fail fast, not allocate.
+func TestHostileLengthDoesNotAllocate(t *testing.T) {
+	// Snapshot body: roster count claims 0xFFFFFFFF with no bytes
+	// behind it.
+	body := appendU32(nil, 0xFFFFFFFF)
+	b := append([]byte{byte(KindSnapshot)}, 0, 0, 0, 0)
+	b = append(b, body...)
+	// Fix the length header.
+	b[1] = byte(len(body))
+	if _, _, err := DecodePayload(b); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}

@@ -1,0 +1,134 @@
+package rgb
+
+import (
+	"fmt"
+
+	"github.com/rgbproto/rgb/internal/topology"
+)
+
+// mhSlotShift carves the mobile-host ordinal space into per-process
+// blocks: cluster process i mints MH/query-app endpoint ordinals in
+// block i, so every process can route a reply to any cluster-resident
+// transient endpoint without learning. Dial clients use blocks beyond
+// the peer count (derived from their bound port) and are reached
+// through return-address learning instead.
+const mhSlotShift = 24
+
+// Listen starts a networked membership service process: it binds addr
+// (UDP), instantiates the hierarchy entities its cluster slot owns,
+// and serves the protocol over wire-encoded datagrams.
+//
+// A single process deployment needs nothing else:
+//
+//	svc, err := rgb.Listen("127.0.0.1:7000", rgb.WithHierarchy(2, 3))
+//
+// A multi-process deployment adds WithCluster: every process lists the
+// same peer addresses and its own slot, and the hierarchy is
+// partitioned deterministically (topmost-ring node i plus its whole
+// subtree go to slot i mod processes):
+//
+//	svc, err := rgb.Listen("127.0.0.1:7001",
+//	    rgb.WithHierarchy(2, 3), rgb.WithSeed(1),
+//	    rgb.WithCluster(1, "127.0.0.1:7000", "127.0.0.1:7001", "127.0.0.1:7002"))
+//
+// The identical protocol engine runs underneath — Join, Leave,
+// Handoff, Query, Watch and the failure machinery all work, with
+// cross-process messages crossing real sockets. See cmd/rgbnode for a
+// ready-made daemon.
+func Listen(addr string, opts ...Option) (*Service, error) {
+	opts = append(opts, func(o *serviceOptions) {
+		if o.netConfig == nil {
+			o.netConfig = &NetConfig{}
+		}
+		o.netConfig.Bind = addr
+	})
+	return Open(opts...)
+}
+
+// Dial connects to a networked deployment as a pure client: the
+// process owns no hierarchy entities and routes every protocol message
+// at addr, which relays it toward the owning process. Join/Leave/
+// Handoff/Query work as usual (pass the deployment's hierarchy shape
+// so the client derives the same topology); Members is served by the
+// topmost ring, which a client does not host — use Query instead.
+//
+// Dial the deployment's first peer (slot 0). This is load-bearing,
+// not a preference: only the slot-0 process is every other process's
+// default route, so replies originating at processes that never saw
+// the client's traffic can funnel back through it. Dialing another
+// slot loses exactly those replies (visible as UnknownPeer drops in
+// the non-contacted processes' NetStats).
+func Dial(addr string, opts ...Option) (*Service, error) {
+	opts = append(opts, func(o *serviceOptions) {
+		if o.netConfig == nil {
+			o.netConfig = &NetConfig{}
+		}
+		if o.netConfig.Bind == "" {
+			// Unspecified host: the kernel picks a source that can
+			// reach the contact (loopback and external deployments
+			// both work).
+			o.netConfig.Bind = ":0"
+		}
+		o.netConfig.DefaultRoute = addr
+		o.dialClient = true
+	})
+	return Open(opts...)
+}
+
+// buildNetRuntime assembles the networked substrate for Open: cluster
+// validation, deterministic hierarchy partition, address book, loss
+// emulation, and the per-process mobile-host ordinal block.
+func buildNetRuntime(o *serviceOptions) (*NetRuntime, error) {
+	nc := *o.netConfig
+	if o.advertise != "" {
+		nc.Advertise = o.advertise
+	}
+	if nc.Bind == "" {
+		return nil, fmt.Errorf("rgb: networked runtime needs a bind address (use Listen, or set NetConfig.Bind): %w", ErrBadCluster)
+	}
+	if nc.Seed == 0 {
+		nc.Seed = o.cfg.Seed
+	}
+	if o.cfg.Loss > 0 && nc.Loss == 0 {
+		// WithLoss is emulated on the networked plane (egress drops),
+		// so loss experiments run unchanged over real sockets.
+		nc.Loss = o.cfg.Loss
+	}
+	nc.MHSlotShift = mhSlotShift
+
+	nprocs := len(nc.Peers)
+	if nprocs > 0 && (nc.Index < 0 || nc.Index >= nprocs) {
+		return nil, fmt.Errorf("rgb: cluster index %d with %d peers: %w", nc.Index, nprocs, ErrBadCluster)
+	}
+	switch {
+	case o.dialClient:
+		o.cfg.Owns = func(NodeID) bool { return false }
+	case nprocs > 1:
+		if nc.Owners == nil {
+			hier := topology.NewRingHierarchy(o.cfg.H, o.cfg.R)
+			nc.Owners = hier.SubtreeOwners(nprocs)
+		}
+		owners, idx := nc.Owners, nc.Index
+		o.cfg.Owns = func(id NodeID) bool { return owners[id] == idx }
+		o.cfg.MHBase = idx << mhSlotShift
+		if nc.DefaultRoute == "" && idx != 0 {
+			// Frames for endpoints nobody can route statically
+			// (external dial clients) funnel through the seed
+			// process, which learns client addresses from their
+			// ingress traffic and relays.
+			nc.DefaultRoute = nc.Peers[0]
+		}
+	}
+
+	rt, err := NewNetRuntime(nc)
+	if err != nil {
+		return nil, err
+	}
+	if o.dialClient {
+		// A client's transient-endpoint block must collide with no
+		// cluster slot and (almost always) no other client: derive it
+		// from the bound port, past every cluster block.
+		o.cfg.MHBase = (int(1)<<6 + rt.LocalAddr().Port) << mhSlotShift
+	}
+	return rt, nil
+}

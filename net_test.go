@@ -1,0 +1,286 @@
+package rgb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// renderMembers renders a membership snapshot into a sorted,
+// runtime-independent form for equivalence comparison.
+func renderMembers(members []MemberInfo) []string {
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		out = append(out, fmt.Sprintf("%s@%s[%v]", m.GUID, m.AP, m.Status))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reservePorts binds n ephemeral loopback UDP ports and releases them,
+// returning their addresses. The tiny release-to-rebind window is
+// acceptable on loopback.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	conns := make([]*net.UDPConn, n)
+	for i := range addrs {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		addrs[i] = c.LocalAddr().String()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return addrs
+}
+
+// netScenario drives the shared equivalence script: joins, a handoff,
+// a leave and a failure, settling between phases.
+func netScenario(t *testing.T, svc *Service) []string {
+	t.Helper()
+	ctx := context.Background()
+	aps := svc.APs()
+	for g := 1; g <= 8; g++ {
+		if err := svc.JoinAt(ctx, GUID(g), aps[(g*3)%len(aps)]); err != nil {
+			t.Fatalf("join %d: %v", g, err)
+		}
+	}
+	if err := svc.Settle(ctx); err != nil {
+		t.Fatalf("settle: %v", err)
+	}
+	if err := svc.Handoff(ctx, GUID(2), aps[0]); err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+	if err := svc.Leave(ctx, GUID(3)); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if err := svc.Fail(ctx, GUID(4)); err != nil {
+		t.Fatalf("fail: %v", err)
+	}
+	if err := svc.Settle(ctx); err != nil {
+		t.Fatalf("settle: %v", err)
+	}
+	members, err := svc.Members(ctx)
+	if err != nil {
+		t.Fatalf("members: %v", err)
+	}
+	return renderMembers(members)
+}
+
+// TestCrossRuntimeEquivalenceNet is the acceptance check of the wire
+// redesign: the same scenario driven through the deterministic
+// simulator and through a networked runtime on loopback UDP — where
+// every message crosses a real socket through the wire codec —
+// converges to the identical membership.
+func TestCrossRuntimeEquivalenceNet(t *testing.T) {
+	sim := openTest(t, WithHierarchy(2, 4), WithSeed(9))
+	simMembers := netScenario(t, sim)
+
+	netSvc, err := Listen("127.0.0.1:0", WithHierarchy(2, 4), WithSeed(9))
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { netSvc.Close() })
+	netMembers := netScenario(t, netSvc)
+
+	if len(simMembers) == 0 {
+		t.Fatal("scenario left no members — not a meaningful equivalence check")
+	}
+	if !reflect.DeepEqual(simMembers, netMembers) {
+		t.Fatalf("membership diverged across runtimes:\nsim: %v\nnet: %v", simMembers, netMembers)
+	}
+	// The equivalence only means something if the datagrams really
+	// flowed: every delivery crossed the socket and decoded cleanly.
+	nrt := netSvc.Runtime().(*NetRuntime)
+	ns := nrt.NetStats()
+	if ns.Received == 0 {
+		t.Fatal("networked run exchanged no datagrams")
+	}
+	if ns.DecodeErrors != 0 || ns.UnknownVersion != 0 {
+		t.Fatalf("wire errors during equivalence run: %+v", ns)
+	}
+}
+
+// clusterSettle polls all cluster members until pred holds (each
+// process only sees local quiescence, so convergence is awaited
+// explicitly).
+func clusterSettle(t *testing.T, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatal("cluster did not converge within 15s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestThreeListenerCluster forms one hierarchy from three networked
+// Services (the in-process equivalent of three rgbnode processes),
+// drives joins and a leave from different members, and asserts every
+// process converges to the same membership via queries.
+func TestThreeListenerCluster(t *testing.T) {
+	ctx := context.Background()
+	addrs := reservePorts(t, 3)
+
+	procs := make([]*Service, 3)
+	for i := range procs {
+		svc, err := Listen(addrs[i],
+			WithHierarchy(2, 3), WithSeed(7),
+			WithCluster(i, addrs...))
+		if err != nil {
+			t.Fatalf("Listen[%d]: %v", i, err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		procs[i] = svc
+	}
+
+	// Every process derives the same topology; each drives joins at
+	// access proxies it may or may not own.
+	aps := procs[0].APs()
+	want := map[GUID]bool{}
+	for g := 1; g <= 6; g++ {
+		owner := procs[g%3]
+		if err := owner.JoinAt(ctx, GUID(g), aps[(g*2)%len(aps)]); err != nil {
+			t.Fatalf("join %d: %v", g, err)
+		}
+		want[GUID(g)] = true
+	}
+	// Operations on a member are submitted by the process that joined
+	// it (that process holds the MH endpoint): GUID 5 joined via
+	// procs[5%3].
+	if err := procs[5%3].Leave(ctx, GUID(5)); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	delete(want, GUID(5))
+
+	// Converged when every process's query (from an AP it owns or
+	// not) returns exactly the expected member set.
+	matches := func(svc *Service, entry NodeID) bool {
+		res, err := svc.Query(ctx, entry)
+		if err != nil {
+			return false
+		}
+		got := map[GUID]bool{}
+		for _, m := range res.Members {
+			got[m.GUID] = true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	clusterSettle(t, func() bool {
+		for i, svc := range procs {
+			if !matches(svc, aps[i%len(aps)]) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The topmost-ring view must agree wherever a process hosts a
+	// piece of it.
+	for i, svc := range procs {
+		members, err := svc.Members(ctx)
+		if err != nil {
+			t.Fatalf("members[%d]: %v", i, err)
+		}
+		got := map[GUID]bool{}
+		for _, m := range members {
+			if m.Status.Operational() {
+				got[m.GUID] = true
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("proc %d top view = %v, want %v", i, got, want)
+		}
+	}
+
+	// Cross-process traffic really happened on every node.
+	for i, svc := range procs {
+		if ns := svc.Runtime().(*NetRuntime).NetStats(); ns.Received == 0 {
+			t.Fatalf("proc %d exchanged no datagrams", i)
+		} else if ns.DecodeErrors != 0 || ns.UnknownVersion != 0 {
+			t.Fatalf("proc %d wire errors: %+v", i, ns)
+		}
+	}
+}
+
+// TestDialClient: a pure client joins members and queries membership
+// through a single contact address.
+func TestDialClient(t *testing.T) {
+	ctx := context.Background()
+	addrs := reservePorts(t, 2)
+
+	procs := make([]*Service, 2)
+	for i := range procs {
+		svc, err := Listen(addrs[i],
+			WithHierarchy(2, 2), WithSeed(3),
+			WithCluster(i, addrs...))
+		if err != nil {
+			t.Fatalf("Listen[%d]: %v", i, err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		procs[i] = svc
+	}
+
+	client, err := Dial(addrs[0], WithHierarchy(2, 2))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	aps := client.APs()
+	for g := 1; g <= 3; g++ {
+		if err := client.JoinAt(ctx, GUID(g), aps[g%len(aps)]); err != nil {
+			t.Fatalf("client join %d: %v", g, err)
+		}
+	}
+	clusterSettle(t, func() bool {
+		res, err := client.Query(ctx, aps[0])
+		if err != nil {
+			return false
+		}
+		got := map[GUID]bool{}
+		for _, m := range res.Members {
+			got[m.GUID] = true
+		}
+		return len(got) == 3 && got[1] && got[2] && got[3]
+	})
+}
+
+// TestWithLossUnsupportedOnCallerRuntime: combining WithLoss with a
+// caller-supplied runtime must fail loudly instead of silently
+// dropping the option.
+func TestWithLossUnsupportedOnCallerRuntime(t *testing.T) {
+	rt := NewLiveRuntime(LiveConfig{})
+	defer rt.Close()
+	if _, err := Open(WithRuntime(rt), WithLoss(0.1)); !errors.Is(err, ErrOptionUnsupported) {
+		t.Fatalf("err = %v, want ErrOptionUnsupported", err)
+	}
+}
+
+// TestWithLossEmulatedOnLiveRuntime: on a service-built live runtime
+// the loss option is honored by emulation — messages actually drop.
+func TestWithLossEmulatedOnLiveRuntime(t *testing.T) {
+	ctx := context.Background()
+	svc := openTest(t, WithHierarchy(1, 3), WithSeed(5),
+		WithLoss(0.3),
+		WithLiveRuntime(LiveConfig{Latency: ConstantLatency(20 * time.Microsecond)}))
+	for g := 1; g <= 10; g++ {
+		if _, err := svc.Join(ctx, GUID(g)); err != nil {
+			t.Fatalf("join: %v", err)
+		}
+	}
+	svc.Settle(ctx)
+	if st := svc.Stats(); st.Dropped == 0 {
+		t.Fatalf("no losses despite WithLoss(0.3): %+v", st)
+	}
+}

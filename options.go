@@ -13,6 +13,11 @@ type serviceOptions struct {
 	rt         Runtime
 	watchBuf   int
 	liveConfig *LiveConfig
+
+	// Networked deployment (Listen/Dial/WithNetRuntime).
+	netConfig  *NetConfig
+	advertise  string
+	dialClient bool
 }
 
 // Option configures a Service at Open time.
@@ -107,6 +112,41 @@ func WithRuntime(rt Runtime) Option {
 // default; the service seed is used when cfg.Seed is zero.
 func WithLiveRuntime(cfg LiveConfig) Option {
 	return func(o *serviceOptions) { c := cfg; o.liveConfig = &c }
+}
+
+// WithNetRuntime runs the service on a networked UDP runtime built
+// from the given configuration: the process binds cfg.Bind, serves the
+// hierarchy entities its Peers/Index slot owns, and exchanges every
+// protocol message as wire-encoded datagrams. Listen is the
+// convenience form (it fills Bind for you); use WithNetRuntime
+// directly for full control over the address book, loss emulation and
+// settle heuristics.
+func WithNetRuntime(cfg NetConfig) Option {
+	return func(o *serviceOptions) { c := cfg; o.netConfig = &c }
+}
+
+// WithAdvertise sets the address other processes use to reach this one
+// (useful when binding "0.0.0.0" or an ephemeral port behind a known
+// name). Only meaningful with Listen/WithNetRuntime.
+func WithAdvertise(addr string) Option {
+	return func(o *serviceOptions) { o.advertise = addr }
+}
+
+// WithCluster places this process in a multi-process deployment: peers
+// lists the advertise addresses of every process (slot-indexed, the
+// same order everywhere) and index is this process's slot. The
+// hierarchy is partitioned deterministically across the slots
+// (topmost-ring node i and its whole subtree go to slot i mod
+// len(peers)), so all processes compute the identical address book.
+// Only meaningful with Listen/WithNetRuntime.
+func WithCluster(index int, peers ...string) Option {
+	return func(o *serviceOptions) {
+		if o.netConfig == nil {
+			o.netConfig = &NetConfig{}
+		}
+		o.netConfig.Index = index
+		o.netConfig.Peers = peers
+	}
 }
 
 // WithWatchBuffer sets the per-subscriber event buffer of Watch

@@ -19,10 +19,14 @@
 //	fmt.Println(members, res.Members, <-events)
 //
 // The protocol engine talks only to the runtime substrate interfaces
-// (Clock, Transport): by default it runs on the deterministic
-// discrete-event simulator (NewSimRuntime), and rgb.WithLiveRuntime /
-// rgb.NewLiveRuntime run the identical engine live in-process on real
-// timers and per-node mailbox goroutines.
+// (Clock, Transport), and every payload it sends is a typed member of
+// the wire union with a versioned binary encoding. By default it runs
+// on the deterministic discrete-event simulator (NewSimRuntime);
+// rgb.WithLiveRuntime / rgb.NewLiveRuntime run the identical engine
+// live in-process on real timers and mailbox goroutines; and
+// rgb.Listen / rgb.Dial run it networked over real UDP sockets, where
+// multiple processes (see cmd/rgbnode) each host a slice of the
+// hierarchy and exchange wire-encoded datagrams.
 //
 // The implementation packages underneath:
 //

@@ -28,6 +28,19 @@ type (
 	// LiveConfig parameterizes a live in-process runtime.
 	LiveConfig = runtime.LiveConfig
 
+	// NetConfig parameterizes a networked UDP runtime (see Listen and
+	// Dial; WithNetRuntime accepts one directly for full control).
+	NetConfig = runtime.NetConfig
+
+	// NetStats counts wire-level events of a networked runtime:
+	// decode errors, version mismatches, routing misses, relays.
+	NetStats = runtime.NetStats
+
+	// NetRuntime is the networked UDP substrate. Most callers obtain
+	// one implicitly through Listen/Dial; the concrete type gives
+	// access to LocalAddr and NetStats.
+	NetRuntime = runtime.NetRuntime
+
 	// Kind classifies messages for hop-count accounting.
 	Kind = runtime.Kind
 
@@ -70,4 +83,13 @@ func NewSimRuntime(latency LatencyModel, seed uint64) Runtime {
 // that owns it) must Close it.
 func NewLiveRuntime(cfg LiveConfig) Runtime {
 	return runtime.NewLiveRuntime(cfg)
+}
+
+// NewNetRuntime binds a UDP socket and starts a networked runtime:
+// the same engine discipline as NewLiveRuntime, with the message
+// plane replaced by real datagrams through the wire codec. Most
+// callers should use Listen/Dial, which also wire up the hierarchy
+// partition and address book.
+func NewNetRuntime(cfg NetConfig) (*NetRuntime, error) {
+	return runtime.NewNetRuntime(cfg)
 }

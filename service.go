@@ -57,11 +57,27 @@ func Open(opts ...Option) (*Service, error) {
 	owned := false
 	switch {
 	case rt != nil:
-		// Caller-supplied substrate; the caller owns its lifecycle.
+		// Caller-supplied substrate; the caller owns its lifecycle —
+		// and its message plane arrives already configured, so a loss
+		// probability requested here would be silently meaningless.
+		if o.cfg.Loss > 0 {
+			return nil, fmt.Errorf("rgb: WithLoss with a caller-supplied runtime (configure loss on the runtime itself): %w", ErrOptionUnsupported)
+		}
+	case o.netConfig != nil:
+		nrt, err := buildNetRuntime(&o)
+		if err != nil {
+			return nil, err
+		}
+		rt = nrt
+		owned = true
 	case o.liveConfig != nil:
 		lc := *o.liveConfig
 		if lc.Seed == 0 {
 			lc.Seed = o.cfg.Seed
+		}
+		if o.cfg.Loss > 0 && lc.Loss == 0 {
+			// WithLoss is emulated on the live in-process plane.
+			lc.Loss = o.cfg.Loss
 		}
 		rt = runtime.NewLiveRuntime(lc)
 		owned = true

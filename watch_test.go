@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 )
 
 // watchGoldenSequence pins the exact event sequence a Watch
@@ -129,5 +130,108 @@ func TestWatchEventsDeduplicated(t *testing.T) {
 	}
 	if repairs != 2 {
 		t.Fatalf("repairs observed = %d, want 2", repairs)
+	}
+}
+
+// TestWatchSlowConsumer pins the documented overflow contract: a
+// subscriber that never drains its channel keeps exactly the first
+// WithWatchBuffer events in commit order and loses the overflow —
+// broadcast never blocks the engine on a lagging consumer.
+func TestWatchSlowConsumer(t *testing.T) {
+	ctx := context.Background()
+	const buf = 4
+	svc := openTest(t, WithHierarchy(2, 3), WithSeed(11), WithWatchBuffer(buf))
+	events, err := svc.Watch(ctx)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+
+	// Commit well over a buffer's worth of joins without reading. The
+	// joins are settled one at a time so the commit order (and thus
+	// which events survive the overflow) is exact.
+	aps := svc.APs()
+	const joins = 3 * buf
+	for g := 1; g <= joins; g++ {
+		if err := svc.JoinAt(ctx, GUID(g), aps[g%len(aps)]); err != nil {
+			t.Fatalf("join %d: %v", g, err)
+		}
+		if err := svc.Settle(ctx); err != nil {
+			t.Fatalf("settle: %v", err)
+		}
+	}
+
+	// The channel now holds exactly the first buf commits; the rest
+	// overflowed and were dropped.
+	var got []GUID
+drain:
+	for {
+		select {
+		case ev := <-events:
+			got = append(got, ev.Member.GUID)
+		default:
+			break drain
+		}
+	}
+	if len(got) != buf {
+		t.Fatalf("drained %d events, want exactly %d (buffer size)", len(got), buf)
+	}
+	for i, g := range got {
+		if g != GUID(i+1) {
+			t.Fatalf("event %d = %s, want mh-%d (first commits survive, overflow drops)", i, g, i+1)
+		}
+	}
+
+	// A fresh subscriber is unaffected by the lagging one: new events
+	// flow to both, and the laggard keeps dropping without blocking.
+	fresh, err := svc.Watch(ctx)
+	if err != nil {
+		t.Fatalf("second Watch: %v", err)
+	}
+	if err := svc.JoinAt(ctx, GUID(joins+1), aps[0]); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if err := svc.Settle(ctx); err != nil {
+		t.Fatalf("settle: %v", err)
+	}
+	select {
+	case ev := <-fresh:
+		if ev.Member.GUID != GUID(joins+1) {
+			t.Fatalf("fresh subscriber saw %s, want mh-%d", ev.Member.GUID, joins+1)
+		}
+	default:
+		t.Fatal("fresh subscriber received nothing")
+	}
+}
+
+// TestCloseUnblocksWatchers: Close must close every subscriber
+// channel so goroutines blocked in receive all wake up.
+func TestCloseUnblocksWatchers(t *testing.T) {
+	ctx := context.Background()
+	svc := openTest(t, WithHierarchy(2, 3), WithSeed(1))
+
+	const watchers = 5
+	done := make(chan struct{}, watchers)
+	for i := 0; i < watchers; i++ {
+		events, err := svc.Watch(ctx)
+		if err != nil {
+			t.Fatalf("Watch %d: %v", i, err)
+		}
+		go func() {
+			for range events {
+				// Drain until closed.
+			}
+			done <- struct{}{}
+		}()
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i := 0; i < watchers; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("watcher %d still blocked after Close", i)
+		}
 	}
 }
