@@ -1,0 +1,348 @@
+package rgb
+
+import (
+	"fmt"
+	"net"
+	"runtime" // the Go runtime (GOMAXPROCS); the substrate is rgbruntime
+	"sort"
+	"sync"
+
+	"github.com/rgbproto/rgb/internal/core"
+	"github.com/rgbproto/rgb/internal/mathx"
+	rgbruntime "github.com/rgbproto/rgb/internal/runtime"
+	"github.com/rgbproto/rgb/internal/simnet"
+)
+
+// Cluster hosts many independent RGB groups in one process. A mobile-
+// Internet proxy serves many concurrent groups (conferences,
+// sessions); one engine goroutine — or one process — per group does
+// not scale, so the cluster shards its groups across a fixed pool of
+// engine workers: a consistent hash of the GroupID pins each group to
+// one shard, every shard is a single-goroutine engine loop owning its
+// groups' timer heaps and protocol state, and distinct shards run
+// genuinely in parallel. Per-group behaviour stays deterministic — a
+// group's engine sees exactly the same events in the same order no
+// matter how many shards the cluster runs or which shard it lands on.
+//
+// The substrate is shared per mode:
+//
+//   - simulated (default): each group is its own deterministic
+//     simulator, bound to its shard's worker;
+//   - live (WithLiveRuntime): all groups of a shard share that shard's
+//     engine goroutine and timer arena;
+//   - networked (ListenCluster): additionally one UDP socket and the
+//     per-shard encode buffers are shared by every group, and inbound
+//     frames are demultiplexed to the owning shard by the wire
+//     envelope's group tag.
+//
+// Open returns each group as an ordinary *Service — the entire Service
+// API (Join/Leave/Handoff/Query/Watch/Settle/...) works per group,
+// concurrently across groups. rgb.Open is the one-group special case
+// of a cluster.
+type Cluster struct {
+	base serviceOptions
+
+	// single marks the inline one-group cluster built by rgb.Open: no
+	// shard workers, the group runs directly on the caller (preserving
+	// the simulator's single-threaded discipline and allocation
+	// profile) and may use any substrate Open supports.
+	single bool
+
+	set     *rgbruntime.ShardSet
+	liveMux *rgbruntime.LiveMux
+	netMux  *rgbruntime.NetMux
+
+	mu     sync.Mutex
+	groups map[GroupID]*Service
+	closed bool
+}
+
+// NewCluster builds a multi-group membership container. The options
+// are the same as Open's and apply to every group (hierarchy shape,
+// seed, query scheme, dissemination, heartbeats, loss); WithShards
+// sets the engine worker count (default GOMAXPROCS). Substrate
+// selection: the deterministic simulator by default, a shared live
+// in-process plane with WithLiveRuntime; use ListenCluster for the
+// networked form. WithRuntime is not supported — a cluster must own
+// its substrate to shard it.
+//
+// Groups are not declared up front: Open(gid) instantiates one on
+// demand. Close shuts down every group and the shared substrate.
+func NewCluster(opts ...Option) (*Cluster, error) {
+	o := defaultServiceOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.rt != nil {
+		return nil, fmt.Errorf("rgb: WithRuntime with NewCluster (a cluster shards its own substrate): %w", ErrOptionUnsupported)
+	}
+	shards := o.shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	c := &Cluster{
+		base:   o,
+		set:    rgbruntime.NewShardSet(shards),
+		groups: make(map[GroupID]*Service),
+	}
+	switch {
+	case o.netConfig != nil:
+		nc, err := buildNetConfig(&c.base)
+		if err != nil {
+			c.set.Close()
+			return nil, err
+		}
+		c.netMux, err = rgbruntime.NewNetMux(nc, c.set)
+		if err != nil {
+			c.set.Close()
+			return nil, err
+		}
+	case o.liveConfig != nil:
+		lc := *o.liveConfig
+		if o.cfg.Loss > 0 && lc.Loss == 0 {
+			// WithLoss is emulated on the live in-process plane.
+			lc.Loss = o.cfg.Loss
+		}
+		c.liveMux = rgbruntime.NewLiveMux(lc, c.set)
+	}
+	return c, nil
+}
+
+// ListenCluster starts a networked multi-group container: it binds
+// addr (UDP) once and serves every opened group over that socket, with
+// inbound frames demultiplexed to the owning group's engine shard by
+// the wire envelope's group tag. WithCluster partitions the hierarchy
+// of every group identically across the listed processes, so a
+// multi-process deployment hosts many groups per process without
+// multiplying sockets. See cmd/rgbnode -groups for the ready-made
+// daemon.
+func ListenCluster(addr string, opts ...Option) (*Cluster, error) {
+	opts = append(opts, func(o *serviceOptions) {
+		if o.netConfig == nil {
+			o.netConfig = &NetConfig{}
+		}
+		o.netConfig.Bind = addr
+	})
+	return NewCluster(opts...)
+}
+
+// Open instantiates (or returns the already-open) group gid: a full
+// ring hierarchy and protocol engine on the cluster's substrate,
+// pinned to the shard ShardOf(gid). The returned Service is the same
+// type Open returns — every Service method works per group. Closing
+// the Service closes just that group; closing the Cluster closes all
+// of them.
+func (c *Cluster) Open(gid GroupID) (*Service, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if svc, ok := c.groups[gid]; ok {
+		return svc, nil
+	}
+
+	o := c.base // copy: per-group Config diverges (GID, Seed)
+	o.cfg.GID = gid
+	seed := o.cfg.Seed
+	if !c.single {
+		// Each group runs its own deterministic stream, derived so the
+		// same base seed reproduces the same per-group behaviour on
+		// any substrate and any shard count. The inline single-group
+		// cluster (rgb.Open) keeps the caller's seed untouched.
+		seed = seedForGroup(o.cfg.Seed, gid)
+		o.cfg.Seed = seed
+	}
+
+	var (
+		rt    rgbruntime.Runtime
+		owned bool
+		err   error
+	)
+	switch {
+	case c.single:
+		rt, owned, err = buildSingleRuntime(&o)
+	case c.netMux != nil:
+		rt, err = c.netMux.Open(gid, c.ShardOf(gid), seed)
+		owned = true // view Close is scoped to the group
+	case c.liveMux != nil:
+		rt, err = c.liveMux.Open(gid, c.ShardOf(gid), seed)
+		owned = true // view Close shuts down only this group's mailboxes
+	default:
+		sim := simnet.NewSimRuntime(o.cfg.Latency, seed)
+		if o.cfg.Loss > 0 {
+			sim.Net().SetLoss(o.cfg.Loss)
+		}
+		rt, err = rgbruntime.BindShard(sim, c.set, c.ShardOf(gid))
+		owned = true
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var sys *core.System
+	rt.Do(func() { sys = core.NewSystemOn(o.cfg, rt) })
+	svc := newService(c, gid, rt, owned, sys, &o)
+	c.groups[gid] = svc
+	return svc, nil
+}
+
+// buildSingleRuntime is the substrate switch of the inline one-group
+// cluster (rgb.Open): caller-supplied, networked, live or simulated.
+func buildSingleRuntime(o *serviceOptions) (rgbruntime.Runtime, bool, error) {
+	switch {
+	case o.rt != nil:
+		// Caller-supplied substrate; the caller owns its lifecycle —
+		// and its message plane arrives already configured, so a loss
+		// probability requested here would be silently meaningless.
+		if o.cfg.Loss > 0 {
+			return nil, false, fmt.Errorf("rgb: WithLoss with a caller-supplied runtime (configure loss on the runtime itself): %w", ErrOptionUnsupported)
+		}
+		return o.rt, false, nil
+	case o.netConfig != nil:
+		nrt, err := buildNetRuntime(o)
+		if err != nil {
+			return nil, false, err
+		}
+		return nrt, true, nil
+	case o.liveConfig != nil:
+		lc := *o.liveConfig
+		if lc.Seed == 0 {
+			lc.Seed = o.cfg.Seed
+		}
+		if o.cfg.Loss > 0 && lc.Loss == 0 {
+			// WithLoss is emulated on the live in-process plane.
+			lc.Loss = o.cfg.Loss
+		}
+		return rgbruntime.NewLiveRuntime(lc), true, nil
+	default:
+		sim := simnet.NewSimRuntime(o.cfg.Latency, o.cfg.Seed)
+		if o.cfg.Loss > 0 {
+			sim.Net().SetLoss(o.cfg.Loss)
+		}
+		return sim, true, nil
+	}
+}
+
+// forget deregisters a group closed through its own Service.Close.
+func (c *Cluster) forget(gid GroupID) {
+	c.mu.Lock()
+	delete(c.groups, gid)
+	c.mu.Unlock()
+}
+
+// Group returns the open Service for gid, if any.
+func (c *Cluster) Group(gid GroupID) (*Service, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	svc, ok := c.groups[gid]
+	return svc, ok
+}
+
+// Groups returns the currently open group identities, sorted.
+func (c *Cluster) Groups() []GroupID {
+	c.mu.Lock()
+	out := make([]GroupID, 0, len(c.groups))
+	for gid := range c.groups {
+		out = append(out, gid)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Shards returns the engine worker count.
+func (c *Cluster) Shards() int {
+	if c.set == nil {
+		return 1 // inline single-group cluster
+	}
+	return c.set.Len()
+}
+
+// ShardOf returns the shard a group is (or would be) pinned to: a
+// consistent hash of the group identity, stable across runs and
+// independent of open order.
+func (c *Cluster) ShardOf(gid GroupID) int {
+	// FNV-1a over the group's four identity bytes.
+	h := uint64(14695981039346656037)
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(uint32(gid) >> (8 * i)))
+		h *= 1099511628211
+	}
+	return int(h % uint64(c.Shards()))
+}
+
+// LocalAddr returns the bound UDP address of a networked cluster's
+// shared socket (useful with a ":0" bind), and false for
+// non-networked clusters.
+func (c *Cluster) LocalAddr() (*net.UDPAddr, bool) {
+	if c.netMux == nil {
+		return nil, false
+	}
+	return c.netMux.LocalAddr(), true
+}
+
+// NetStats returns the wire-level counters of a networked cluster's
+// shared socket (aggregated over all groups), and false for
+// non-networked clusters.
+func (c *Cluster) NetStats() (NetStats, bool) {
+	if c.netMux == nil {
+		return NetStats{}, false
+	}
+	return c.netMux.NetStats(), true
+}
+
+// Close shuts down every open group and then the shared substrate
+// (muxes, socket, shard workers). Idempotent.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	groups := make([]*Service, 0, len(c.groups))
+	for _, svc := range c.groups {
+		groups = append(groups, svc)
+	}
+	c.groups = make(map[GroupID]*Service)
+	c.mu.Unlock()
+
+	var err error
+	for _, svc := range groups {
+		if cerr := svc.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if c.netMux != nil {
+		if cerr := c.netMux.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if c.liveMux != nil {
+		if cerr := c.liveMux.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if c.set != nil {
+		if cerr := c.set.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// seedForGroup derives a group's deterministic stream from the
+// cluster's base seed (SplitMix64 of base and the group identity): the
+// same base seed yields the same per-group behaviour on every
+// substrate and any shard count.
+func seedForGroup(base uint64, gid GroupID) uint64 {
+	z := mathx.SplitMix64(base, uint64(uint32(gid)))
+	if z == 0 {
+		z = 1
+	}
+	return z
+}

@@ -58,15 +58,17 @@ func (p *nodeProc) do(cmd string) string {
 	return p.expect("ok "+strings.Fields(cmd)[0], 10*time.Second)
 }
 
-func startNode(t *testing.T, bin string, index int, peers []string, h, r int) *nodeProc {
+func startNode(t *testing.T, bin string, index int, peers []string, h, r int, extra ...string) *nodeProc {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-bind", peers[index],
 		"-index", fmt.Sprint(index),
 		"-peers", strings.Join(peers, ","),
 		"-h", fmt.Sprint(h), "-r", fmt.Sprint(r),
 		"-seed", "1",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -197,5 +199,71 @@ func TestThreeProcessSmoke(t *testing.T) {
 		if err := p.cmd.Wait(); err != nil {
 			t.Fatalf("rgbnode[%d] exit: %v", i, err)
 		}
+	}
+}
+
+// TestMultiGroupNode: one rgbnode process hosting two groups over one
+// socket (-groups 2). Memberships must stay group-isolated, and the
+// shared-socket wire counters must stay clean — group-tagged frames
+// route to the right engine shard.
+func TestMultiGroupNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping multi-group smoke")
+	}
+
+	bin := filepath.Join(t.TempDir(), "rgbnode")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := c.LocalAddr().String()
+	c.Close()
+
+	p := startNode(t, bin, 0, []string{addr}, 2, 3, "-groups", "2")
+	p.expect("ready", 15*time.Second)
+
+	if line := p.do("groups"); !strings.Contains(line, "n=2") {
+		t.Fatalf("groups = %q", line)
+	}
+
+	// Group 1 gets members 1 and 2; group 2 gets member 3 only.
+	p.do("join 1 0")
+	p.do("join 2 4")
+	p.do("use 2")
+	p.do("join 3 1")
+
+	query := func(want string) bool {
+		p.send("query")
+		return strings.HasSuffix(p.expect("ok query", 10*time.Second), want)
+	}
+	awaitQuery := func(want string) {
+		deadline := time.Now().Add(20 * time.Second)
+		for !query(want) {
+			if time.Now().After(deadline) {
+				p.send("query")
+				t.Fatalf("group view did not converge to %q: %s", want, p.expect("ok query", 5*time.Second))
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	awaitQuery("members=mh-3")
+	p.do("use 1")
+	awaitQuery("members=mh-1,mh-2")
+
+	p.send("stats")
+	stats := p.expect("ok stats", 10*time.Second)
+	if strings.Contains(stats, "received=0 ") ||
+		!strings.Contains(stats, "decode_errors=0") ||
+		!strings.Contains(stats, "unknown_group=0") {
+		t.Fatalf("suspicious multi-group stats: %s", stats)
+	}
+
+	p.do("quit")
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("rgbnode exit: %v", err)
 	}
 }

@@ -23,7 +23,15 @@
 //	members                 local topmost-ring view (empty if not hosted here)
 //	settle                  wait for local quiescence
 //	stats                   transport + wire counters
+//	use <group>             switch the current group (multi-group mode)
+//	groups                  list hosted groups and the current one
 //	quit                    shut down
+//
+// With -groups N > 1 the daemon hosts N independent groups over the
+// same socket (an rgb.Cluster sharded across engine workers; group
+// identities 224.0.0.1 ... 224.0.0.N). Membership commands apply to
+// the current group, selected with "use"; every peer process must run
+// with the same -groups value.
 //
 // A single process (no -peers) serves the whole hierarchy; rgb.Dial
 // clients can point at any process, preferably slot 0.
@@ -51,19 +59,20 @@ func main() {
 	r := flag.Int("r", 3, "entities per ring")
 	seed := flag.Uint64("seed", 1, "deployment seed")
 	heartbeat := flag.Duration("heartbeat", 0, "heartbeat interval (0 disables)")
+	groups := flag.Int("groups", 1, "independent groups hosted over this socket")
 	flag.Parse()
 
 	var extra []rgb.Option
 	if *heartbeat > 0 {
 		extra = append(extra, rgb.WithHeartbeat(*heartbeat))
 	}
-	if err := run(*bind, *advertise, *index, *peers, *h, *r, *seed, extra); err != nil {
+	if err := run(*bind, *advertise, *index, *peers, *h, *r, *seed, *groups, extra); err != nil {
 		fmt.Fprintln(os.Stderr, "rgbnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bind, advertise string, index int, peerList string, h, r int, seed uint64, extra []rgb.Option) error {
+func run(bind, advertise string, index int, peerList string, h, r int, seed uint64, groups int, extra []rgb.Option) error {
 	opts := []rgb.Option{
 		rgb.WithHierarchy(h, r),
 		rgb.WithSeed(seed),
@@ -77,16 +86,47 @@ func run(bind, advertise string, index int, peerList string, h, r int, seed uint
 		opts = append(opts, rgb.WithCluster(index, peers...))
 	}
 
-	svc, err := rgb.Listen(bind, opts...)
-	if err != nil {
-		return err
+	// One group keeps the classic single-Service daemon; more open an
+	// rgb.Cluster sharing the socket across group engines.
+	var (
+		svcs    []*rgb.Service
+		cluster *rgb.Cluster
+		nrt     *rgb.NetRuntime
+	)
+	if groups <= 1 {
+		svc, err := rgb.Listen(bind, opts...)
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		svcs = []*rgb.Service{svc}
+		nrt = svc.Runtime().(*rgb.NetRuntime)
+	} else {
+		c, err := rgb.ListenCluster(bind, opts...)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		cluster = c
+		for i := 0; i < groups; i++ {
+			svc, err := c.Open(rgb.NewGroupID(uint32(i + 1)))
+			if err != nil {
+				return err
+			}
+			svcs = append(svcs, svc)
+		}
 	}
-	defer svc.Close()
+	svc := svcs[0]
 
 	topo := svc.Topology()
-	nrt := svc.Runtime().(*rgb.NetRuntime)
-	fmt.Printf("rgbnode: listening on %s index=%d entities=%d rings=%d aps=%d\n",
-		nrt.LocalAddr(), index, topo.Entities, topo.Rings, topo.APs)
+	if cluster != nil {
+		la, _ := cluster.LocalAddr()
+		fmt.Printf("rgbnode: listening on %s index=%d groups=%d shards=%d entities=%d rings=%d aps=%d\n",
+			la, index, len(svcs), cluster.Shards(), topo.Entities, topo.Rings, topo.APs)
+	} else {
+		fmt.Printf("rgbnode: listening on %s index=%d entities=%d rings=%d aps=%d\n",
+			nrt.LocalAddr(), index, topo.Entities, topo.Rings, topo.APs)
+	}
 	fmt.Println("ready")
 
 	ctx := context.Background()
@@ -102,6 +142,21 @@ func run(bind, advertise string, index int, peerList string, h, r int, seed uint
 		case "quit":
 			fmt.Println("ok quit")
 			return nil
+		case "use":
+			if len(args) != 1 {
+				fmt.Println("err usage: use <group 1..N>")
+				continue
+			}
+			i, err := strconv.Atoi(args[0])
+			if err != nil || i < 1 || i > len(svcs) {
+				fmt.Printf("err bad group %q (have 1..%d)\n", args[0], len(svcs))
+				continue
+			}
+			svc = svcs[i-1]
+			aps = svc.APs()
+			fmt.Printf("ok use group=%d gid=%s\n", i, svc.Group())
+		case "groups":
+			fmt.Printf("ok groups n=%d current=%s\n", len(svcs), svc.Group())
 		case "settle":
 			if err := svc.Settle(ctx); err != nil {
 				fmt.Println("err settle:", err)
@@ -177,9 +232,14 @@ func run(bind, advertise string, index int, peerList string, h, r int, seed uint
 			fmt.Printf("ok members n=%d members=%s\n", len(members), renderGUIDs(members))
 		case "stats":
 			st := svc.Stats()
-			ns := nrt.NetStats()
-			fmt.Printf("ok stats sent=%d delivered=%d dropped=%d received=%d relayed=%d decode_errors=%d unknown_version=%d\n",
-				st.Sent, st.Delivered, st.Dropped, ns.Received, ns.Relayed, ns.DecodeErrors, ns.UnknownVersion)
+			var ns rgb.NetStats
+			if cluster != nil {
+				ns, _ = cluster.NetStats()
+			} else {
+				ns = nrt.NetStats()
+			}
+			fmt.Printf("ok stats sent=%d delivered=%d dropped=%d received=%d relayed=%d decode_errors=%d unknown_version=%d unknown_group=%d\n",
+				st.Sent, st.Delivered, st.Dropped, ns.Received, ns.Relayed, ns.DecodeErrors, ns.UnknownVersion, ns.UnknownGroup)
 		default:
 			fmt.Println("err unknown command:", cmd)
 		}

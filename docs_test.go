@@ -1,0 +1,59 @@
+package rgb
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images: [text](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks is the documentation gate run by CI's docs job: every
+// intra-repo link in the top-level markdown files and docs/ must
+// resolve to an existing file. External links (http/https/mailto) and
+// pure in-page anchors are skipped; anchors on intra-repo links are
+// stripped before the existence check.
+func TestDocLinks(t *testing.T) {
+	var files []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) < 5 {
+		t.Fatalf("only %d markdown files found — glob broken?", len(files))
+	}
+
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken intra-repo link %q (resolved %s)", file, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no intra-repo links checked — matcher broken?")
+	}
+	t.Logf("checked %d intra-repo links across %d files", checked, len(files))
+}

@@ -27,4 +27,8 @@ const (
 	EventHandoff = core.EventHandoff
 	// EventRepair: a local ring repair excluded a faulty entity.
 	EventRepair = core.EventRepair
+	// EventDropped: a synthetic gap marker — the subscriber fell
+	// behind and Count events were lost since its last delivered
+	// event (see the Watch delivery contract).
+	EventDropped = core.EventDropped
 )

@@ -1,0 +1,51 @@
+package rgb_test
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/rgbproto/rgb"
+)
+
+// Example_cluster hosts two independent groups in one process: an
+// rgb.Cluster shards its groups across engine workers (consistent hash
+// of the GroupID), and each group comes back as an ordinary *Service.
+// On the default deterministic simulator the output is reproducible
+// for a fixed seed.
+func Example_cluster() {
+	c, err := rgb.NewCluster(rgb.WithHierarchy(2, 3), rgb.WithSeed(1), rgb.WithShards(2))
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	for i, gid := range []rgb.GroupID{rgb.NewGroupID(1), rgb.NewGroupID(2)} {
+		svc, err := c.Open(gid)
+		if err != nil {
+			panic(err)
+		}
+		aps := svc.APs()
+		for g := 1; g <= 2+i; g++ { // 2 members in group 1, 3 in group 2
+			if err := svc.JoinAt(ctx, rgb.GUID(g), aps[g%len(aps)]); err != nil {
+				panic(err)
+			}
+		}
+		if err := svc.Settle(ctx); err != nil {
+			panic(err)
+		}
+	}
+
+	for _, gid := range c.Groups() {
+		svc, _ := c.Group(gid)
+		members, err := svc.Members(ctx)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("group %s: %d members (shard %d of %d)\n",
+			gid, len(members), c.ShardOf(gid), c.Shards())
+	}
+	// Output:
+	// group 224.0.0.1: 2 members (shard 0 of 2)
+	// group 224.0.0.2: 3 members (shard 1 of 2)
+}

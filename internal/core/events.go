@@ -25,6 +25,11 @@ const (
 	EventHandoff
 	// EventRepair: a local ring repair excluded a faulty entity.
 	EventRepair
+	// EventDropped: a synthetic gap marker — the subscriber fell
+	// behind and Count events were dropped since its last delivered
+	// event. Emitted by the subscription fan-out (rgb.Service.Watch),
+	// never by the protocol engine itself.
+	EventDropped
 )
 
 // String names the kind.
@@ -40,6 +45,8 @@ func (k EventKind) String() string {
 		return "handoff"
 	case EventRepair:
 		return "repair"
+	case EventDropped:
+		return "dropped"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -55,16 +62,21 @@ type Event struct {
 	Member ids.MemberInfo // member events: the change's payload
 	Ring   string         // repair events: the repaired ring
 	Dead   ids.NodeID     // repair events: the excluded entity
+	Count  int            // dropped events: how many events were lost
 	At     runtime.Time   // protocol time of the observation
 }
 
 // String renders the event compactly (used by the golden sequence
 // test and debug logs).
 func (e Event) String() string {
-	if e.Kind == EventRepair {
+	switch e.Kind {
+	case EventRepair:
 		return fmt.Sprintf("%s ring=%s dead=%s", e.Kind, e.Ring, e.Dead)
+	case EventDropped:
+		return fmt.Sprintf("%s count=%d", e.Kind, e.Count)
+	default:
+		return fmt.Sprintf("%s guid=%s ap=%s", e.Kind, e.Member.GUID, e.Member.AP)
 	}
-	return fmt.Sprintf("%s guid=%s ap=%s", e.Kind, e.Member.GUID, e.Member.AP)
 }
 
 // changeKey identifies one membership operation for event

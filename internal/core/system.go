@@ -258,9 +258,12 @@ func (s *System) Rounds() uint64 { return s.rounds }
 // ablation (E5) compares.
 func (s *System) OpsCarried() uint64 { return s.opsCarried }
 
-// send is the single funnel for protocol sends.
+// send is the single funnel for protocol sends. Every message is
+// stamped with the deployment's group, so a multi-group transport
+// (runtime.NetMux) can demultiplex the reply traffic of coexisting
+// Systems sharing one socket.
 func (s *System) send(from, to ids.NodeID, kind runtime.Kind, body wire.Payload) {
-	s.tr.Send(runtime.Message{From: from, To: to, Kind: kind, Body: body})
+	s.tr.Send(runtime.Message{From: from, To: to, Group: s.cfg.GID, Kind: kind, Body: body})
 }
 
 // owns reports whether this System instantiates the given entity

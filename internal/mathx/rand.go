@@ -28,6 +28,16 @@ func splitMix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// SplitMix64 derives a well-mixed child seed from (seed, stream): the
+// one-step SplitMix64 output of seed advanced by stream increments.
+// It is the canonical way to split one base seed into independent
+// deterministic streams (per experiment cell, per cluster group)
+// without the streams correlating.
+func SplitMix64(seed, stream uint64) uint64 {
+	state := seed + 0x9e3779b97f4a7c15*stream
+	return splitMix64(&state)
+}
+
 // NewRNG returns a generator deterministically derived from seed.
 // Two RNGs built from the same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {

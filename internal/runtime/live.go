@@ -11,11 +11,16 @@ import (
 
 var _ Runtime = (*LiveRuntime)(nil)
 
-// LiveConfig parameterizes a LiveRuntime.
+// LiveConfig parameterizes a LiveRuntime (and, through LiveMux, every
+// group of a live multi-group cluster).
 type LiveConfig struct {
 	// Latency is the message delay model; nil selects a constant
 	// 200µs, which keeps in-process deployments snappy while still
-	// exercising genuinely asynchronous delivery.
+	// exercising genuinely asynchronous delivery. On a LiveMux the
+	// one model instance is shared by every group across all engine
+	// shards, so a caller-supplied model must be safe for concurrent
+	// Latency calls (the built-in models are: they keep no mutable
+	// state — the RNG is passed in per call).
 	Latency LatencyModel
 
 	// Seed seeds the latency-jitter and loss RNG.
@@ -28,6 +33,13 @@ type LiveConfig struct {
 	// dropped (and counted), like any real bounded ingress queue.
 	// Zero selects 1024.
 	MailboxDepth int
+
+	// SettleTimeout bounds Run/RunUntil on LiveMux group views: the
+	// pending counter is shard-wide, so a busy sibling group could
+	// otherwise block a settled group's Run indefinitely. Zero selects
+	// 5s. A standalone LiveRuntime ignores it (its pending counter is
+	// exactly its own work, so Run waits for true quiescence).
+	SettleTimeout time.Duration
 }
 
 // engineCore is the single-goroutine execution discipline shared by
@@ -139,28 +151,55 @@ type LiveRuntime struct {
 	eng   *engineCore
 	clock *liveClock
 	tr    *liveTransport
+
+	// sharedEngine marks a view obtained from LiveMux.Open: the engine
+	// shard and clock belong to the mux, so Close only shuts down this
+	// group's mailboxes and deregisters the group (mux/muxGID) so the
+	// identity can be reopened. settleBound caps Run/RunUntil on such
+	// views — the shard-wide pending counter includes sibling groups'
+	// work, so waiting for it to hit zero must not be unbounded.
+	sharedEngine bool
+	mux          *LiveMux
+	muxGID       ids.GroupID
+	settleBound  time.Duration
 }
 
-// NewLiveRuntime starts a live runtime. The caller must Close it.
-func NewLiveRuntime(cfg LiveConfig) *LiveRuntime {
+// liveDefaults fills the zero-value LiveConfig knobs (shared by the
+// standalone constructor and the mux).
+func liveDefaults(cfg *LiveConfig) {
 	if cfg.Latency == nil {
 		cfg.Latency = ConstantLatency(200 * time.Microsecond)
 	}
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = 1024
 	}
-	rt := &LiveRuntime{eng: newEngineCore()}
-	rt.clock = &liveClock{eng: rt.eng}
-	rt.tr = &liveTransport{
-		eng:       rt.eng,
-		clock:     rt.clock,
+	if cfg.SettleTimeout <= 0 {
+		cfg.SettleTimeout = 5 * time.Second
+	}
+}
+
+// newLiveTransport builds the mailbox transport half of a live
+// runtime. eng/clock are the owning engine (a runtime's own, or a mux
+// shard's); seed seeds this transport's jitter/loss stream.
+func newLiveTransport(eng *engineCore, clock *liveClock, cfg LiveConfig, seed uint64) *liveTransport {
+	return &liveTransport{
+		eng:       eng,
+		clock:     clock,
 		latency:   cfg.Latency,
 		loss:      cfg.Loss,
-		rng:       mathx.NewRNG(cfg.Seed),
+		rng:       mathx.NewRNG(seed),
 		depth:     cfg.MailboxDepth,
 		endpoints: make(map[ids.NodeID]*mailbox),
 		crashed:   make(map[ids.NodeID]bool),
 	}
+}
+
+// NewLiveRuntime starts a live runtime. The caller must Close it.
+func NewLiveRuntime(cfg LiveConfig) *LiveRuntime {
+	liveDefaults(&cfg)
+	rt := &LiveRuntime{eng: newEngineCore()}
+	rt.clock = &liveClock{eng: rt.eng}
+	rt.tr = newLiveTransport(rt.eng, rt.clock, cfg, cfg.Seed)
 	return rt
 }
 
@@ -177,9 +216,18 @@ func (rt *LiveRuntime) Do(fn func()) { rt.eng.do(fn) }
 // Run implements Runtime: it blocks until no timers are armed and no
 // messages are in flight. The pending counter is monotone in the
 // sense that new work is registered before the work that created it
-// retires, so reading zero means true quiescence.
+// retires, so reading zero means true quiescence. On a LiveMux view
+// the counter is shard-wide (it includes sibling groups' work), so
+// the wait is additionally bounded by the settle timeout.
 func (rt *LiveRuntime) Run() {
+	var deadline time.Time
+	if rt.settleBound > 0 {
+		deadline = time.Now().Add(rt.settleBound)
+	}
 	for rt.eng.pending.Load() != 0 {
+		if rt.settleBound > 0 && !time.Now().Before(deadline) {
+			return
+		}
 		select {
 		case <-rt.eng.closed:
 			return
@@ -197,17 +245,24 @@ func (rt *LiveRuntime) RunFor(d time.Duration) {
 }
 
 // RunUntil implements Runtime: it polls pred in engine context until
-// it reports true or the runtime quiesces without it.
+// it reports true or the runtime quiesces without it (bounded by the
+// settle timeout on a LiveMux view, whose pending counter is
+// shard-wide).
 func (rt *LiveRuntime) RunUntil(pred func() bool) bool {
+	var deadline time.Time
+	if rt.settleBound > 0 {
+		deadline = time.Now().Add(rt.settleBound)
+	}
 	for {
 		var ok bool
 		rt.Do(func() { ok = pred() })
 		if ok {
 			return true
 		}
-		if rt.eng.pending.Load() == 0 {
-			// Quiescent and pred still false: give up, matching the
-			// simulator's drained-queue behaviour.
+		if rt.eng.pending.Load() == 0 ||
+			(rt.settleBound > 0 && !time.Now().Before(deadline)) {
+			// Quiescent (or out of budget) and pred still false: give
+			// up, matching the simulator's drained-queue behaviour.
 			rt.Do(func() { ok = pred() })
 			return ok
 		}
@@ -220,16 +275,20 @@ func (rt *LiveRuntime) RunUntil(pred func() bool) bool {
 }
 
 // Close implements Runtime: it stops the engine and the mailbox
-// pumps. In-flight work is dropped.
+// pumps. In-flight work is dropped. On a LiveMux view the engine shard
+// belongs to the mux; Close shuts down only this group's mailboxes and
+// releases the group identity for reopening.
 func (rt *LiveRuntime) Close() error {
+	if rt.sharedEngine {
+		rt.eng.do(rt.tr.closeMailboxes)
+		if rt.mux != nil {
+			rt.mux.release(rt.muxGID)
+		}
+		return nil
+	}
 	// Close mailboxes from engine context so the map is stable, then
 	// stop the engine itself.
-	rt.eng.stop(func() {
-		for _, mb := range rt.tr.endpoints {
-			close(mb.ch)
-		}
-		rt.tr.endpoints = make(map[ids.NodeID]*mailbox)
-	})
+	rt.eng.stop(rt.tr.closeMailboxes)
 	return nil
 }
 
@@ -492,6 +551,14 @@ func (t *liveTransport) Send(msg Message) {
 		t.stats.Dropped++
 		t.eng.pending.Add(-1)
 	}
+}
+
+// closeMailboxes stops every pump goroutine. Runs in engine context.
+func (t *liveTransport) closeMailboxes() {
+	for _, mb := range t.endpoints {
+		close(mb.ch)
+	}
+	t.endpoints = make(map[ids.NodeID]*mailbox)
 }
 
 func (t *liveTransport) Crash(id ids.NodeID)        { t.crashed[id] = true }

@@ -13,11 +13,12 @@ import (
 // engine runs over in-process delivery (payloads passed as Go values)
 // and over real sockets (payloads passed through the wire codec).
 type Message struct {
-	From ids.NodeID   // sender
-	To   ids.NodeID   // destination
-	Kind Kind         // protocol message class, used for accounting
-	Body wire.Payload // protocol payload; owned by the receiver after delivery
-	Sent Time         // protocol time the message was sent
+	From  ids.NodeID   // sender
+	To    ids.NodeID   // destination
+	Group ids.GroupID  // owning group (stamped on the wire; 0 = untagged)
+	Kind  Kind         // protocol message class, used for accounting
+	Body  wire.Payload // protocol payload; owned by the receiver after delivery
+	Sent  Time         // protocol time the message was sent
 }
 
 // Kind classifies messages for the hop-count accounting of Section 5.1

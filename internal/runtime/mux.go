@@ -1,0 +1,373 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/wire"
+)
+
+// Multi-group sharding. A membership proxy in the mobile Internet
+// serves many concurrent groups (conferences, sessions) from one
+// process; running one engine goroutine — or one whole process — per
+// group is the opposite of scalable. The types here multiplex many
+// independent protocol engines over shared execution and transport
+// resources:
+//
+//   - ShardSet: a fixed pool of engine shards (one goroutine + one
+//     timer wheel each). Every group is pinned to one shard, so
+//     per-group state keeps the single-writer discipline while
+//     different shards run genuinely in parallel.
+//   - BindShard: runs any single-threaded Runtime (in practice the
+//     deterministic simulator) on a shard, serializing all access.
+//   - LiveMux: many groups of live in-process runtimes sharing the
+//     set's engine shards.
+//   - NetMux: many groups sharing one UDP socket; inbound frames are
+//     demultiplexed to the owning group's shard by the wire envelope's
+//     group tag, and outbound encode buffers are shared per shard.
+//
+// Errors are sentinel values matched with errors.Is.
+var (
+	// ErrGroupOpen reports a second Open of the same group on a mux.
+	ErrGroupOpen = errors.New("runtime: group already open")
+
+	// ErrBadShard reports a shard index outside the set.
+	ErrBadShard = errors.New("runtime: shard index out of range")
+
+	// ErrMuxClosed reports an Open on a closed mux.
+	ErrMuxClosed = errors.New("runtime: mux closed")
+)
+
+// muxShard is one engine shard: a single goroutine owning the protocol
+// state of every group pinned to it, plus that goroutine's timer
+// arena. It is the live-side analogue of one simulator kernel.
+type muxShard struct {
+	eng   *engineCore
+	clock *liveClock
+	bufs  *netBufs
+}
+
+// ShardSet is a fixed pool of engine shards. Groups are pinned to
+// shards (consistent-hashed by the cluster layer); each shard
+// serializes its groups while distinct shards run in parallel. The
+// creator owns the set and must Close it after closing every mux and
+// shard-bound runtime using it.
+type ShardSet struct {
+	shards []*muxShard
+}
+
+// NewShardSet starts n engine shards (minimum 1).
+func NewShardSet(n int) *ShardSet {
+	if n < 1 {
+		n = 1
+	}
+	set := &ShardSet{shards: make([]*muxShard, n)}
+	for i := range set.shards {
+		eng := newEngineCore()
+		set.shards[i] = &muxShard{
+			eng:   eng,
+			clock: &liveClock{eng: eng},
+			bufs:  newNetBufs(),
+		}
+	}
+	return set
+}
+
+// Len returns the number of shards.
+func (s *ShardSet) Len() int { return len(s.shards) }
+
+// Do runs fn on the given shard's engine goroutine and returns when it
+// completed (the cross-shard analogue of Runtime.Do).
+func (s *ShardSet) Do(shard int, fn func()) { s.shards[shard].eng.do(fn) }
+
+// Close stops every shard's engine goroutine. In-flight work is
+// dropped.
+func (s *ShardSet) Close() error {
+	for _, sh := range s.shards {
+		sh.eng.stop(nil)
+	}
+	return nil
+}
+
+// shardBound runs a single-threaded inner runtime (the deterministic
+// simulator) on one engine shard: every drive operation — Do, Run,
+// RunFor, RunUntil — is marshalled onto the shard's goroutine, so the
+// inner runtime keeps its single-caller discipline while many groups
+// on different shards run in parallel. Determinism is untouched: the
+// inner kernel processes exactly the same events in the same order no
+// matter which shard (or how many shards) the cluster runs.
+type shardBound struct {
+	inner Runtime
+	eng   *engineCore
+}
+
+// BindShard pins a single-threaded runtime to a shard of the set.
+func BindShard(inner Runtime, set *ShardSet, shard int) (Runtime, error) {
+	if shard < 0 || shard >= len(set.shards) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadShard, shard, len(set.shards))
+	}
+	return &shardBound{inner: inner, eng: set.shards[shard].eng}, nil
+}
+
+func (r *shardBound) Clock() Clock         { return r.inner.Clock() }
+func (r *shardBound) Transport() Transport { return r.inner.Transport() }
+
+func (r *shardBound) Do(fn func())           { r.eng.do(func() { r.inner.Do(fn) }) }
+func (r *shardBound) Run()                   { r.eng.do(r.inner.Run) }
+func (r *shardBound) RunFor(d time.Duration) { r.eng.do(func() { r.inner.RunFor(d) }) }
+
+func (r *shardBound) RunUntil(pred func() bool) bool {
+	ok := false
+	r.eng.do(func() { ok = r.inner.RunUntil(pred) })
+	return ok
+}
+
+// Close closes the inner runtime (the shard itself belongs to the
+// ShardSet).
+func (r *shardBound) Close() error {
+	var err error
+	r.eng.do(func() { err = r.inner.Close() })
+	return err
+}
+
+// --- LiveMux ----------------------------------------------------------
+
+// LiveMux hosts many groups of live in-process runtimes over one
+// ShardSet: each group's mailboxes, latency jitter and loss stream are
+// its own, but all groups pinned to a shard share that shard's engine
+// goroutine and timer arena — N groups cost GOMAXPROCS engine
+// goroutines, not N.
+type LiveMux struct {
+	cfg LiveConfig
+	set *ShardSet
+
+	mu     sync.Mutex
+	groups map[ids.GroupID]*LiveRuntime
+	closed bool
+}
+
+// NewLiveMux builds a multi-group live runtime over the set. The mux
+// does not own the set; close the mux first, then the set.
+func NewLiveMux(cfg LiveConfig, set *ShardSet) *LiveMux {
+	liveDefaults(&cfg)
+	return &LiveMux{cfg: cfg, set: set, groups: make(map[ids.GroupID]*LiveRuntime)}
+}
+
+// Open starts group gid on the given shard with its own seed and
+// returns its Runtime view. The view's Close shuts down only this
+// group's mailboxes; the engine shards stay up for the other groups.
+func (m *LiveMux) Open(gid ids.GroupID, shard int, seed uint64) (Runtime, error) {
+	if shard < 0 || shard >= len(m.set.shards) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadShard, shard, len(m.set.shards))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrMuxClosed
+	}
+	if _, ok := m.groups[gid]; ok {
+		return nil, fmt.Errorf("%w: %v", ErrGroupOpen, gid)
+	}
+	sh := m.set.shards[shard]
+	view := &LiveRuntime{
+		eng: sh.eng, clock: sh.clock,
+		sharedEngine: true, mux: m, muxGID: gid,
+		settleBound: m.cfg.SettleTimeout,
+	}
+	view.tr = newLiveTransport(sh.eng, sh.clock, m.cfg, seed)
+	m.groups[gid] = view
+	return view, nil
+}
+
+// release deregisters a group closed through its runtime view, so the
+// identity can be opened again.
+func (m *LiveMux) release(gid ids.GroupID) {
+	m.mu.Lock()
+	delete(m.groups, gid)
+	m.mu.Unlock()
+}
+
+// Close shuts down every group's mailboxes. Idempotent.
+func (m *LiveMux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	groups := m.groups
+	m.groups = make(map[ids.GroupID]*LiveRuntime)
+	m.mu.Unlock()
+	for _, view := range groups {
+		view.Close()
+	}
+	return nil
+}
+
+// --- NetMux -----------------------------------------------------------
+
+// NetMux hosts many groups over one UDP socket: the read loop
+// demultiplexes each inbound frame to the owning group's engine shard
+// by the envelope's group tag (an untagged — wire version 1 or group 0
+// — frame goes to the default group, the first one opened), and all
+// groups of a shard share that shard's encode buffers, so the
+// steady-state multi-group send path allocates nothing beyond the
+// single-group one. The peer address book is resolved once and shared
+// read-only by every group: all groups of a deployment see the same
+// hierarchy partition.
+type NetMux struct {
+	cfg  NetConfig
+	set  *ShardSet
+	sock *netSock
+	book *netBook
+
+	closedCh  chan struct{}
+	closeOnce sync.Once
+
+	mu       sync.RWMutex
+	closed   bool
+	groups   map[ids.GroupID]*NetRuntime
+	defGroup *NetRuntime
+}
+
+// NewNetMux binds the shared socket and starts the demultiplexing read
+// loop. The mux does not own the set; close the mux first, then the
+// set.
+func NewNetMux(cfg NetConfig, set *ShardSet) (*NetMux, error) {
+	sock, err := bindNetSock(cfg)
+	if err != nil {
+		return nil, err
+	}
+	book, err := resolveNetBook(cfg, sock.conn)
+	if err != nil {
+		sock.conn.Close()
+		return nil, err
+	}
+	netDefaults(&cfg)
+	m := &NetMux{
+		cfg:      cfg,
+		set:      set,
+		sock:     sock,
+		book:     book,
+		closedCh: make(chan struct{}),
+		groups:   make(map[ids.GroupID]*NetRuntime),
+	}
+	go sock.readLoop(m.closedCh, m.resolve)
+	return m, nil
+}
+
+// resolve routes one inbound frame to the owning group's transport. It
+// runs on the read goroutine; the group table is read-locked (writes
+// only happen in Open/Close).
+func (m *NetMux) resolve(f wire.Frame) *netTransport {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if f.Group != 0 {
+		if view, ok := m.groups[f.Group]; ok {
+			return view.tr
+		}
+		m.sock.unknownGroup.Add(1)
+		return nil
+	}
+	if m.defGroup != nil {
+		return m.defGroup.tr
+	}
+	m.sock.unknownGroup.Add(1)
+	return nil
+}
+
+// Open starts group gid on the given shard with its own loss-emulation
+// seed and returns its Runtime view (a *NetRuntime whose Close is a
+// no-op — the socket and shards belong to the mux).
+func (m *NetMux) Open(gid ids.GroupID, shard int, seed uint64) (Runtime, error) {
+	if shard < 0 || shard >= len(m.set.shards) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadShard, shard, len(m.set.shards))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrMuxClosed
+	}
+	if _, ok := m.groups[gid]; ok {
+		return nil, fmt.Errorf("%w: %v", ErrGroupOpen, gid)
+	}
+	sh := m.set.shards[shard]
+	cfg := m.cfg
+	cfg.Seed = seed
+	view := &NetRuntime{
+		eng:           sh.eng,
+		clock:         sh.clock,
+		settleTimeout: cfg.SettleTimeout,
+		quiesceIdle:   cfg.QuiesceIdle,
+		mux:           m,
+		muxGID:        gid,
+	}
+	view.tr = newNetTransport(sh.eng, sh.clock, m.sock, m.book, sh.bufs, cfg, gid)
+	m.groups[gid] = view
+	if m.defGroup == nil {
+		m.defGroup = view
+	}
+	return view, nil
+}
+
+// release deregisters a group closed through its runtime view: its
+// frames stop being dispatched (counted as UnknownGroup instead) and
+// the identity can be opened again. If the default group closes,
+// untagged frames are dropped (and counted) until a new group opens.
+func (m *NetMux) release(gid ids.GroupID) {
+	m.mu.Lock()
+	if view, ok := m.groups[gid]; ok {
+		delete(m.groups, gid)
+		if m.defGroup == view {
+			m.defGroup = nil
+		}
+	}
+	m.mu.Unlock()
+}
+
+// LocalAddr returns the address the shared socket actually bound.
+func (m *NetMux) LocalAddr() *net.UDPAddr {
+	return m.sock.conn.LocalAddr().(*net.UDPAddr)
+}
+
+// Advertise returns the address peers use to reach this mux.
+func (m *NetMux) Advertise() *net.UDPAddr { return m.book.self }
+
+// NetStats aggregates the wire-level counters: the socket-level counts
+// once, plus the routing counters of every group.
+func (m *NetMux) NetStats() NetStats {
+	ns := m.sock.stats()
+	m.mu.RLock()
+	views := make([]*NetRuntime, 0, len(m.groups))
+	for _, v := range m.groups {
+		views = append(views, v)
+	}
+	m.mu.RUnlock()
+	for _, v := range views {
+		v.eng.do(func() {
+			ns.UnknownPeer += v.tr.nstats.UnknownPeer
+			ns.Relayed += v.tr.nstats.Relayed
+			ns.TTLExpired += v.tr.nstats.TTLExpired
+			ns.Oversize += v.tr.nstats.Oversize
+		})
+	}
+	return ns
+}
+
+// Close stops the read loop and closes the shared socket. The engine
+// shards belong to the ShardSet and keep running. Idempotent.
+func (m *NetMux) Close() error {
+	var err error
+	m.closeOnce.Do(func() {
+		m.mu.Lock()
+		m.closed = true
+		m.mu.Unlock()
+		close(m.closedCh)
+		err = m.sock.conn.Close()
+	})
+	return err
+}

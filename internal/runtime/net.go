@@ -50,6 +50,14 @@ type NetConfig struct {
 	// entities routes everything at one cluster member, which relays.
 	DefaultRoute string
 
+	// Group, when nonzero, is the single group this runtime hosts:
+	// inbound frames tagged with a different nonzero group are dropped
+	// and counted as UnknownGroup instead of being delivered into the
+	// wrong group's engine. Zero accepts any tag. Untagged (wire-v1 or
+	// group-0) frames are always accepted. Multi-group receivers use
+	// NetMux instead.
+	Group ids.GroupID
+
 	// MHSlotShift, when non-zero, routes mobile-host-tier endpoint IDs
 	// by ownership block: the Peers slot of an MH endpoint is its
 	// ordinal right-shifted by MHSlotShift. Processes mint their MH
@@ -82,49 +90,132 @@ type NetConfig struct {
 
 // NetStats counts wire-level events that the substrate-agnostic Stats
 // cannot see: decode failures, version mismatches, routing misses and
-// relays.
+// relays. On a multi-group runtime (NetMux) the socket-level counters
+// (Received, DecodeErrors, UnknownVersion, UnknownGroup) are
+// maintained once per socket; the routing counters are per group and
+// aggregated by NetMux.NetStats.
 type NetStats struct {
 	Received       uint64 // datagrams read from the socket
 	DecodeErrors   uint64 // frames rejected by the codec
 	UnknownVersion uint64 // frames from a different wire version
+	UnknownGroup   uint64 // group-tagged frames for a group not hosted here
 	UnknownPeer    uint64 // frames/sends with no route to the destination
 	Relayed        uint64 // frames forwarded toward their owner
 	TTLExpired     uint64 // relay candidates dropped at TTL exhaustion
 	Oversize       uint64 // frames larger than one UDP datagram, dropped
 }
 
-// NetRuntime runs the protocol engine over real UDP sockets: the same
-// engineCore/liveClock discipline as LiveRuntime (one engine goroutine
-// owns all protocol state, timers are real time.Timers), with the
-// message plane replaced by a datagram socket and the wire codec. A
-// peer address book routes entity IDs to their owning process;
-// addresses of transient endpoints (mobile hosts, query apps) are
-// learned from packet sources, and frames for non-local entities are
-// relayed toward their owner with a TTL budget.
-type NetRuntime struct {
-	eng   *engineCore
-	clock *liveClock
-	tr    *netTransport
+// netSock is the shared socket of a networked runtime: the one UDP
+// connection, its activity clock and its socket-level counters. The
+// single-group NetRuntime owns one; a NetMux shares one across every
+// group it hosts. The counters are atomics because the read loop and
+// NetStats readers run off-engine.
+type netSock struct {
+	conn         *net.UDPConn
+	lastActivity atomic.Int64 // UnixNano of the last send or receive
 
-	settleTimeout time.Duration
-	quiesceIdle   time.Duration
+	received       atomic.Uint64
+	decodeErrors   atomic.Uint64
+	unknownVersion atomic.Uint64
+	unknownGroup   atomic.Uint64
 }
 
-// NewNetRuntime binds the UDP socket and starts the runtime. The
-// caller must Close it.
-func NewNetRuntime(cfg NetConfig) (*NetRuntime, error) {
-	if cfg.Bind == "" {
-		return nil, errors.New("runtime: NetConfig.Bind required")
-	}
-	bind, err := net.ResolveUDPAddr("udp", cfg.Bind)
-	if err != nil {
-		return nil, fmt.Errorf("runtime: bind %q: %w", cfg.Bind, err)
-	}
-	conn, err := net.ListenUDP("udp", bind)
-	if err != nil {
-		return nil, fmt.Errorf("runtime: listen %q: %w", cfg.Bind, err)
-	}
+func (s *netSock) touch() { s.lastActivity.Store(time.Now().UnixNano()) }
 
+func (s *netSock) idleFor(d time.Duration) bool {
+	return time.Since(time.Unix(0, s.lastActivity.Load())) > d
+}
+
+// stats snapshots the socket-level counters into a NetStats value.
+func (s *netSock) stats() NetStats {
+	return NetStats{
+		Received:       s.received.Load(),
+		DecodeErrors:   s.decodeErrors.Load(),
+		UnknownVersion: s.unknownVersion.Load(),
+		UnknownGroup:   s.unknownGroup.Load(),
+	}
+}
+
+// readLoop runs off-engine: it blocks on the socket, decodes each
+// datagram (decoding shares no state), resolves the owning transport —
+// for a NetMux, by the frame's group tag — and hands the frame to that
+// transport's engine goroutine. resolve runs on the read goroutine and
+// must only touch read-safe state; returning nil drops the frame (the
+// resolver has already accounted it).
+func (s *netSock) readLoop(closed <-chan struct{}, resolve func(wire.Frame) *netTransport) {
+	buf := make([]byte, wire.MaxDatagram)
+	for {
+		n, src, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.touch()
+		s.received.Add(1)
+		f, derr := wire.DecodeFrame(buf[:n])
+		if derr != nil {
+			if errors.Is(derr, wire.ErrUnknownVersion) {
+				s.unknownVersion.Add(1)
+			} else {
+				s.decodeErrors.Add(1)
+			}
+			continue
+		}
+		if int(f.Class) >= int(numKinds) {
+			s.decodeErrors.Add(1)
+			continue
+		}
+		t := resolve(f)
+		if t == nil {
+			continue
+		}
+		t.eng.pending.Add(1)
+		t.eng.submit(func() { t.dispatch(f, src) })
+	}
+}
+
+// netBook is the static routing state of a networked deployment: the
+// peer address book and the deterministic ownership partition. It is
+// immutable after construction, so every group of a NetMux shares one
+// without synchronization.
+type netBook struct {
+	self     *net.UDPAddr // what peers are told (Advertise)
+	loopback *net.UDPAddr // how this process reaches itself
+
+	// peers/selfIndex/mhShift route mobile-host-tier IDs by ownership
+	// block (see NetConfig.MHSlotShift).
+	peers     []*net.UDPAddr
+	selfIndex int
+	mhShift   uint
+
+	// static routes entity IDs to their owning process (self included).
+	static       map[ids.NodeID]*net.UDPAddr
+	defaultRoute *net.UDPAddr
+}
+
+// netBufs holds the reusable encode buffers of one engine shard, so
+// the steady-state send path allocates nothing. All groups of a shard
+// share one set (their sends are serialized on the shard's engine
+// goroutine); sharing across shards would put a lock on the hot path.
+type netBufs struct {
+	peerBuf  map[ids.NodeID][]byte
+	relayBuf []byte
+}
+
+func newNetBufs() *netBufs {
+	return &netBufs{peerBuf: make(map[ids.NodeID][]byte)}
+}
+
+// resolveNetBook resolves and validates the address-book parts of a
+// NetConfig against the bound socket.
+func resolveNetBook(cfg NetConfig, conn *net.UDPConn) (*netBook, error) {
 	// loopback is where this process reaches itself: the bound socket,
 	// with an unspecified host rewritten to 127.0.0.1. self is what
 	// peers are told (Advertise may be a NAT'd or load-balanced name
@@ -134,9 +225,9 @@ func NewNetRuntime(cfg NetConfig) (*NetRuntime, error) {
 		loopback = &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: loopback.Port}
 	}
 	self := loopback
+	var err error
 	if cfg.Advertise != "" {
 		if self, err = net.ResolveUDPAddr("udp", cfg.Advertise); err != nil {
-			conn.Close()
 			return nil, fmt.Errorf("runtime: advertise %q: %w", cfg.Advertise, err)
 		}
 	}
@@ -148,7 +239,6 @@ func NewNetRuntime(cfg NetConfig) (*NetRuntime, error) {
 			continue
 		}
 		if peerAddrs[i], err = net.ResolveUDPAddr("udp", p); err != nil {
-			conn.Close()
 			return nil, fmt.Errorf("runtime: peer %q: %w", p, err)
 		}
 	}
@@ -156,7 +246,6 @@ func NewNetRuntime(cfg NetConfig) (*NetRuntime, error) {
 	var defaultRoute *net.UDPAddr
 	if cfg.DefaultRoute != "" {
 		if defaultRoute, err = net.ResolveUDPAddr("udp", cfg.DefaultRoute); err != nil {
-			conn.Close()
 			return nil, fmt.Errorf("runtime: default route %q: %w", cfg.DefaultRoute, err)
 		}
 	}
@@ -170,57 +259,119 @@ func NewNetRuntime(cfg NetConfig) (*NetRuntime, error) {
 		static[id] = peerAddrs[slot]
 	}
 
-	ttl := cfg.TTL
-	if ttl == 0 {
-		ttl = 8
-	}
-	settle := cfg.SettleTimeout
-	if settle <= 0 {
-		settle = 5 * time.Second
-	}
-	idle := cfg.QuiesceIdle
-	if idle <= 0 {
-		idle = 50 * time.Millisecond
-	}
-
-	rt := &NetRuntime{
-		eng:           newEngineCore(),
-		settleTimeout: settle,
-		quiesceIdle:   idle,
-	}
-	rt.clock = &liveClock{eng: rt.eng}
-	rt.tr = &netTransport{
-		eng:          rt.eng,
-		clock:        rt.clock,
-		conn:         conn,
-		rng:          mathx.NewRNG(cfg.Seed),
-		loss:         cfg.Loss,
-		ttl:          ttl,
+	return &netBook{
 		self:         self,
 		loopback:     loopback,
 		peers:        peerAddrs,
 		selfIndex:    cfg.Index,
 		mhShift:      cfg.MHSlotShift,
 		static:       static,
-		learned:      make(map[ids.NodeID]*net.UDPAddr),
 		defaultRoute: defaultRoute,
-		local:        make(map[ids.NodeID]Endpoint),
-		crashed:      make(map[ids.NodeID]bool),
-		peerBuf:      make(map[ids.NodeID][]byte),
+	}, nil
+}
+
+// bindNetSock binds the configured UDP socket.
+func bindNetSock(cfg NetConfig) (*netSock, error) {
+	if cfg.Bind == "" {
+		return nil, errors.New("runtime: NetConfig.Bind required")
 	}
-	rt.tr.touch()
-	go rt.tr.readLoop()
+	bind, err := net.ResolveUDPAddr("udp", cfg.Bind)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: bind %q: %w", cfg.Bind, err)
+	}
+	conn, err := net.ListenUDP("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: listen %q: %w", cfg.Bind, err)
+	}
+	sock := &netSock{conn: conn}
+	sock.touch()
+	return sock, nil
+}
+
+// netDefaults fills the zero-value NetConfig knobs.
+func netDefaults(cfg *NetConfig) {
+	if cfg.TTL == 0 {
+		cfg.TTL = 8
+	}
+	if cfg.SettleTimeout <= 0 {
+		cfg.SettleTimeout = 5 * time.Second
+	}
+	if cfg.QuiesceIdle <= 0 {
+		cfg.QuiesceIdle = 50 * time.Millisecond
+	}
+}
+
+// NetRuntime runs the protocol engine over real UDP sockets: the same
+// engineCore/liveClock discipline as LiveRuntime (one engine goroutine
+// owns all protocol state, timers are real time.Timers), with the
+// message plane replaced by a datagram socket and the wire codec. A
+// peer address book routes entity IDs to their owning process;
+// addresses of transient endpoints (mobile hosts, query apps) are
+// learned from packet sources, and frames for non-local entities are
+// relayed toward their owner with a TTL budget.
+//
+// A NetRuntime hosts one group. The multi-group form — one socket and
+// a set of engine shards serving many groups — is NetMux; its
+// per-group views reuse this type with a shared socket.
+type NetRuntime struct {
+	eng   *engineCore
+	clock *liveClock
+	tr    *netTransport
+
+	settleTimeout time.Duration
+	quiesceIdle   time.Duration
+
+	// mux/muxGID are set on views obtained from NetMux.Open: the mux
+	// owns the socket and the engine shards, so a view's Close only
+	// deregisters the group from the demux table.
+	mux    *NetMux
+	muxGID ids.GroupID
+}
+
+// NewNetRuntime binds the UDP socket and starts the runtime. The
+// caller must Close it.
+func NewNetRuntime(cfg NetConfig) (*NetRuntime, error) {
+	sock, err := bindNetSock(cfg)
+	if err != nil {
+		return nil, err
+	}
+	book, err := resolveNetBook(cfg, sock.conn)
+	if err != nil {
+		sock.conn.Close()
+		return nil, err
+	}
+	netDefaults(&cfg)
+
+	rt := &NetRuntime{
+		eng:           newEngineCore(),
+		settleTimeout: cfg.SettleTimeout,
+		quiesceIdle:   cfg.QuiesceIdle,
+	}
+	rt.clock = &liveClock{eng: rt.eng}
+	rt.tr = newNetTransport(rt.eng, rt.clock, sock, book, newNetBufs(), cfg, cfg.Group)
+	// A single-group runtime accepts untagged frames and (when it
+	// knows its group) its own tag; a mismatched nonzero tag would
+	// deliver another group's protocol state into this engine, so it
+	// is dropped and counted instead.
+	us, group := rt.tr, cfg.Group
+	go sock.readLoop(rt.eng.closed, func(f wire.Frame) *netTransport {
+		if group != 0 && f.Group != 0 && f.Group != group {
+			sock.unknownGroup.Add(1)
+			return nil
+		}
+		return us
+	})
 	return rt, nil
 }
 
 // LocalAddr returns the address the socket actually bound (useful
 // with a ":0" Bind).
 func (rt *NetRuntime) LocalAddr() *net.UDPAddr {
-	return rt.tr.conn.LocalAddr().(*net.UDPAddr)
+	return rt.tr.sock.conn.LocalAddr().(*net.UDPAddr)
 }
 
 // Advertise returns the address peers use to reach this runtime.
-func (rt *NetRuntime) Advertise() *net.UDPAddr { return rt.tr.self }
+func (rt *NetRuntime) Advertise() *net.UDPAddr { return rt.tr.book.self }
 
 // Clock implements Runtime.
 func (rt *NetRuntime) Clock() Clock { return rt.clock }
@@ -231,21 +382,28 @@ func (rt *NetRuntime) Transport() Transport { return rt.tr }
 // Do implements Runtime.
 func (rt *NetRuntime) Do(fn func()) { rt.eng.do(fn) }
 
-// NetStats returns a copy of the wire-level counters.
+// NetStats returns a copy of the wire-level counters: the socket-level
+// counts plus this runtime's (group's) routing counters.
 func (rt *NetRuntime) NetStats() NetStats {
-	var ns NetStats
-	rt.eng.do(func() { ns = rt.tr.nstats })
+	ns := rt.tr.sock.stats()
+	rt.eng.do(func() {
+		ns.UnknownPeer = rt.tr.nstats.UnknownPeer
+		ns.Relayed = rt.tr.nstats.Relayed
+		ns.TTLExpired = rt.tr.nstats.TTLExpired
+		ns.Oversize = rt.tr.nstats.Oversize
+	})
 	return ns
 }
 
 // quiescent reports local quiescence: no pending timers or queued
-// deliveries, and a silent socket for the idle window. Remote
-// processes may still be working — networked quiescence is a
-// heuristic, which is why Run and RunUntil are additionally bounded
-// by the settle timeout.
+// deliveries, and no activity for this runtime's own group for the
+// idle window (on a NetMux the socket is shared, so socket-wide
+// idleness would let busy sibling groups starve a quiet group's
+// Settle). Remote processes may still be working — networked
+// quiescence is a heuristic, which is why Run and RunUntil are
+// additionally bounded by the settle timeout.
 func (rt *NetRuntime) quiescent() bool {
-	return rt.eng.pending.Load() == 0 &&
-		time.Since(time.Unix(0, rt.tr.lastActivity.Load())) > rt.quiesceIdle
+	return rt.eng.pending.Load() == 0 && rt.tr.idleFor(rt.quiesceIdle)
 }
 
 // Run implements Runtime: it blocks until local quiescence (or the
@@ -293,106 +451,94 @@ func (rt *NetRuntime) RunUntil(pred func() bool) bool {
 }
 
 // Close implements Runtime: it closes the socket (stopping the read
-// loop) and then the engine. In-flight work is dropped.
+// loop) and then the engine. In-flight work is dropped. On a NetMux
+// view the socket and engines belong to the mux — Close only removes
+// the group from the demux table (later frames for it count as
+// UnknownGroup) and releases the identity for reopening.
 func (rt *NetRuntime) Close() error {
-	err := rt.tr.conn.Close()
+	if rt.mux != nil {
+		rt.mux.release(rt.muxGID)
+		return nil
+	}
+	err := rt.tr.sock.conn.Close()
 	rt.eng.stop(nil)
 	return err
 }
 
 // --- Transport --------------------------------------------------------
 
-// netTransport implements Transport over one UDP socket. All state is
-// owned by the engine goroutine except lastActivity (atomic) and the
-// socket itself; the read loop decodes off-engine and re-enters
-// through submit.
+// netTransport implements Transport for one group over a (possibly
+// shared) UDP socket. All mutable state is owned by the transport's
+// engine goroutine; the socket itself and its counters are shared
+// (netSock), and the routing book is immutable. The read loop decodes
+// off-engine and re-enters through the engine's submit.
 type netTransport struct {
-	eng      *engineCore
-	clock    *liveClock
-	conn     *net.UDPConn
-	rng      *mathx.RNG
-	loss     float64
-	ttl      uint8
-	self     *net.UDPAddr // what peers are told (Advertise)
-	loopback *net.UDPAddr // how this process reaches itself
+	eng   *engineCore
+	clock *liveClock
+	sock  *netSock
+	book  *netBook
+	bufs  *netBufs
 
-	// peers/selfIndex/mhShift route mobile-host-tier IDs by ownership
-	// block (see NetConfig.MHSlotShift).
-	peers     []*net.UDPAddr
-	selfIndex int
-	mhShift   uint
+	rng   *mathx.RNG
+	loss  float64
+	ttl   uint8
+	group ids.GroupID // tag stamped on egress when the message has none
 
-	// static routes entity IDs to their owning process (self included);
 	// learned holds return addresses observed for transient endpoints
 	// (mobile hosts, query apps) that no static entry covers.
-	static       map[ids.NodeID]*net.UDPAddr
-	learned      map[ids.NodeID]*net.UDPAddr
-	defaultRoute *net.UDPAddr
+	learned map[ids.NodeID]*net.UDPAddr
 
 	local   map[ids.NodeID]Endpoint
 	crashed map[ids.NodeID]bool
 
 	stats  Stats
-	nstats NetStats
+	nstats NetStats // routing counters only; socket counters live on sock
 
-	// peerBuf holds one reusable encode buffer per destination, so the
-	// steady-state send path allocates nothing.
-	peerBuf  map[ids.NodeID][]byte
-	relayBuf []byte
-
-	lastActivity atomic.Int64 // UnixNano of the last send or receive
+	// lastActivity tracks this group's own traffic (dispatches, sends,
+	// relays), distinct from the possibly-shared socket's: per-group
+	// quiescence must not be starved by busy sibling groups.
+	lastActivity atomic.Int64
 }
 
 func (t *netTransport) touch() { t.lastActivity.Store(time.Now().UnixNano()) }
 
-// readLoop runs off-engine: it blocks on the socket, decodes each
-// datagram (decoding shares no state), and hands the frame to the
-// engine goroutine.
-func (t *netTransport) readLoop() {
-	buf := make([]byte, wire.MaxDatagram)
-	for {
-		n, src, err := t.conn.ReadFromUDP(buf)
-		if err != nil {
-			select {
-			case <-t.eng.closed:
-				return
-			default:
-			}
-			if errors.Is(err, net.ErrClosed) {
-				return
-			}
-			continue
-		}
-		t.touch()
-		f, derr := wire.DecodeFrame(buf[:n])
-		t.eng.pending.Add(1)
-		t.eng.submit(func() { t.dispatch(f, src, derr) })
-	}
+func (t *netTransport) idleFor(d time.Duration) bool {
+	return time.Since(time.Unix(0, t.lastActivity.Load())) > d
 }
 
-// dispatch runs on the engine goroutine: accounting, return-address
+// newNetTransport builds the per-group transport half of a networked
+// runtime. sock, book and bufs may be shared (NetMux); eng/clock are
+// the owning engine shard.
+func newNetTransport(eng *engineCore, clock *liveClock, sock *netSock, book *netBook, bufs *netBufs, cfg NetConfig, group ids.GroupID) *netTransport {
+	t := &netTransport{
+		eng:     eng,
+		clock:   clock,
+		sock:    sock,
+		book:    book,
+		bufs:    bufs,
+		rng:     mathx.NewRNG(cfg.Seed),
+		loss:    cfg.Loss,
+		ttl:     cfg.TTL,
+		group:   group,
+		learned: make(map[ids.NodeID]*net.UDPAddr),
+		local:   make(map[ids.NodeID]Endpoint),
+		crashed: make(map[ids.NodeID]bool),
+	}
+	t.touch()
+	return t
+}
+
+// dispatch runs on the transport's engine goroutine: return-address
 // learning, local delivery or relay.
-func (t *netTransport) dispatch(f wire.Frame, src *net.UDPAddr, derr error) {
+func (t *netTransport) dispatch(f wire.Frame, src *net.UDPAddr) {
 	defer t.eng.pending.Add(-1)
-	t.nstats.Received++
-	if derr != nil {
-		if errors.Is(derr, wire.ErrUnknownVersion) {
-			t.nstats.UnknownVersion++
-		} else {
-			t.nstats.DecodeErrors++
-		}
-		return
-	}
-	if int(f.Class) >= int(numKinds) {
-		t.nstats.DecodeErrors++
-		return
-	}
+	t.touch()
 	// Return-address learning: transient endpoints (MHs, query apps)
 	// are not in the static book; remember where their traffic comes
 	// from so replies route back. Static entries are never overridden,
 	// and the book is bounded so a flood of spoofed sender IDs cannot
 	// grow it without limit.
-	if _, isStatic := t.static[f.From]; !isStatic && !f.From.IsZero() {
+	if _, isStatic := t.book.static[f.From]; !isStatic && !f.From.IsZero() {
 		if _, isLocal := t.local[f.From]; !isLocal {
 			if _, known := t.learned[f.From]; !known && len(t.learned) >= bookLimit {
 				clear(t.learned)
@@ -412,18 +558,19 @@ func (t *netTransport) dispatch(f wire.Frame, src *net.UDPAddr, derr error) {
 	t.stats.Delivered++
 	t.stats.ByKind[Kind(f.Class)]++
 	ep.HandleMessage(Message{
-		From: f.From,
-		To:   f.To,
-		Kind: Kind(f.Class),
-		Body: f.Payload,
-		Sent: t.clock.Now(),
+		From:  f.From,
+		To:    f.To,
+		Group: f.Group,
+		Kind:  Kind(f.Class),
+		Body:  f.Payload,
+		Sent:  t.clock.Now(),
 	})
 }
 
 // relay forwards a frame addressed to an entity this process does not
 // host toward its owner (or a learned/default route), spending TTL.
 // This is what lets a single-contact client reach any entity of the
-// cluster and get replies back.
+// cluster and get replies back. The group tag rides along unchanged.
 func (t *netTransport) relay(f wire.Frame) {
 	if f.TTL <= 1 {
 		t.nstats.TTLExpired++
@@ -431,24 +578,25 @@ func (t *netTransport) relay(f wire.Frame) {
 		return
 	}
 	addr := t.route(f.To)
-	if addr == nil || udpAddrEqual(addr, t.self) || udpAddrEqual(addr, t.loopback) {
+	if addr == nil || udpAddrEqual(addr, t.book.self) || udpAddrEqual(addr, t.book.loopback) {
 		t.nstats.UnknownPeer++
 		t.stats.Dropped++
 		return
 	}
 	f.TTL--
-	t.relayBuf = wire.AppendFrame(t.relayBuf[:0], f)
-	if len(t.relayBuf) > wire.MaxDatagram {
+	t.bufs.relayBuf = wire.AppendFrame(t.bufs.relayBuf[:0], f)
+	if len(t.bufs.relayBuf) > wire.MaxDatagram {
 		t.nstats.Oversize++
 		t.stats.Dropped++
 		return
 	}
-	if _, err := t.conn.WriteToUDP(t.relayBuf, addr); err != nil {
+	if _, err := t.sock.conn.WriteToUDP(t.bufs.relayBuf, addr); err != nil {
 		t.stats.Dropped++
 		return
 	}
 	t.nstats.Relayed++
 	t.touch()
+	t.sock.touch()
 }
 
 // route resolves a destination: local endpoints to self, hierarchy
@@ -458,20 +606,20 @@ func (t *netTransport) relay(f wire.Frame) {
 // any).
 func (t *netTransport) route(id ids.NodeID) *net.UDPAddr {
 	if _, ok := t.local[id]; ok {
-		return t.loopback
+		return t.book.loopback
 	}
-	if a, ok := t.static[id]; ok {
+	if a, ok := t.book.static[id]; ok {
 		return a
 	}
-	if t.mhShift > 0 && id.Tier() == ids.TierMH {
-		if slot := id.Ordinal() >> t.mhShift; slot >= 0 && slot < len(t.peers) {
-			return t.peers[slot]
+	if t.book.mhShift > 0 && id.Tier() == ids.TierMH {
+		if slot := id.Ordinal() >> t.book.mhShift; slot >= 0 && slot < len(t.book.peers) {
+			return t.book.peers[slot]
 		}
 	}
 	if a, ok := t.learned[id]; ok {
 		return a
 	}
-	return t.defaultRoute
+	return t.book.defaultRoute
 }
 
 // Register implements Transport.
@@ -513,21 +661,26 @@ func (t *netTransport) Send(msg Message) {
 		t.stats.Dropped++
 		return
 	}
-	prev, known := t.peerBuf[msg.To]
+	group := msg.Group
+	if group == 0 {
+		group = t.group
+	}
+	prev, known := t.bufs.peerBuf[msg.To]
 	buf := wire.AppendFrame(prev[:0], wire.Frame{
 		From:    msg.From,
 		To:      msg.To,
+		Group:   group,
 		Class:   uint8(msg.Kind),
 		TTL:     t.ttl,
 		Payload: msg.Body,
 	})
-	if !known && len(t.peerBuf) >= bookLimit {
+	if !known && len(t.bufs.peerBuf) >= bookLimit {
 		// Transient destinations (query apps, dial clients) would
 		// otherwise grow the buffer map without bound over a daemon's
 		// lifetime; dropping the warm buffers only costs re-growth.
-		clear(t.peerBuf)
+		clear(t.bufs.peerBuf)
 	}
-	t.peerBuf[msg.To] = buf
+	t.bufs.peerBuf[msg.To] = buf
 	if len(buf) > wire.MaxDatagram {
 		// An aggregated batch or snapshot past one datagram cannot be
 		// shipped; dropping it surfaces in the counters instead of
@@ -538,11 +691,12 @@ func (t *netTransport) Send(msg Message) {
 		t.stats.Dropped++
 		return
 	}
-	if _, err := t.conn.WriteToUDP(buf, addr); err != nil {
+	if _, err := t.sock.conn.WriteToUDP(buf, addr); err != nil {
 		t.stats.Dropped++
 		return
 	}
 	t.touch()
+	t.sock.touch()
 }
 
 // Crash implements Transport (local fault emulation, as on the other

@@ -18,23 +18,37 @@ import (
 //
 //	[kind u8][bodyLen u32][body bodyLen bytes]
 //
-// Datagram envelope (the unit the UDP transport exchanges):
+// Datagram envelope (the unit the UDP transport exchanges), version 2:
 //
-//	['R']['G'][version u8][class u8][ttl u8][from u64][to u64][payload frame]
+//	['R']['G'][version u8][class u8][ttl u8][from u64][to u64][group u32][payload frame]
+//
+// Version 1 is the same envelope without the group word. A version-1
+// frame still decodes — as group 0, the untagged group, which a
+// multi-group receiver routes to its default group. The compatibility
+// is one-directional: AppendFrame always emits version 2, which a
+// version-1 peer drops as UnknownVersion. Upgraded receivers therefore
+// understand old senders, but a mixed-version deployment does not
+// converge — upgrade all processes of a deployment together.
 //
 // Version rules: the version byte covers the whole envelope including
 // every payload body layout. Any layout change bumps Version; a
-// receiver drops (and counts) datagrams with an unknown version.
-// Payload kinds are append-only — never renumbered.
+// receiver drops (and counts) datagrams with an unknown version,
+// except for the grandfathered version-1 envelope above. Payload kinds
+// are append-only — never renumbered.
 const (
 	// Version is the wire-format version emitted by this build.
-	Version = 1
+	Version = 2
+
+	// VersionUntagged is the pre-group envelope version, accepted on
+	// decode with an implied zero (untagged) group.
+	VersionUntagged = 1
 
 	magic0 = 'R'
 	magic1 = 'G'
 
 	payloadHeaderSize = 1 + 4
-	envelopeSize      = 2 + 1 + 1 + 1 + 8 + 8
+	envelopeSizeV1    = 2 + 1 + 1 + 1 + 8 + 8
+	envelopeSize      = envelopeSizeV1 + 4
 
 	// MaxDatagram bounds one encoded frame; the UDP transport sizes
 	// its receive buffers with it.
@@ -67,8 +81,9 @@ var (
 type Frame struct {
 	From    ids.NodeID
 	To      ids.NodeID
-	Class   uint8 // accounting class (runtime.Kind), carried opaquely
-	TTL     uint8 // relay hop budget
+	Group   ids.GroupID // owning group; 0 = untagged (pre-group wire v1)
+	Class   uint8       // accounting class (runtime.Kind), carried opaquely
+	TTL     uint8       // relay hop budget
 	Payload Payload
 }
 
@@ -78,19 +93,21 @@ func AppendFrame(b []byte, f Frame) []byte {
 	b = append(b, magic0, magic1, Version, f.Class, f.TTL)
 	b = appendU64(b, uint64(f.From))
 	b = appendU64(b, uint64(f.To))
+	b = appendU32(b, uint32(f.Group))
 	return AppendPayload(b, f.Payload)
 }
 
 // DecodeFrame decodes one datagram. It is strict: trailing bytes,
 // truncated layouts, unknown kinds and out-of-range lengths all error.
+// A version-1 (untagged) envelope decodes with Group 0.
 func DecodeFrame(b []byte) (Frame, error) {
-	if len(b) < envelopeSize {
+	if len(b) < envelopeSizeV1 {
 		return Frame{}, ErrTruncated
 	}
 	if b[0] != magic0 || b[1] != magic1 {
 		return Frame{}, ErrBadMagic
 	}
-	if b[2] != Version {
+	if b[2] != Version && b[2] != VersionUntagged {
 		return Frame{}, ErrUnknownVersion
 	}
 	f := Frame{
@@ -99,11 +116,19 @@ func DecodeFrame(b []byte) (Frame, error) {
 		From:  ids.NodeID(binary.LittleEndian.Uint64(b[5:])),
 		To:    ids.NodeID(binary.LittleEndian.Uint64(b[13:])),
 	}
-	p, n, err := DecodePayload(b[envelopeSize:])
+	header := envelopeSizeV1
+	if b[2] == Version {
+		if len(b) < envelopeSize {
+			return Frame{}, ErrTruncated
+		}
+		f.Group = ids.GroupID(binary.LittleEndian.Uint32(b[21:]))
+		header = envelopeSize
+	}
+	p, n, err := DecodePayload(b[header:])
 	if err != nil {
 		return Frame{}, err
 	}
-	if envelopeSize+n != len(b) {
+	if header+n != len(b) {
 		return Frame{}, ErrMalformed
 	}
 	f.Payload = p

@@ -75,19 +75,27 @@ func Dial(addr string, opts ...Option) (*Service, error) {
 	return Open(opts...)
 }
 
-// buildNetRuntime assembles the networked substrate for Open: cluster
+// buildNetConfig assembles the networked deployment configuration
+// shared by the single-group runtime and the multi-group mux: cluster
 // validation, deterministic hierarchy partition, address book, loss
-// emulation, and the per-process mobile-host ordinal block.
-func buildNetRuntime(o *serviceOptions) (*NetRuntime, error) {
+// emulation, and the per-process mobile-host ordinal block. It
+// mutates o.cfg (Owns, MHBase) to match the computed partition.
+func buildNetConfig(o *serviceOptions) (NetConfig, error) {
 	nc := *o.netConfig
 	if o.advertise != "" {
 		nc.Advertise = o.advertise
 	}
 	if nc.Bind == "" {
-		return nil, fmt.Errorf("rgb: networked runtime needs a bind address (use Listen, or set NetConfig.Bind): %w", ErrBadCluster)
+		return nc, fmt.Errorf("rgb: networked runtime needs a bind address (use Listen, or set NetConfig.Bind): %w", ErrBadCluster)
 	}
 	if nc.Seed == 0 {
 		nc.Seed = o.cfg.Seed
+	}
+	if nc.Group == 0 {
+		// A single-group runtime knows its group and rejects frames
+		// tagged for another one; the multi-group mux clears this and
+		// demultiplexes instead.
+		nc.Group = o.cfg.GID
 	}
 	if o.cfg.Loss > 0 && nc.Loss == 0 {
 		// WithLoss is emulated on the networked plane (egress drops),
@@ -98,7 +106,7 @@ func buildNetRuntime(o *serviceOptions) (*NetRuntime, error) {
 
 	nprocs := len(nc.Peers)
 	if nprocs > 0 && (nc.Index < 0 || nc.Index >= nprocs) {
-		return nil, fmt.Errorf("rgb: cluster index %d with %d peers: %w", nc.Index, nprocs, ErrBadCluster)
+		return nc, fmt.Errorf("rgb: cluster index %d with %d peers: %w", nc.Index, nprocs, ErrBadCluster)
 	}
 	switch {
 	case o.dialClient:
@@ -119,7 +127,16 @@ func buildNetRuntime(o *serviceOptions) (*NetRuntime, error) {
 			nc.DefaultRoute = nc.Peers[0]
 		}
 	}
+	return nc, nil
+}
 
+// buildNetRuntime assembles the networked substrate for a single-group
+// Open.
+func buildNetRuntime(o *serviceOptions) (*NetRuntime, error) {
+	nc, err := buildNetConfig(o)
+	if err != nil {
+		return nil, err
+	}
 	rt, err := NewNetRuntime(nc)
 	if err != nil {
 		return nil, err

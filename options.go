@@ -6,12 +6,14 @@ import (
 	"github.com/rgbproto/rgb/internal/core"
 )
 
-// serviceOptions accumulates the functional options of Open.
+// serviceOptions accumulates the functional options of Open and
+// NewCluster.
 type serviceOptions struct {
 	cfg        core.Config
 	scheme     core.QueryScheme
 	rt         Runtime
 	watchBuf   int
+	shards     int
 	liveConfig *LiveConfig
 
 	// Networked deployment (Listen/Dial/WithNetRuntime).
@@ -146,6 +148,19 @@ func WithCluster(index int, peers ...string) Option {
 		}
 		o.netConfig.Index = index
 		o.netConfig.Peers = peers
+	}
+}
+
+// WithShards sets a cluster's engine worker count (default
+// GOMAXPROCS). Each group is pinned to one shard by a consistent hash
+// of its GroupID; per-group behaviour is identical for any shard
+// count, so this is purely a parallelism knob. Ignored by the
+// single-group Open.
+func WithShards(n int) Option {
+	return func(o *serviceOptions) {
+		if n > 0 {
+			o.shards = n
+		}
 	}
 }
 

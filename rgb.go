@@ -1,51 +1,3 @@
-// Package rgb is a from-scratch reproduction of "RGB: A Scalable and
-// Reliable Group Membership Protocol in Mobile Internet" (Wang, Cao,
-// Chan — ICPP 2004): a group membership service for mobile Internet
-// built on a Ring-based hierarchy of access proxies, access Gateways
-// and Border routers.
-//
-// The primary entry point is the transport-agnostic Service API:
-//
-//	svc, err := rgb.Open(rgb.WithHierarchy(3, 5), rgb.WithSeed(1))
-//	if err != nil { ... }
-//	defer svc.Close()
-//
-//	ctx := context.Background()
-//	events, _ := svc.Watch(ctx)          // membership change stream
-//	svc.JoinAt(ctx, rgb.GUID(1), svc.APs()[0])
-//	svc.Settle(ctx)                      // drive to quiescence
-//	members, _ := svc.Members(ctx)       // authoritative view
-//	res, _ := svc.Query(ctx, svc.APs()[7])
-//	fmt.Println(members, res.Members, <-events)
-//
-// The protocol engine talks only to the runtime substrate interfaces
-// (Clock, Transport), and every payload it sends is a typed member of
-// the wire union with a versioned binary encoding. By default it runs
-// on the deterministic discrete-event simulator (NewSimRuntime);
-// rgb.WithLiveRuntime / rgb.NewLiveRuntime run the identical engine
-// live in-process on real timers and mailbox goroutines; and
-// rgb.Listen / rgb.Dial run it networked over real UDP sockets, where
-// multiple processes (see cmd/rgbnode) each host a slice of the
-// hierarchy and exchange wire-encoded datagrams.
-//
-// The implementation packages underneath:
-//
-//   - the runtime substrate and its two implementations
-//     (internal/runtime, internal/des, internal/simnet);
-//   - the ring-based hierarchy and the One-Round Token Passing
-//     Membership algorithm with failure detection, local repair, and
-//     the TMS/BMS/IMS Membership-Query schemes (internal/core and its
-//     substrates);
-//   - the tree-based CONGRESS-style baseline (internal/tree);
-//   - the analytic models of the paper's Section 5 and the Monte-Carlo
-//     fault injector that validates them (internal/analytic,
-//     internal/reliability);
-//   - mobility and churn workload generators (internal/mobility,
-//     internal/workload).
-//
-// See DESIGN.md for the system inventory and layering diagram, and
-// EXPERIMENTS.md for the reproduction of the paper's Table I and
-// Table II.
 package rgb
 
 import (

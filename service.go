@@ -8,24 +8,31 @@ import (
 
 	"github.com/rgbproto/rgb/internal/core"
 	"github.com/rgbproto/rgb/internal/runtime"
-	"github.com/rgbproto/rgb/internal/simnet"
 )
 
 // Service is the RGB group membership service: the ring hierarchy and
-// the one-round token protocol running over a pluggable runtime
-// substrate. Open builds one; the zero value is not usable.
+// the one-round token protocol of one group running over a pluggable
+// runtime substrate. Open builds a standalone one (a one-group
+// Cluster); Cluster.Open returns one per hosted group. The zero value
+// is not usable.
 //
-// Concurrency: on a live runtime every method is safe for concurrent
-// use — protocol state is only ever touched on the runtime's engine
-// goroutine. The simulated runtime is single-threaded by construction
-// (determinism requires it), so a sim-backed Service must be driven
-// from one goroutine at a time; its Do runs work inline on the
-// caller.
+// Concurrency: on a live, networked or sharded (Cluster) runtime every
+// method is safe for concurrent use — protocol state is only ever
+// touched on the owning engine goroutine. A standalone sim-backed
+// Service (rgb.Open without a cluster) is single-threaded by
+// construction (determinism requires it) and must be driven from one
+// goroutine at a time; its Do runs work inline on the caller.
 type Service struct {
 	rt     runtime.Runtime
 	owned  bool // Close the runtime with the service
 	sys    *core.System
 	scheme core.QueryScheme
+	gid    GroupID
+
+	// cluster is the owning container (every Service belongs to one;
+	// rgb.Open makes a single-group cluster). Close deregisters the
+	// group there.
+	cluster *Cluster
 
 	watchBuf int
 
@@ -34,78 +41,71 @@ type Service struct {
 	done          chan struct{}
 	nextWatcher   int
 	sinkInstalled bool
-	watchers      map[int]chan MembershipEvent
+	watchers      map[int]*watcher
 }
 
-// Open builds and starts a membership service. With no options it
-// serves a 3x5 hierarchy on a fresh deterministic simulated runtime;
-// see the With... options for hierarchy shape, seeds, query scheme,
-// dissemination mode, and runtime selection.
+// watcher is one Watch subscription: its event channel and the count
+// of events dropped since its last successful delivery (surfaced as a
+// synthetic EventDropped once the channel drains).
+type watcher struct {
+	ch   chan MembershipEvent
+	lost int
+}
+
+// Open builds and starts a standalone membership service. With no
+// options it serves a 3x5 hierarchy on a fresh deterministic simulated
+// runtime; see the With... options for hierarchy shape, seeds, query
+// scheme, dissemination mode, and runtime selection.
+//
+// Open is the one-group special case of NewCluster: it builds a
+// single-group cluster in inline mode (no shard workers — the group
+// runs directly on the caller, preserving the simulator's
+// single-threaded discipline and allocation profile) and returns its
+// only Service. Use NewCluster to host many groups in one process.
 func Open(opts ...Option) (*Service, error) {
 	o := defaultServiceOptions()
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{base: o, single: true, groups: make(map[GroupID]*Service)}
+	return c.Open(o.cfg.GID)
+}
+
+// validate rejects nonsensical option combinations shared by Open and
+// NewCluster.
+func (o *serviceOptions) validate() error {
 	if o.cfg.H < 1 || o.cfg.R < 2 {
-		return nil, fmt.Errorf("%w (h=%d, r=%d)", ErrBadHierarchy, o.cfg.H, o.cfg.R)
+		return fmt.Errorf("%w (h=%d, r=%d)", ErrBadHierarchy, o.cfg.H, o.cfg.R)
 	}
 	if o.scheme.Level < 0 || o.scheme.Level >= o.cfg.H {
-		return nil, fmt.Errorf("rgb: default scheme level %d of height-%d hierarchy: %w", o.scheme.Level, o.cfg.H, ErrQueryLevel)
+		return fmt.Errorf("rgb: default scheme level %d of height-%d hierarchy: %w", o.scheme.Level, o.cfg.H, ErrQueryLevel)
 	}
+	return nil
+}
 
-	rt := o.rt
-	owned := false
-	switch {
-	case rt != nil:
-		// Caller-supplied substrate; the caller owns its lifecycle —
-		// and its message plane arrives already configured, so a loss
-		// probability requested here would be silently meaningless.
-		if o.cfg.Loss > 0 {
-			return nil, fmt.Errorf("rgb: WithLoss with a caller-supplied runtime (configure loss on the runtime itself): %w", ErrOptionUnsupported)
-		}
-	case o.netConfig != nil:
-		nrt, err := buildNetRuntime(&o)
-		if err != nil {
-			return nil, err
-		}
-		rt = nrt
-		owned = true
-	case o.liveConfig != nil:
-		lc := *o.liveConfig
-		if lc.Seed == 0 {
-			lc.Seed = o.cfg.Seed
-		}
-		if o.cfg.Loss > 0 && lc.Loss == 0 {
-			// WithLoss is emulated on the live in-process plane.
-			lc.Loss = o.cfg.Loss
-		}
-		rt = runtime.NewLiveRuntime(lc)
-		owned = true
-	default:
-		sim := simnet.NewSimRuntime(o.cfg.Latency, o.cfg.Seed)
-		if o.cfg.Loss > 0 {
-			sim.Net().SetLoss(o.cfg.Loss)
-		}
-		rt = sim
-		owned = true
-	}
-
-	var sys *core.System
-	rt.Do(func() { sys = core.NewSystemOn(o.cfg, rt) })
+// newService wires a Service around an already-built runtime and
+// System.
+func newService(c *Cluster, gid GroupID, rt runtime.Runtime, owned bool, sys *core.System, o *serviceOptions) *Service {
 	return &Service{
 		rt:       rt,
 		owned:    owned,
 		sys:      sys,
 		scheme:   o.scheme,
+		gid:      gid,
+		cluster:  c,
 		watchBuf: o.watchBuf,
 		done:     make(chan struct{}),
-		watchers: make(map[int]chan MembershipEvent),
-	}, nil
+		watchers: make(map[int]*watcher),
+	}
 }
 
-// Close shuts the service down: subscribers' channels are closed, and
-// a runtime the service built itself is closed with it. Close is
-// idempotent.
+// Close shuts the service down: subscribers' channels are closed, the
+// group is deregistered from its cluster, and a runtime the service
+// built itself is closed with it (for a cluster-shared substrate that
+// closes only this group's slice of it). Close is idempotent.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -114,19 +114,33 @@ func (s *Service) Close() error {
 	}
 	s.closed = true
 	watchers := s.watchers
-	s.watchers = make(map[int]chan MembershipEvent)
+	s.watchers = make(map[int]*watcher)
 	close(s.done)
 	s.mu.Unlock()
 
-	s.rt.Do(func() { s.sys.SetEventSink(nil) })
-	for _, ch := range watchers {
-		close(ch)
+	s.rt.Do(func() {
+		s.sys.SetEventSink(nil)
+		// On a cluster-shared engine the shard outlives this group;
+		// its periodic tickers must not keep firing into a closed
+		// System. (On a service-owned runtime the engine stops with
+		// Close anyway.)
+		s.sys.StopHeartbeats()
+	})
+	for _, w := range watchers {
+		close(w.ch)
+	}
+	if s.cluster != nil {
+		s.cluster.forget(s.gid)
 	}
 	if s.owned {
 		return s.rt.Close()
 	}
 	return nil
 }
+
+// Group returns the group identity this service maintains membership
+// for.
+func (s *Service) Group() GroupID { return s.gid }
 
 // Runtime returns the substrate the service runs on.
 func (s *Service) Runtime() Runtime { return s.rt }
@@ -262,9 +276,18 @@ func (s *Service) QueryWith(ctx context.Context, entry NodeID, scheme QuerySchem
 
 // Watch subscribes to membership events: joins, leaves, failures,
 // handoffs (as they commit at the topmost ring) and ring repairs. The
-// channel closes when ctx is cancelled or the service closes. A
+// channel closes when ctx is cancelled or the service closes.
+//
+// Delivery contract: sends never block the protocol engine. A
 // subscriber that falls behind by more than the watch buffer
-// (WithWatchBuffer) loses the overflow.
+// (WithWatchBuffer) loses the overflow — but never silently: as soon
+// as the subscriber drains enough to accept a send again, it first
+// receives a synthetic event with Kind == EventDropped whose Count
+// says exactly how many events were lost since its last delivered
+// event. Gap detection is therefore always possible; the lost events
+// themselves are not recoverable (re-read Members for current truth).
+// Events dropped between the subscriber's last receive and channel
+// close are not reported.
 func (s *Service) Watch(ctx context.Context) (<-chan MembershipEvent, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -282,7 +305,7 @@ func (s *Service) Watch(ctx context.Context) (<-chan MembershipEvent, error) {
 	// would race with a concurrent new subscriber.
 	install := !s.sinkInstalled
 	s.sinkInstalled = true
-	s.watchers[id] = ch
+	s.watchers[id] = &watcher{ch: ch}
 	s.mu.Unlock()
 
 	if install {
@@ -300,14 +323,28 @@ func (s *Service) Watch(ctx context.Context) (<-chan MembershipEvent, error) {
 }
 
 // broadcast fans one event out to every subscriber. It runs in engine
-// context; sends never block (lagging subscribers lose the overflow).
+// context; sends never block (lagging subscribers lose the overflow
+// and are owed an EventDropped gap marker — see Watch).
 func (s *Service) broadcast(ev MembershipEvent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, ch := range s.watchers {
+	for _, w := range s.watchers {
+		if w.lost > 0 {
+			// The gap marker must precede the next real event so the
+			// subscriber sees the hole where it happened. If the
+			// channel is still full, the current event joins the gap.
+			select {
+			case w.ch <- MembershipEvent{Kind: EventDropped, Count: w.lost, At: ev.At}:
+				w.lost = 0
+			default:
+				w.lost++
+				continue
+			}
+		}
 		select {
-		case ch <- ev:
+		case w.ch <- ev:
 		default:
+			w.lost++
 		}
 	}
 }
@@ -317,13 +354,13 @@ func (s *Service) broadcast(ev MembershipEvent) {
 // broadcast a no-op.
 func (s *Service) unwatch(id int) {
 	s.mu.Lock()
-	ch, ok := s.watchers[id]
+	w, ok := s.watchers[id]
 	if ok {
 		delete(s.watchers, id)
 	}
 	s.mu.Unlock()
 	if ok {
-		close(ch)
+		close(w.ch)
 	}
 }
 

@@ -203,6 +203,64 @@ drain:
 	}
 }
 
+// TestWatchOverflowEmitsDroppedEvent pins the gap-detection contract:
+// once a lagging subscriber drains, the next broadcast first delivers
+// a synthetic EventDropped whose Count is exactly the number of events
+// lost, then resumes normal delivery.
+func TestWatchOverflowEmitsDroppedEvent(t *testing.T) {
+	ctx := context.Background()
+	const buf = 2
+	svc := openTest(t, WithHierarchy(2, 3), WithSeed(11), WithWatchBuffer(buf))
+	events, err := svc.Watch(ctx)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	aps := svc.APs()
+
+	// Commit buf+3 joins without reading: the first buf fill the
+	// channel, the next 3 are dropped.
+	const joins = buf + 3
+	for g := 1; g <= joins; g++ {
+		if err := svc.JoinAt(ctx, GUID(g), aps[g%len(aps)]); err != nil {
+			t.Fatalf("join %d: %v", g, err)
+		}
+		if err := svc.Settle(ctx); err != nil {
+			t.Fatalf("settle: %v", err)
+		}
+	}
+	for i := 0; i < buf; i++ {
+		ev := <-events
+		if ev.Kind != EventJoin || ev.Member.GUID != GUID(i+1) {
+			t.Fatalf("event %d = %s, want join mh-%d", i, ev, i+1)
+		}
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("undrained channel held an extra event: %s", ev)
+	default:
+	}
+
+	// The subscriber has drained; the next commit must be preceded by
+	// the gap marker counting the 3 lost joins.
+	if err := svc.JoinAt(ctx, GUID(joins+1), aps[0]); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if err := svc.Settle(ctx); err != nil {
+		t.Fatalf("settle: %v", err)
+	}
+	gap := <-events
+	if gap.Kind != EventDropped {
+		t.Fatalf("first post-drain event = %s, want the EventDropped gap marker", gap)
+	}
+	if gap.Count != joins-buf {
+		t.Fatalf("gap.Count = %d, want %d", gap.Count, joins-buf)
+	}
+	next := <-events
+	if next.Kind != EventJoin || next.Member.GUID != GUID(joins+1) {
+		t.Fatalf("event after gap = %s, want join mh-%d", next, joins+1)
+	}
+}
+
 // TestCloseUnblocksWatchers: Close must close every subscriber
 // channel so goroutines blocked in receive all wake up.
 func TestCloseUnblocksWatchers(t *testing.T) {
