@@ -166,17 +166,22 @@ func (c *Cluster) Open(gid GroupID) (*Service, error) {
 	case c.single:
 		rt, owned, err = buildSingleRuntime(&o)
 	case c.netMux != nil:
+		// Faults ride in the mux's NetConfig (buildNetConfig), acting
+		// on the encoded datagrams; no engine-level wrapper here.
 		rt, err = c.netMux.Open(gid, c.ShardOf(gid), seed)
 		owned = true // view Close is scoped to the group
 	case c.liveMux != nil:
 		rt, err = c.liveMux.Open(gid, c.ShardOf(gid), seed)
+		if err == nil {
+			rt = wrapFaults(rt, &o)
+		}
 		owned = true // view Close shuts down only this group's mailboxes
 	default:
 		sim := simnet.NewSimRuntime(o.cfg.Latency, seed)
 		if o.cfg.Loss > 0 {
 			sim.Net().SetLoss(o.cfg.Loss)
 		}
-		rt, err = rgbruntime.BindShard(sim, c.set, c.ShardOf(gid))
+		rt, err = rgbruntime.BindShard(wrapFaults(sim, &o), c.set, c.ShardOf(gid))
 		owned = true
 	}
 	if err != nil {
@@ -201,6 +206,9 @@ func buildSingleRuntime(o *serviceOptions) (rgbruntime.Runtime, bool, error) {
 		if o.cfg.Loss > 0 {
 			return nil, false, fmt.Errorf("rgb: WithLoss with a caller-supplied runtime (configure loss on the runtime itself): %w", ErrOptionUnsupported)
 		}
+		if o.faults != nil {
+			return nil, false, fmt.Errorf("rgb: WithFaults with a caller-supplied runtime (wrap the runtime's transport yourself): %w", ErrOptionUnsupported)
+		}
 		return o.rt, false, nil
 	case o.netConfig != nil:
 		nrt, err := buildNetRuntime(o)
@@ -217,14 +225,29 @@ func buildSingleRuntime(o *serviceOptions) (rgbruntime.Runtime, bool, error) {
 			// WithLoss is emulated on the live in-process plane.
 			lc.Loss = o.cfg.Loss
 		}
-		return rgbruntime.NewLiveRuntime(lc), true, nil
+		return wrapFaults(rgbruntime.NewLiveRuntime(lc), o), true, nil
 	default:
 		sim := simnet.NewSimRuntime(o.cfg.Latency, o.cfg.Seed)
 		if o.cfg.Loss > 0 {
 			sim.Net().SetLoss(o.cfg.Loss)
 		}
-		return sim, true, nil
+		return wrapFaults(sim, o), true, nil
 	}
+}
+
+// wrapFaults decorates a runtime the service built itself with the
+// WithFaults injection plan (identity without one). A zero plan seed
+// derives from the group's own seed so fault streams stay per-group
+// deterministic.
+func wrapFaults(rt rgbruntime.Runtime, o *serviceOptions) rgbruntime.Runtime {
+	if o.faults == nil {
+		return rt
+	}
+	plan := *o.faults
+	if plan.Seed == 0 {
+		plan.Seed = o.cfg.Seed ^ 0xfa17fa17fa17fa17
+	}
+	return rgbruntime.WithFaultInjection(rt, plan)
 }
 
 // forget deregisters a group closed through its own Service.Close.

@@ -1,0 +1,149 @@
+// Command rgbchaos drives a live multi-process rgbnode deployment
+// through the standard chaos scenario — partition the cluster, join
+// members on both sides of the cut, kill -9 one process, heal, and
+// verify every survivor converges to the one merged membership — and
+// prints PASS with per-process datagram statistics, or fails with
+// every process's last membership view.
+//
+// It is the interactive face of internal/chaos (the same engine the
+// chaos test suite uses in CI):
+//
+//	go run ./cmd/rgbchaos                    # builds rgbnode itself
+//	rgbchaos -rgbnode ./rgbnode -nodes 7    # against a prebuilt binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/chaos"
+)
+
+func main() {
+	log.SetFlags(log.Ltime)
+	bin := flag.String("rgbnode", "", "path to an rgbnode binary (default: go build it into a temp dir)")
+	nodes := flag.Int("nodes", 5, "process count (one topmost-subtree owner each)")
+	h := flag.Int("h", 2, "hierarchy height")
+	r := flag.Int("r", 5, "ring size")
+	seed := flag.Uint64("seed", 1, "deployment seed")
+	heartbeat := flag.Duration("heartbeat", 300*time.Millisecond, "heartbeat interval (drives failure detection)")
+	flag.Parse()
+
+	if err := run(*bin, *nodes, *h, *r, *seed, *heartbeat); err != nil {
+		log.Fatalf("FAIL: %v", err)
+	}
+	fmt.Println("PASS")
+}
+
+func run(bin string, nodes, h, r int, seed uint64, heartbeat time.Duration) error {
+	if bin == "" {
+		dir, err := os.MkdirTemp("", "rgbchaos-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		bin = filepath.Join(dir, "rgbnode")
+		log.Printf("building rgbnode into %s", bin)
+		build := exec.Command("go", "build", "-o", bin, "github.com/rgbproto/rgb/cmd/rgbnode")
+		if out, err := build.CombinedOutput(); err != nil {
+			return fmt.Errorf("go build rgbnode: %v\n%s", err, out)
+		}
+	}
+	if nodes < 3 {
+		return fmt.Errorf("rgbchaos: the kill/partition scenario needs at least 3 nodes, got %d", nodes)
+	}
+
+	eng, err := chaos.Launch(chaos.Config{
+		Bin: bin, Nodes: nodes, H: h, R: r, Seed: seed,
+		Heartbeat: heartbeat,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	// The daemon renders memberships sorted lexically; mirror that when
+	// building the expected suffix.
+	var names []string
+	wantOf := func() string {
+		s := append([]string(nil), names...)
+		sort.Strings(s)
+		return "members=" + strings.Join(s, ",")
+	}
+
+	// Two members per process's first AP pair, joined at the owning
+	// process (slot k owns AP indexes r*k..r*k+r-1).
+	guid := 0
+	for slot := 0; slot < nodes; slot++ {
+		for _, ap := range []int{r * slot, r*slot + 1} {
+			guid++
+			if _, err := eng.Proc(slot).Do(fmt.Sprintf("join %d %d", guid, ap)); err != nil {
+				return err
+			}
+			names = append(names, fmt.Sprintf("mh-%d", guid))
+		}
+	}
+	if err := eng.AwaitConvergence(wantOf(), 45*time.Second); err != nil {
+		return err
+	}
+	log.Printf("steady state: %d members across %d processes", guid, nodes)
+
+	// Cut the last two slots away, join one member on each side, kill
+	// -9 the last process while the cut holds, then heal. The daemons'
+	// query command routes through AP 0, so only side A is polled
+	// during the cut.
+	var sideA, sideB []int
+	for slot := 0; slot < nodes; slot++ {
+		if slot < nodes-2 {
+			sideA = append(sideA, slot)
+		} else {
+			sideB = append(sideB, slot)
+		}
+	}
+	if err := eng.Partition(sideA, sideB); err != nil {
+		return err
+	}
+	if _, err := eng.Proc(0).Do(fmt.Sprintf("join %d %d", guid+1, 2)); err != nil {
+		return err
+	}
+	if _, err := eng.Proc(sideB[0]).Do(fmt.Sprintf("join %d %d", guid+2, r*sideB[0]+2)); err != nil {
+		return err
+	}
+	names = append(names, fmt.Sprintf("mh-%d", guid+1))
+	if err := eng.AwaitConvergence(wantOf(), 45*time.Second, sideB...); err != nil {
+		return err
+	}
+	log.Printf("side A absorbed mh-%d while the cut held", guid+1)
+
+	victim := sideB[len(sideB)-1]
+	log.Printf("kill -9 rgbnode[%d]", victim)
+	eng.Proc(victim).Kill()
+	if err := eng.Heal(); err != nil {
+		return err
+	}
+	names = append(names, fmt.Sprintf("mh-%d", guid+2))
+	if err := eng.AwaitConvergence(wantOf(), 120*time.Second, victim); err != nil {
+		return err
+	}
+	log.Printf("merged: all %d survivors agree on %d members", nodes-1, guid+2)
+
+	for _, p := range eng.Procs() {
+		if p.Dead() {
+			continue
+		}
+		line, err := p.Stats()
+		if err != nil {
+			return err
+		}
+		log.Printf("rgbnode[%d] %s", p.Index, line)
+	}
+	return nil
+}

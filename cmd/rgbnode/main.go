@@ -23,6 +23,8 @@
 //	members                 local topmost-ring view (empty if not hosted here)
 //	settle                  wait for local quiescence
 //	stats                   transport + wire counters
+//	block <slot> [slot...]  drop all traffic to/from the given peer slots
+//	unblock                 clear the block rules (heal the partition)
 //	use <group>             switch the current group (multi-group mode)
 //	groups                  list hosted groups and the current one
 //	quit                    shut down
@@ -60,11 +62,22 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deployment seed")
 	heartbeat := flag.Duration("heartbeat", 0, "heartbeat interval (0 disables)")
 	groups := flag.Int("groups", 1, "independent groups hosted over this socket")
+	corrupt := flag.Float64("corrupt", 0, "fault injection: per-datagram corruption probability")
+	replay := flag.Float64("replay", 0, "fault injection: per-datagram duplicate/replay probability")
+	misroute := flag.Float64("misroute", 0, "fault injection: per-datagram misroute probability")
+	reorder := flag.Float64("reorder", 0, "fault injection: per-datagram reorder probability")
+	faultSeed := flag.Uint64("faultseed", 0, "fault injection seed (0 derives from -seed)")
 	flag.Parse()
 
 	var extra []rgb.Option
 	if *heartbeat > 0 {
 		extra = append(extra, rgb.WithHeartbeat(*heartbeat))
+	}
+	if plan := (rgb.FaultPlan{
+		Seed: *faultSeed, Corrupt: *corrupt, Duplicate: *replay,
+		Misroute: *misroute, Reorder: *reorder,
+	}); plan.Active() {
+		extra = append(extra, rgb.WithFaults(plan))
 	}
 	if err := run(*bind, *advertise, *index, *peers, *h, *r, *seed, *groups, extra); err != nil {
 		fmt.Fprintln(os.Stderr, "rgbnode:", err)
@@ -157,6 +170,38 @@ func run(bind, advertise string, index int, peerList string, h, r int, seed uint
 			fmt.Printf("ok use group=%d gid=%s\n", i, svc.Group())
 		case "groups":
 			fmt.Printf("ok groups n=%d current=%s\n", len(svcs), svc.Group())
+		case "block":
+			if nrt == nil {
+				fmt.Println("err block: single-group mode only")
+				continue
+			}
+			slots := make([]int, 0, len(args))
+			bad := false
+			for _, a := range args {
+				s, err := strconv.Atoi(a)
+				if err != nil {
+					fmt.Printf("err bad slot %q\n", a)
+					bad = true
+					break
+				}
+				slots = append(slots, s)
+			}
+			if bad {
+				continue
+			}
+			if len(slots) == 0 {
+				fmt.Println("err usage: block <slot> [slot...]")
+				continue
+			}
+			nrt.Block(slots...)
+			fmt.Printf("ok block slots=%d\n", len(slots))
+		case "unblock":
+			if nrt == nil {
+				fmt.Println("err unblock: single-group mode only")
+				continue
+			}
+			nrt.Unblock()
+			fmt.Println("ok unblock")
 		case "settle":
 			if err := svc.Settle(ctx); err != nil {
 				fmt.Println("err settle:", err)
@@ -238,8 +283,9 @@ func run(bind, advertise string, index int, peerList string, h, r int, seed uint
 			} else {
 				ns = nrt.NetStats()
 			}
-			fmt.Printf("ok stats sent=%d delivered=%d dropped=%d received=%d relayed=%d decode_errors=%d unknown_version=%d unknown_group=%d\n",
-				st.Sent, st.Delivered, st.Dropped, ns.Received, ns.Relayed, ns.DecodeErrors, ns.UnknownVersion, ns.UnknownGroup)
+			fmt.Printf("ok stats sent=%d delivered=%d dropped=%d received=%d relayed=%d decode_errors=%d unknown_version=%d unknown_group=%d cut=%d faults=%d/%d/%d/%d\n",
+				st.Sent, st.Delivered, st.Dropped, ns.Received, ns.Relayed, ns.DecodeErrors, ns.UnknownVersion, ns.UnknownGroup,
+				st.Cut, ns.FaultCorrupt, ns.FaultReplay, ns.FaultMisroute, ns.FaultReorder)
 		default:
 			fmt.Println("err unknown command:", cmd)
 		}

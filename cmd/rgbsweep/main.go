@@ -38,6 +38,7 @@ func main() {
 	hopRates := flag.String("hop-rates", "0", "mobility cell hops/s/host (comma-separated)")
 	loss := flag.String("loss", "0", "message loss probabilities (comma-separated)")
 	crash := flag.String("crash", "0", "mid-run NE crash counts (comma-separated)")
+	partition := flag.String("partition", "0", "mid-run partition hold times, e.g. 0,10s,30s (comma-separated)")
 	diss := flag.String("dissemination", "full", "dissemination modes: full,path-only")
 	schemes := flag.String("schemes", "tms", "query schemes: tms,bms,ims:<level>")
 	duration := flag.Duration("duration", 30*time.Second, "virtual scenario length per run")
@@ -71,6 +72,7 @@ func main() {
 		HopRate:       parseFloats(*hopRates),
 		Loss:          parseFloats(*loss),
 		Crash:         parseInts(*crash),
+		Partition:     parseDurations(*partition),
 		Dissemination: parseDiss(*diss),
 		Schemes:       splitList(*schemes),
 		Duration:      *duration,
@@ -177,6 +179,23 @@ func parseFloats(s string) []float64 {
 		v, err := strconv.ParseFloat(part, 64)
 		if err != nil {
 			fail(fmt.Errorf("rgbsweep: bad number %q", part))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseDurations(s string) []time.Duration {
+	var out []time.Duration
+	for _, part := range splitList(s) {
+		// Accept bare "0" alongside unit-suffixed durations.
+		if part == "0" {
+			out = append(out, 0)
+			continue
+		}
+		v, err := time.ParseDuration(part)
+		if err != nil {
+			fail(fmt.Errorf("rgbsweep: bad duration %q", part))
 		}
 		out = append(out, v)
 	}

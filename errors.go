@@ -28,6 +28,16 @@ var (
 	// outside the hierarchy.
 	ErrQueryLevel = core.ErrQueryLevel
 
+	// ErrPartitioned reports a Partition while a cut is already active.
+	ErrPartitioned = core.ErrPartitioned
+
+	// ErrNotPartitioned reports a Heal with no active cut.
+	ErrNotPartitioned = core.ErrNotPartitioned
+
+	// ErrBadFragment reports a Partition whose fragment does not split
+	// any ring in two.
+	ErrBadFragment = core.ErrBadFragment
+
 	// ErrBadHierarchy reports Open options describing an impossible
 	// hierarchy (height < 1 or ring size < 2).
 	ErrBadHierarchy = errors.New("rgb: hierarchy requires height >= 1 and ring size >= 2")

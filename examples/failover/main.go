@@ -102,18 +102,40 @@ repairScan:
 		fmt.Printf("roster after rejoin: %v\n\n", sys.Node(aps[0]).Roster())
 	})
 
-	// Partition/merge on another ring (future-work extension).
+	// Network partition and heal (the §6 future-work extension) on the
+	// supported Service surface: carve one half of the topmost subtrees
+	// away, let both sides repair into independent fragments, then heal
+	// — the fragments probe each other and merge back into one ring.
+	var frag []rgb.NodeID
+	var nearTop, farTop rgb.NodeID
 	svc.Inspect(func(sys *rgb.System) {
-		sys.StopHeartbeats()
-		other := sys.Node(aps[12])
-		roster := other.Roster()
-		frag := map[rgb.NodeID]bool{roster[3]: true, roster[4]: true, roster[5]: true}
-		kept, split := sys.PartitionRing(other.Ring(), frag)
-		fmt.Printf("partitioned %s: kept leader %s, split leader %s\n", other.Ring(), kept, split)
-		sys.MergeFragments(split, kept)
-		sys.Run()
+		for id, slot := range sys.Hierarchy().SubtreeOwners(2) {
+			if slot == 1 {
+				frag = append(frag, id)
+			}
+		}
+		for _, id := range sys.Hierarchy().Rings()[0].Nodes() {
+			if sys.Hierarchy().SubtreeOwners(2)[id] == 0 {
+				nearTop = id
+			} else {
+				farTop = id
+			}
+		}
+	})
+	fmt.Printf("partitioning %d entities away from the deployment...\n", len(frag))
+	must(svc.Partition(ctx, frag...))
+	svc.Advance(10 * time.Second)
+	svc.Inspect(func(sys *rgb.System) {
+		fmt.Printf("during cut: near fragment roster %v\n", sys.Node(nearTop).Roster())
+		fmt.Printf("during cut: far fragment roster  %v\n", sys.Node(farTop).Roster())
+	})
+
+	fmt.Println("healing the partition...")
+	must(svc.Heal(ctx))
+	svc.Advance(10 * time.Second)
+	svc.Inspect(func(sys *rgb.System) {
 		fmt.Printf("after merge: roster %v, agreement disagreements: %d\n",
-			sys.Node(kept).Roster(), sys.RosterAgreement())
+			sys.Node(nearTop).Roster(), sys.RosterAgreement())
 	})
 }
 

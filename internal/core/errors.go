@@ -30,6 +30,22 @@ var (
 	// ErrQueryLevel reports a Membership-Query against a ring level
 	// outside the hierarchy.
 	ErrQueryLevel = errors.New("query level out of range")
+
+	// ErrPartitionUnsupported reports a network-partition request on a
+	// transport without the partition capability (a real network is
+	// partitioned from outside the process, not through this API).
+	ErrPartitionUnsupported = errors.New("transport does not support partition")
+
+	// ErrPartitioned reports a PartitionNetwork while a cut is active.
+	ErrPartitioned = errors.New("network already partitioned")
+
+	// ErrNotPartitioned reports a HealNetwork with no active cut.
+	ErrNotPartitioned = errors.New("network not partitioned")
+
+	// ErrBadFragment reports a partition fragment that does not split
+	// any ring in two (both sides of every ring would be empty or
+	// whole, so there is nothing to cut).
+	ErrBadFragment = errors.New("partition fragment must cut at least one ring")
 )
 
 // requireAP checks that ap is a bottom-tier access proxy.

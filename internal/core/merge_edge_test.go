@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/runtime"
+	"github.com/rgbproto/rgb/internal/wire"
+)
+
+// TestMergeRequestToCrashedLeaderFragment: the kept fragment's leader
+// crashes while the partition holds, and the MergeRequest lands on a
+// surviving non-leader. The receiver must apply the deterministic
+// leader repair first (electing the successor) and still complete the
+// merge — either by becoming leader itself or forwarding to the
+// repaired one.
+func TestMergeRequestToCrashedLeaderFragment(t *testing.T) {
+	sys := NewSystem(quietConfig(2, 6))
+	apNode := sys.Node(sys.APs()[0])
+	ringID := apNode.Ring()
+	roster := apNode.Roster()
+
+	sys.JoinMemberAt(ids.GUID(1), roster[0])
+	sys.JoinMemberAt(ids.GUID(2), roster[4])
+	sys.Run()
+
+	frag := map[ids.NodeID]bool{roster[3]: true, roster[4]: true, roster[5]: true}
+	keptLeader, splitLeader := sys.PartitionRing(ringID, frag)
+	sys.Run()
+
+	// The kept leader dies mid-partition; nothing has detected it yet
+	// when the merge request arrives at a surviving kept member.
+	survivor := sys.Node(keptLeader).Roster()[1]
+	sys.CrashNE(keptLeader)
+	sys.MergeFragments(splitLeader, survivor)
+	sys.Run()
+
+	// The merge completed over the repaired fragment: every survivor
+	// holds the 5-node merged roster (6 minus the crashed old leader)
+	// and agrees on it.
+	for _, id := range roster {
+		if id == keptLeader {
+			continue
+		}
+		n := sys.Node(id)
+		if got := len(n.Roster()); got != 5 {
+			t.Errorf("node %s roster size after merge = %d, want 5", id, got)
+		}
+		if n.rosterContains(keptLeader) {
+			t.Errorf("node %s still lists the crashed leader %s", id, keptLeader)
+		}
+	}
+	if sys.RosterAgreement() != 0 {
+		t.Error("rosters diverged after merge over a crashed leader")
+	}
+	// Membership survived the partition, crash and merge.
+	sn := sys.Node(survivor)
+	if !sn.RingMembers().Contains(1) || !sn.RingMembers().Contains(2) {
+		t.Error("ring membership lost across crashed-leader merge")
+	}
+}
+
+// TestMergeRequestReplayIsNoOp: a duplicated MergeRequest (the fault
+// injector's replay, or a retransmitted control datagram) arriving
+// after the fragment already merged must change nothing.
+func TestMergeRequestReplayIsNoOp(t *testing.T) {
+	sys := NewSystem(quietConfig(2, 6))
+	apNode := sys.Node(sys.APs()[0])
+	ringID := apNode.Ring()
+	roster := apNode.Roster()
+
+	sys.JoinMemberAt(ids.GUID(1), roster[0])
+	sys.Run()
+
+	frag := map[ids.NodeID]bool{roster[3]: true, roster[4]: true, roster[5]: true}
+	keptLeader, splitLeader := sys.PartitionRing(ringID, frag)
+	sys.Run()
+
+	// Capture the exact request the fragment leader would send, then
+	// deliver it twice.
+	fl := sys.Node(splitLeader)
+	req := wire.MergeRequest{Roster: fl.Roster(), Members: fl.ringMems.Snapshot()}
+	sys.send(splitLeader, keptLeader, runtime.KindControl, req)
+	sys.Run()
+
+	want := sys.Node(keptLeader).Roster()
+	if got := len(want); got != 6 {
+		t.Fatalf("merged roster size = %d, want 6", got)
+	}
+	wantMembers := len(sys.GlobalMembership())
+	wantRepairs := len(sys.Repairs())
+
+	sys.send(splitLeader, keptLeader, runtime.KindControl, req) // replay
+	sys.Run()
+
+	if got := sys.Node(keptLeader).Roster(); !sameRoster(want, got) {
+		t.Errorf("replay changed the roster: %v -> %v", want, got)
+	}
+	if got := len(sys.GlobalMembership()); got != wantMembers {
+		t.Errorf("replay changed membership: %d -> %d", wantMembers, got)
+	}
+	if got := len(sys.Repairs()); got != wantRepairs {
+		t.Errorf("replay triggered repairs: %d -> %d", wantRepairs, got)
+	}
+	if sys.RosterAgreement() != 0 {
+		t.Error("rosters diverged after replayed merge request")
+	}
+}
+
+// TestMergeRequestEmptyAndForeignIgnored: a MergeRequest with an empty
+// roster (a fragment that lost everyone) and one whose roster belongs
+// to a different ring (misrouted or corrupted) are both dropped
+// without touching the receiver's state.
+func TestMergeRequestEmptyAndForeignIgnored(t *testing.T) {
+	sys := NewSystem(quietConfig(2, 5))
+	apNode := sys.Node(sys.APs()[0])
+	leader := apNode.Leader()
+	want := sys.Node(leader).Roster()
+
+	other := sys.Node(sys.APs()[5]) // a different AP ring entirely
+	foreign := wire.MergeRequest{Roster: other.Roster()}
+
+	sys.send(other.ID(), leader, runtime.KindControl, wire.MergeRequest{})
+	sys.send(other.ID(), leader, runtime.KindControl, foreign)
+	sys.Run()
+
+	if got := sys.Node(leader).Roster(); !sameRoster(want, got) {
+		t.Errorf("empty/foreign merge requests changed the roster: %v -> %v", want, got)
+	}
+	for _, id := range other.Roster() {
+		if sys.Node(leader).rosterContains(id) {
+			t.Errorf("foreign ring node %s folded into the roster", id)
+		}
+	}
+	if sys.RosterAgreement() != 0 {
+		t.Error("rosters diverged after ignored merge requests")
+	}
+}

@@ -249,6 +249,13 @@ func (n *Node) HandleMessage(msg runtime.Message) {
 		n.receiveMergeRequest(body)
 	case wire.HolderAck:
 		// Informational at NEs; MH endpoints consume theirs directly.
+	case wire.Probe:
+		n.receiveProbe(msg.From)
+	case wire.QueryReply, wire.TreeProposal:
+		// Addressed to query apps / planners; a misrouted or faulted
+		// copy arriving at a network entity is ignored.
+	case nil:
+		// A corrupted frame can decode to an empty payload; drop it.
 	default:
 		panic(fmt.Sprintf("core: %s got unknown message %T", n.id, msg.Body))
 	}
@@ -316,8 +323,15 @@ func (n *Node) startRound(dir token.Direction, source ring.ID, extra mq.Batch) {
 // receiveToken is the per-node body of Figure 3 for a token arriving
 // from the predecessor.
 func (n *Node) receiveToken(tok *token.Token, from ids.NodeID) {
+	if tok == nil || tok.Ring != n.ringID {
+		// A misrouted or corrupted token from another ring must not be
+		// acknowledged (the real successor's timer should still fire)
+		// and must never execute here.
+		return
+	}
 	// Acknowledge the pass so the sender's retransmission timer stops.
 	n.sys.send(n.id, from, runtime.KindControl, wire.PassAck{Ring: tok.Ring, Round: tok.Round})
+	n.sys.noteTokenSeen(n.ringID)
 
 	// Retransmission can deliver the same token twice (the first copy
 	// arrived but its acknowledgement was lost); execute only once.
@@ -633,6 +647,11 @@ func (n *Node) receiveNotifyAck(a wire.NotifyAck) {
 // pre-crash view may wrongly claim leadership — so it re-routes to a
 // current ring-mate.
 func (n *Node) receiveJoinRequest(req wire.JoinRequest) {
+	if req.Node.IsZero() || !n.sys.sameRing(req.Node, n.id) {
+		// Misrouted (or corrupted): admitting a foreign entity would
+		// corrupt this ring's roster.
+		return
+	}
 	if n.sys.neStale(n.id) {
 		for _, peer := range n.roster {
 			if peer != n.id && peer != req.Node && !n.sys.tr.Crashed(peer) && !n.sys.neStale(peer) {
@@ -658,6 +677,10 @@ func (n *Node) receiveJoinRequest(req wire.JoinRequest) {
 // receiveSnapshot initializes this node from a leader's state after
 // rejoin and lifts the staleness quarantine.
 func (n *Node) receiveSnapshot(s wire.Snapshot) {
+	if !s.Leader.IsZero() && !n.sys.sameRing(s.Leader, n.id) {
+		// Misrouted: another ring's state must not overwrite this one.
+		return
+	}
 	n.roster = append([]ids.NodeID(nil), s.Roster...)
 	// Adopt the current leader BEFORE self-insertion: the insert
 	// position (right after the leader) must match where the other
@@ -678,9 +701,29 @@ func (n *Node) receiveSnapshot(s wire.Snapshot) {
 // next token can traverse the united ring), and circulate NE-Join
 // operations so every member of the kept fragment converges too.
 func (n *Node) receiveMergeRequest(req wire.MergeRequest) {
+	if len(req.Roster) == 0 {
+		return // an empty fragment carries nothing to merge
+	}
+	for _, m := range req.Roster {
+		if !n.sys.sameRing(m, n.id) {
+			// Misrouted or corrupted: a foreign ring's fragment must
+			// not be folded into this roster.
+			return
+		}
+	}
 	if !n.isLeader() {
-		n.sys.send(n.id, n.leader, runtime.KindControl, req)
-		return
+		if n.sys.tr.Crashed(n.leader) {
+			// The target fragment lost its leader before the merge
+			// arrived: apply the deterministic repair (electing the
+			// successor) so the request still lands on a live leader.
+			dead := n.leader
+			n.sys.noteRepair(n.ringID, dead)
+			n.excludeFromRoster(dead)
+		}
+		if !n.isLeader() {
+			n.sys.send(n.id, n.leader, runtime.KindControl, req)
+			return
+		}
 	}
 	incoming := ids.NewMemberList()
 	for _, m := range req.Members {
@@ -689,15 +732,43 @@ func (n *Node) receiveMergeRequest(req wire.MergeRequest) {
 	n.ringMems.MergeFrom(incoming)
 	var joiners []ids.NodeID
 	for _, joined := range req.Roster {
-		if !n.rosterContains(joined) {
+		if joined != n.id && !n.rosterContains(joined) {
 			joiners = append(joiners, joined)
 			n.insertIntoRoster(joined)
 		}
 	}
+	if len(joiners) == 0 {
+		return // duplicate delivery (replay): the fragment already merged
+	}
+	// Snapshot the merged state to every other ring member, not only
+	// the joiners: the NE-Join operations circulated below extend the
+	// kept side's rosters but carry no membership records, so the
+	// merged ListOfRingMembers must ship explicitly.
 	snap := wire.Snapshot{Roster: n.Roster(), Leader: n.id, Members: n.ringMems.Snapshot()}
+	for _, m := range n.roster {
+		if m != n.id {
+			n.sys.send(n.id, m, runtime.KindControl, snap)
+		}
+	}
 	for _, j := range joiners {
-		n.sys.send(n.id, j, runtime.KindControl, snap)
 		n.queue.Insert(mq.Change{Op: mq.OpNEJoin, NE: j, Origin: n.id, Seq: n.nextSeq()})
 	}
 	n.sys.requestRound(n, token.FromLocal, ring.ID{})
+}
+
+// receiveProbe answers the heartbeat's merge probe (see
+// System.probeExcluded): a live leader of a fragment that does not
+// contain the prober folds its fragment into the prober's by sending a
+// MergeRequest — but only when this side's ID is the higher one, so
+// exactly one of two mutually-probing fragment leaders initiates and
+// the merge direction is deterministic.
+func (n *Node) receiveProbe(from ids.NodeID) {
+	if from.IsZero() || n.rosterContains(from) || !n.sys.sameRing(from, n.id) ||
+		!n.isLeader() || n.sys.neStale(n.id) || n.id <= from {
+		return
+	}
+	n.sys.send(n.id, from, runtime.KindControl, wire.MergeRequest{
+		Roster:  n.Roster(),
+		Members: n.ringMems.Snapshot(),
+	})
 }

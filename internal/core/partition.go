@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/ring"
 	"github.com/rgbproto/rgb/internal/runtime"
 	"github.com/rgbproto/rgb/internal/wire"
 )
@@ -94,6 +95,163 @@ func (s *System) MergeFragments(fragmentLeader, keptLeader ids.NodeID) {
 		if n := s.nodes[m]; n != nil {
 			n.parentOK = true
 		}
+	}
+}
+
+// netSplit records one ring's partition so HealNetwork knows which
+// fragment pairs to merge back.
+type netSplit struct {
+	ring        ring.ID
+	keptLeader  ids.NodeID
+	splitLeader ids.NodeID
+}
+
+// PartitionNetwork partitions the whole deployment: the entities in
+// `fragment` (plus the mobile hosts attached to them) are severed from
+// the rest at the transport level — every message crossing the cut is
+// dropped — and every ring spanning the cut is split into two
+// fragments with PartitionRing. The far side keeps functioning as an
+// isolated sub-hierarchy; HealNetwork reverses the cut and merges the
+// fragments back.
+//
+// Only transports with the partition capability (the simulator)
+// support this; elsewhere it returns ErrPartitionUnsupported. A second
+// partition before HealNetwork returns ErrPartitioned, and a fragment
+// that does not split any ring returns ErrBadFragment.
+func (s *System) PartitionNetwork(fragment []ids.NodeID) error {
+	p, ok := runtime.AsPartitionable(s.tr)
+	if !ok {
+		return fmt.Errorf("core: %w", ErrPartitionUnsupported)
+	}
+	if s.netCut {
+		return fmt.Errorf("core: %w", ErrPartitioned)
+	}
+	far := make(map[ids.NodeID]bool, len(fragment))
+	for _, id := range fragment {
+		far[id] = true
+	}
+	// Plan the ring surgery first: a ring is cut when its surviving
+	// roster members land on both sides. The side away from the ring's
+	// parent becomes the split-off fragment (it loses the parent link);
+	// the topmost ring has no parent, so there the far side splits off.
+	type ringPlan struct {
+		id   ring.ID
+		frag map[ids.NodeID]bool
+	}
+	var plans []ringPlan
+	for _, rg := range s.hier.Rings() {
+		splitFar := !far[s.hier.ParentOf(rg.ID())]
+		frag := make(map[ids.NodeID]bool)
+		nearCount, farCount := 0, 0
+		for _, m := range rg.Nodes() {
+			n := s.nodes[m]
+			if n == nil || !n.rosterContains(m) {
+				continue
+			}
+			if far[m] {
+				farCount++
+			} else {
+				nearCount++
+			}
+			if far[m] == splitFar {
+				frag[m] = true
+			}
+		}
+		if nearCount > 0 && farCount > 0 {
+			plans = append(plans, ringPlan{id: rg.ID(), frag: frag})
+		}
+	}
+	if len(plans) == 0 {
+		return fmt.Errorf("core: %w", ErrBadFragment)
+	}
+	// Install the transport cut before the ring surgery, so the kept
+	// leaders' LeaderUpdate notifications already see the partitioned
+	// network. Mobile hosts sit on the side of their serving AP.
+	p.Partition(func(id ids.NodeID) bool {
+		if m, ok := s.mhOwner[id]; ok {
+			return far[m.AP]
+		}
+		return far[id]
+	})
+	s.netCut = true
+	for _, pl := range plans {
+		kept, split := s.PartitionRing(pl.id, pl.frag)
+		s.netSplits = append(s.netSplits, netSplit{ring: pl.id, keptLeader: kept, splitLeader: split})
+	}
+	return nil
+}
+
+// HealNetwork removes the transport cut and merges every recorded ring
+// split back together (MergeFragments from the current split-side
+// leader to the current kept-side leader — either may have changed
+// through crashes while partitioned). Returns ErrNotPartitioned
+// without an active cut.
+func (s *System) HealNetwork() error {
+	if !s.netCut {
+		return fmt.Errorf("core: %w", ErrNotPartitioned)
+	}
+	p, ok := runtime.AsPartitionable(s.tr)
+	if !ok {
+		return fmt.Errorf("core: %w", ErrPartitionUnsupported)
+	}
+	p.Heal()
+	s.netCut = false
+	splits := s.netSplits
+	s.netSplits = nil
+	for _, sp := range splits {
+		fl := s.fragmentLeader(sp.splitLeader)
+		kl := s.fragmentLeader(sp.keptLeader)
+		if fl.IsZero() || kl.IsZero() || fl == kl {
+			continue
+		}
+		s.MergeFragments(fl, kl)
+	}
+	return nil
+}
+
+// fragmentLeader resolves the current leader of the fragment that
+// `recorded` led when the partition was installed: the recorded node
+// itself if it is live and still believes it leads, else the leader
+// view of the fragment's first surviving member. Zero when the whole
+// fragment died.
+func (s *System) fragmentLeader(recorded ids.NodeID) ids.NodeID {
+	n := s.nodes[recorded]
+	if n == nil {
+		return 0
+	}
+	if !s.tr.Crashed(recorded) && n.leader == n.id {
+		return recorded
+	}
+	for _, m := range n.roster {
+		if s.tr.Crashed(m) {
+			continue
+		}
+		fn := s.nodes[m]
+		if fn == nil {
+			continue
+		}
+		if l := s.nodes[fn.leader]; l != nil && !s.tr.Crashed(fn.leader) {
+			return fn.leader
+		}
+		return fn.id
+	}
+	return 0
+}
+
+// probeExcluded is the heartbeat-driven organic merge path: the ring
+// leader probes every statically-known ring-mate missing from its
+// roster (a crashed entity, or the other side of a healed partition —
+// fragments repair symmetrically, so neither side would otherwise ever
+// contact the other again). A live excluded leader answers with a
+// MergeRequest when the ID order says it is the one that folds in (see
+// Node.receiveProbe).
+func (s *System) probeExcluded(leader *Node, ringNodes []ids.NodeID) {
+	for _, m := range ringNodes {
+		if m == leader.id || leader.rosterContains(m) || s.tr.Crashed(m) || s.neStale(m) {
+			continue
+		}
+		s.probeSeq++
+		s.send(leader.id, m, runtime.KindControl, wire.Probe{Seq: s.probeSeq})
 	}
 }
 

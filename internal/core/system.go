@@ -85,8 +85,29 @@ type System struct {
 	nodes   map[ids.NodeID]*Node
 	members map[ids.GUID]*Member
 
+	// mhOwner resolves an MH message endpoint to its Member record, so
+	// a network cut can classify mobile-host traffic by the side its
+	// serving AP is on.
+	mhOwner map[ids.NodeID]*Member
+
+	// Network-partition state (PartitionNetwork/HealNetwork): the
+	// recorded per-ring splits to merge back on heal, and the active-cut
+	// flag.
+	netSplits []netSplit
+	netCut    bool
+
+	// probeSeq numbers the merge probes the heartbeat sends to
+	// roster-excluded ring-mates.
+	probeSeq uint64
+
 	ringBusy    map[ring.ID]bool
 	ringPending map[ring.ID][]pendingRound
+
+	// ringLastTok tracks when a locally-owned node of each ring last saw
+	// a circulating token. With heartbeats on, prolonged silence means
+	// this process's ring fragment has no reachable leader (killed or
+	// cut away in another process) — the trigger for leader suspicion.
+	ringLastTok map[ring.ID]runtime.Time
 
 	mhOrdinal int
 	luidSeq   map[ids.NodeID]uint32
@@ -146,8 +167,10 @@ func NewSystemOn(cfg Config, rt runtime.Runtime) *System {
 		rng:         mathx.NewRNG(cfg.Seed ^ 0x9b2e5f4ac3d17086),
 		nodes:       make(map[ids.NodeID]*Node, total),
 		members:     make(map[ids.GUID]*Member),
+		mhOwner:     make(map[ids.NodeID]*Member),
 		ringBusy:    make(map[ring.ID]bool, len(leaderOf)),
 		ringPending: make(map[ring.ID][]pendingRound, len(leaderOf)),
+		ringLastTok: make(map[ring.ID]runtime.Time, len(leaderOf)),
 		luidSeq:     make(map[ids.NodeID]uint32),
 		staleNE:     make(map[ids.NodeID]bool),
 	}
@@ -396,19 +419,74 @@ func (s *System) startHeartbeats() {
 		if !anyOwned {
 			continue
 		}
+		s.ringLastTok[id] = s.clock.Now()
+		// A round's token can die with its carrier (kill -9 of the
+		// process holding it after it acknowledged the pass): the local
+		// holder then waits forever and the ring stays busy. Declare the
+		// token lost after a silence exceeding the worst-case repair
+		// walk (every ring-mate excluded back to back), release the
+		// ring, and let heartbeat rounds and leader suspicion take over.
+		lostAfter := time.Duration(len(ringNodes)) *
+			time.Duration(s.cfg.Retransmit.MaxRetries+1) * s.cfg.RetransmitTimeout
+		if w := 5 * s.cfg.HeartbeatInterval; w > lostAfter {
+			lostAfter = w
+		}
 		t := s.clock.Every(s.cfg.HeartbeatInterval, func() {
 			if s.ringBusy[id] {
+				if s.clock.Now().Sub(s.ringLastTok[id]) > lostAfter {
+					s.ringBusy[id] = false
+					s.noteTokenSeen(id)
+					s.dispatchPending(id)
+				}
 				return
 			}
 			leaderNode := s.currentLeaderOf(ringNodes)
 			if leaderNode == nil {
+				s.suspectSilentLeader(id, ringNodes)
 				return
 			}
+			s.probeExcluded(leaderNode, ringNodes)
 			s.ringBusy[id] = true
 			leaderNode.startRound(token.FromLocal, ring.ID{}, nil)
 		})
 		s.heartbeats = append(s.heartbeats, t)
 	}
+}
+
+// noteTokenSeen stamps ring liveness: a circulating token proves the
+// ring's current leader regime is functioning, so leader suspicion
+// starts its silence window over.
+func (s *System) noteTokenSeen(id ring.ID) { s.ringLastTok[id] = s.clock.Now() }
+
+// suspectSilentLeader is the heartbeat fallback for a ring fragment
+// with no locally-reachable leader: every member of this process's
+// fragment believes some node in another process leads the ring, so
+// nothing here ever starts a heartbeat round — and if that remote
+// leader is dead (kill -9) or cut away (partition), the fragment would
+// stay wedged forever, never repairing and never answering merge
+// probes. After a silence of five heartbeat intervals without any
+// circulating token, the first live local member excludes its believed
+// leader; successive ticks walk the leadership to a live local node,
+// which resumes beating (and with it pass-timeout repair and the
+// probe/merge path).
+func (s *System) suspectSilentLeader(id ring.ID, ringNodes []ids.NodeID) {
+	var n *Node
+	for _, m := range ringNodes {
+		if c := s.nodes[m]; c != nil && !s.tr.Crashed(m) && !s.neStale(m) {
+			n = c
+			break
+		}
+	}
+	if n == nil || n.leader == n.id || !n.rosterContains(n.id) {
+		return
+	}
+	if s.clock.Now().Sub(s.ringLastTok[id]) < 5*s.cfg.HeartbeatInterval {
+		return
+	}
+	dead := n.leader
+	s.noteRepair(id, dead)
+	n.excludeFromRoster(dead)
+	s.noteTokenSeen(id)
 }
 
 // currentLeaderOf finds a locally-owned, live node of the ring whose
@@ -456,6 +534,7 @@ func (s *System) newMemberAt(guid ids.GUID, ap ids.NodeID) *Member {
 		}
 		s.mhOrdinal++
 		s.members[guid] = m
+		s.mhOwner[m.node] = m
 		s.tr.Register(m.node, m)
 	}
 	// The care-of identity is minted from this System's per-AP

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/rgbproto/rgb/internal/core"
+	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/mathx"
 	"github.com/rgbproto/rgb/internal/metrics"
 	"github.com/rgbproto/rgb/internal/simnet"
@@ -45,6 +46,11 @@ type Scenario struct {
 
 	Duration time.Duration `json:"duration_ns"` // virtual scenario length
 	Queries  int           `json:"queries"`     // membership queries measured per run
+
+	// Partition, when positive, cuts the network mid-run: one topmost
+	// subtree is split away at Duration/2 and healed Partition later,
+	// exercising the fragment/merge protocol under the cell's churn.
+	Partition time.Duration `json:"partition_ns,omitempty"`
 }
 
 // Name renders the cell's canonical key, stable across runs and used
@@ -61,6 +67,9 @@ func (sc Scenario) Name() string {
 	}
 	if sc.Crash > 0 {
 		fmt.Fprintf(&b, ",crash=%d", sc.Crash)
+	}
+	if sc.Partition > 0 {
+		fmt.Fprintf(&b, ",part=%s", sc.Partition)
 	}
 	fmt.Fprintf(&b, ",%s,%s", sc.Dissemination, sc.Scheme)
 	return b.String()
@@ -213,6 +222,7 @@ func RunScenario(sc Scenario, seed uint64) RunResult {
 	}, 1)
 	core.ApplyTrace(sys, tr)
 	scheduleCrashes(sys, sc, seed)
+	schedulePartition(sys, sc)
 
 	t0 := sys.Clock().Now()
 	sys.RunFor(sc.Duration + 30*time.Second)
@@ -270,6 +280,31 @@ func scheduleCrashes(sys *core.System, sc Scenario, seed uint64) {
 		victim := all[idx]
 		clock.After(sc.Duration/2, func() { sys.CrashNE(victim) })
 	}
+}
+
+// schedulePartition arms the scenario's mid-run network partition: the
+// second topmost subtree (slot 1 of a 2-way deterministic hierarchy
+// split) is cut away at Duration/2 and the network heals sc.Partition
+// later, leaving the drain window to complete the fragment merge. The
+// cut is a deterministic function of the hierarchy shape alone, so
+// every seed of a cell partitions the same entities.
+func schedulePartition(sys *core.System, sc Scenario) {
+	if sc.Partition <= 0 {
+		return
+	}
+	owners := sys.Hierarchy().SubtreeOwners(2)
+	var frag []ids.NodeID
+	for id, slot := range owners {
+		if slot == 1 {
+			frag = append(frag, id)
+		}
+	}
+	clock := sys.Clock()
+	// Errors are deliberately swallowed: under heavy churn or crashes
+	// the fragment may have lost all live members by Duration/2, and a
+	// cell that cannot cut simply measures its other faults.
+	clock.After(sc.Duration/2, func() { _ = sys.PartitionNetwork(frag) })
+	clock.After(sc.Duration/2+sc.Partition, func() { _ = sys.HealNetwork() })
 }
 
 // measureQueries runs the cell's query workload after the scenario

@@ -22,6 +22,7 @@ type Grid struct {
 	HopRate       []float64
 	Loss          []float64
 	Crash         []int
+	Partition     []time.Duration // mid-run partition hold times; 0 = no cut
 	Dissemination []core.DisseminationMode
 	Schemes       []string // "tms", "bms", "ims:<level>"
 
@@ -40,6 +41,7 @@ var (
 	defaultHop     = []float64{0}
 	defaultLoss    = []float64{0}
 	defaultCrash   = []int{0}
+	defaultPart    = []time.Duration{0}
 	defaultDiss    = []core.DisseminationMode{core.DisseminateFull}
 	defaultSchemes = []string{"tms"}
 )
@@ -69,6 +71,9 @@ func (g Grid) normalized() Grid {
 	g.HopRate = orFloats(g.HopRate, defaultHop)
 	g.Loss = orFloats(g.Loss, defaultLoss)
 	g.Crash = orInts(g.Crash, defaultCrash)
+	if len(g.Partition) == 0 {
+		g.Partition = defaultPart
+	}
 	if len(g.Dissemination) == 0 {
 		g.Dissemination = defaultDiss
 	}
@@ -115,6 +120,11 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("experiment: negative crash count %d", c)
 		}
 	}
+	for _, p := range n.Partition {
+		if p < 0 {
+			return fmt.Errorf("experiment: negative partition duration %s", p)
+		}
+	}
 	for _, s := range n.Schemes {
 		// Resolve against the tallest hierarchy; ResolveScheme clamps
 		// deep IMS levels per cell, so the name is valid for all H.
@@ -137,7 +147,7 @@ func (g Grid) Size() int {
 	return len(n.H) * len(n.R) * len(n.Members) *
 		len(n.JoinRate) * len(n.LeaveRate) * len(n.FailRate) *
 		len(n.HopRate) * len(n.Loss) * len(n.Crash) *
-		len(n.Dissemination) * len(n.Schemes)
+		len(n.Partition) * len(n.Dissemination) * len(n.Schemes)
 }
 
 // Expand crosses every axis into the full cell list, in a fixed
@@ -156,17 +166,20 @@ func (g Grid) Expand() []Scenario {
 							for _, hop := range n.HopRate {
 								for _, loss := range n.Loss {
 									for _, crash := range n.Crash {
-										for _, diss := range n.Dissemination {
-											for _, scheme := range n.Schemes {
-												cells = append(cells, Scenario{
-													H: h, R: r, Members: m,
-													JoinRate: join, LeaveRate: leave, FailRate: fail,
-													HopRate: hop, Loss: loss, Crash: crash,
-													Dissemination: diss.String(),
-													Scheme:        scheme,
-													Duration:      n.Duration,
-													Queries:       n.Queries,
-												})
+										for _, part := range n.Partition {
+											for _, diss := range n.Dissemination {
+												for _, scheme := range n.Schemes {
+													cells = append(cells, Scenario{
+														H: h, R: r, Members: m,
+														JoinRate: join, LeaveRate: leave, FailRate: fail,
+														HopRate: hop, Loss: loss, Crash: crash,
+														Partition:     part,
+														Dissemination: diss.String(),
+														Scheme:        scheme,
+														Duration:      n.Duration,
+														Queries:       n.Queries,
+													})
+												}
 											}
 										}
 									}

@@ -67,7 +67,8 @@ func (k Kind) String() string {
 type Stats struct {
 	Sent      uint64           // messages submitted to Send
 	Delivered uint64           // messages actually delivered
-	Dropped   uint64           // lost to crash or random loss
+	Dropped   uint64           // lost to crash, random loss, or a cut
+	Cut       uint64           // dropped by an active partition cut or block rule (also counted in Dropped)
 	ByKind    [numKinds]uint64 // delivered, per kind
 }
 

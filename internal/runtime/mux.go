@@ -353,6 +353,10 @@ func (m *NetMux) NetStats() NetStats {
 			ns.Relayed += v.tr.nstats.Relayed
 			ns.TTLExpired += v.tr.nstats.TTLExpired
 			ns.Oversize += v.tr.nstats.Oversize
+			ns.FaultCorrupt += v.tr.nstats.FaultCorrupt
+			ns.FaultReplay += v.tr.nstats.FaultReplay
+			ns.FaultMisroute += v.tr.nstats.FaultMisroute
+			ns.FaultReorder += v.tr.nstats.FaultReorder
 		})
 	}
 	return ns

@@ -74,6 +74,12 @@ type NetConfig struct {
 	// loss-model experiments run unchanged on the networked substrate.
 	Loss float64
 
+	// Faults configures adversarial egress fault injection (corrupt,
+	// duplicate/replay, misroute, reorder) on the encoded datagrams —
+	// the networked twin of the engine-level FaultTransport. A zero
+	// Faults.Seed derives from Seed. Inactive by default.
+	Faults FaultPlan
+
 	// TTL is the relay hop budget stamped on egress frames (default 8).
 	TTL uint8
 
@@ -103,6 +109,12 @@ type NetStats struct {
 	Relayed        uint64 // frames forwarded toward their owner
 	TTLExpired     uint64 // relay candidates dropped at TTL exhaustion
 	Oversize       uint64 // frames larger than one UDP datagram, dropped
+
+	// Fault-injection counters (NetConfig.Faults; zero when inactive).
+	FaultCorrupt  uint64 // datagrams bit-flipped on egress
+	FaultReplay   uint64 // datagrams written twice
+	FaultMisroute uint64 // datagrams sent to a random peer
+	FaultReorder  uint64 // datagrams held back and released after the next send
 }
 
 // netSock is the shared socket of a networked runtime: the one UDP
@@ -391,8 +403,27 @@ func (rt *NetRuntime) NetStats() NetStats {
 		ns.Relayed = rt.tr.nstats.Relayed
 		ns.TTLExpired = rt.tr.nstats.TTLExpired
 		ns.Oversize = rt.tr.nstats.Oversize
+		ns.FaultCorrupt = rt.tr.nstats.FaultCorrupt
+		ns.FaultReplay = rt.tr.nstats.FaultReplay
+		ns.FaultMisroute = rt.tr.nstats.FaultMisroute
+		ns.FaultReorder = rt.tr.nstats.FaultReorder
 	})
 	return ns
+}
+
+// Block cuts traffic to and from the given peer slots until Unblock:
+// egress datagrams to them and ingress datagrams from them are dropped
+// and counted in Stats.Cut. This is the networked substrate's
+// partition primitive — process-level, driven from outside the
+// protocol (the chaos harness), unlike the simulator's entity-level
+// Partitionable cut. The runtime's own slot is never blocked.
+func (rt *NetRuntime) Block(slots ...int) {
+	rt.eng.do(func() { rt.tr.block(slots) })
+}
+
+// Unblock removes the blocked-peer cut installed by Block.
+func (rt *NetRuntime) Unblock() {
+	rt.eng.do(func() { rt.tr.block(nil) })
 }
 
 // quiescent reports local quiescence: no pending timers or queued
@@ -484,6 +515,20 @@ type netTransport struct {
 	ttl   uint8
 	group ids.GroupID // tag stamped on egress when the message has none
 
+	// Fault injection (NetConfig.Faults): a dedicated RNG so faults do
+	// not perturb the loss-emulation stream, plus the one datagram held
+	// back by the reorder fault.
+	faults   FaultPlan
+	frng     *mathx.RNG
+	heldBuf  []byte
+	heldAddr *net.UDPAddr
+
+	// blocked, when non-nil, cuts traffic to/from the listed peer
+	// addresses (the chaos harness's process-level partition: both
+	// egress writes and ingress dispatches are dropped and counted in
+	// Stats.Cut). Keyed by resolved address string.
+	blocked map[string]bool
+
 	// learned holds return addresses observed for transient endpoints
 	// (mobile hosts, query apps) that no static entry covers.
 	learned map[ids.NodeID]*net.UDPAddr
@@ -510,6 +555,10 @@ func (t *netTransport) idleFor(d time.Duration) bool {
 // runtime. sock, book and bufs may be shared (NetMux); eng/clock are
 // the owning engine shard.
 func newNetTransport(eng *engineCore, clock *liveClock, sock *netSock, book *netBook, bufs *netBufs, cfg NetConfig, group ids.GroupID) *netTransport {
+	fseed := cfg.Faults.Seed
+	if fseed == 0 {
+		fseed = cfg.Seed ^ 0xfa17fa17fa17fa17
+	}
 	t := &netTransport{
 		eng:     eng,
 		clock:   clock,
@@ -520,6 +569,8 @@ func newNetTransport(eng *engineCore, clock *liveClock, sock *netSock, book *net
 		loss:    cfg.Loss,
 		ttl:     cfg.TTL,
 		group:   group,
+		faults:  cfg.Faults,
+		frng:    mathx.NewRNG(fseed),
 		learned: make(map[ids.NodeID]*net.UDPAddr),
 		local:   make(map[ids.NodeID]Endpoint),
 		crashed: make(map[ids.NodeID]bool),
@@ -528,11 +579,35 @@ func newNetTransport(eng *engineCore, clock *liveClock, sock *netSock, book *net
 	return t
 }
 
+// block installs (or, with nil, clears) the blocked-peer set: the
+// slots' addresses are cut in both directions. The self slot is never
+// blocked — on this substrate even node-local messages cross the
+// socket via the loopback address, so blocking self would sever a
+// process from itself rather than partition it from peers.
+func (t *netTransport) block(slots []int) {
+	if slots == nil {
+		t.blocked = nil
+		return
+	}
+	t.blocked = make(map[string]bool, len(slots))
+	for _, s := range slots {
+		if s == t.book.selfIndex || s < 0 || s >= len(t.book.peers) {
+			continue
+		}
+		t.blocked[t.book.peers[s].String()] = true
+	}
+}
+
 // dispatch runs on the transport's engine goroutine: return-address
 // learning, local delivery or relay.
 func (t *netTransport) dispatch(f wire.Frame, src *net.UDPAddr) {
 	defer t.eng.pending.Add(-1)
 	t.touch()
+	if t.blocked != nil && src != nil && t.blocked[src.String()] {
+		t.stats.Dropped++
+		t.stats.Cut++
+		return
+	}
 	// Return-address learning: transient endpoints (MHs, query apps)
 	// are not in the static book; remember where their traffic comes
 	// from so replies route back. Static entries are never overridden,
@@ -590,13 +665,10 @@ func (t *netTransport) relay(f wire.Frame) {
 		t.stats.Dropped++
 		return
 	}
-	if _, err := t.sock.conn.WriteToUDP(t.bufs.relayBuf, addr); err != nil {
-		t.stats.Dropped++
+	if !t.writeDatagram(t.bufs.relayBuf, addr) {
 		return
 	}
 	t.nstats.Relayed++
-	t.touch()
-	t.sock.touch()
 }
 
 // route resolves a destination: local endpoints to self, hierarchy
@@ -691,12 +763,71 @@ func (t *netTransport) Send(msg Message) {
 		t.stats.Dropped++
 		return
 	}
+	if t.faults.Active() {
+		t.sendFaulted(buf, addr)
+		return
+	}
+	t.writeDatagram(buf, addr)
+}
+
+// writeDatagram is the single egress point under the Send/relay
+// accounting: it applies the blocked-peer cut, writes the datagram and
+// refreshes the activity clocks, reporting whether the write happened.
+func (t *netTransport) writeDatagram(buf []byte, addr *net.UDPAddr) bool {
+	if t.blocked != nil && t.blocked[addr.String()] {
+		t.stats.Dropped++
+		t.stats.Cut++
+		return false
+	}
 	if _, err := t.sock.conn.WriteToUDP(buf, addr); err != nil {
 		t.stats.Dropped++
-		return
+		return false
 	}
 	t.touch()
 	t.sock.touch()
+	return true
+}
+
+// sendFaulted runs one encoded datagram through the reorder gate (hold
+// it back, release it after the next send) and everything else through
+// writeFaulted. The held datagram is copied: buf aliases a reusable
+// per-peer encode buffer that the next send overwrites.
+func (t *netTransport) sendFaulted(buf []byte, addr *net.UDPAddr) {
+	heldBuf, heldAddr := t.heldBuf, t.heldAddr
+	t.heldBuf, t.heldAddr = nil, nil
+	if t.faults.Reorder > 0 && t.frng.Bernoulli(t.faults.Reorder) {
+		t.heldBuf = append([]byte(nil), buf...)
+		t.heldAddr = addr
+		t.nstats.FaultReorder++
+	} else {
+		t.writeFaulted(buf, addr)
+	}
+	if heldBuf != nil {
+		t.writeFaulted(heldBuf, heldAddr)
+	}
+}
+
+// writeFaulted applies the corrupt/misroute/duplicate faults to one
+// encoded datagram and writes the result(s). Corruption flips a byte
+// in place — the receiver's codec sees exactly what a damaged wire
+// would hand it, and counts the reject in DecodeErrors.
+func (t *netTransport) writeFaulted(buf []byte, addr *net.UDPAddr) {
+	if t.faults.Corrupt > 0 && t.frng.Bernoulli(t.faults.Corrupt) {
+		buf[t.frng.Intn(len(buf))] ^= byte(1 + t.frng.Intn(255))
+		t.nstats.FaultCorrupt++
+	}
+	if t.faults.Misroute > 0 && len(t.book.peers) > 0 && t.frng.Bernoulli(t.faults.Misroute) {
+		addr = t.book.peers[t.frng.Intn(len(t.book.peers))]
+		t.nstats.FaultMisroute++
+	}
+	n := 1
+	if t.faults.Duplicate > 0 && t.frng.Bernoulli(t.faults.Duplicate) {
+		n = 2
+		t.nstats.FaultReplay++
+	}
+	for ; n > 0; n-- {
+		t.writeDatagram(buf, addr)
+	}
 }
 
 // Crash implements Transport (local fault emulation, as on the other

@@ -119,6 +119,47 @@ type Transport interface {
 	ResetStats()
 }
 
+// Partitionable is the optional Transport capability behind network
+// partition experiments: Partition installs a cut — every message whose
+// endpoints lie on opposite sides of the isFar classifier is dropped at
+// egress (counted in Stats.Cut) — and Heal removes it. The simulated
+// network implements it; the live and networked planes do not (a real
+// network is partitioned from outside the process — see the chaos
+// harness). Probe through AsPartitionable, which also looks underneath
+// decorating transports.
+type Partitionable interface {
+	// Partition installs the cut. A second call replaces the previous
+	// classifier; messages already in flight still deliver.
+	Partition(isFar func(ids.NodeID) bool)
+
+	// Heal removes the active cut, if any.
+	Heal()
+}
+
+// Unwrapper is implemented by decorating transports (fault injection)
+// so capability probes like AsPartitionable can reach the substrate
+// underneath.
+type Unwrapper interface {
+	// Unwrap returns the decorated transport.
+	Unwrap() Transport
+}
+
+// AsPartitionable reports whether tr — or any transport it decorates —
+// supports partition cuts, returning the implementation if so.
+func AsPartitionable(tr Transport) (Partitionable, bool) {
+	for tr != nil {
+		if p, ok := tr.(Partitionable); ok {
+			return p, true
+		}
+		u, ok := tr.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		tr = u.Unwrap()
+	}
+	return nil, false
+}
+
 // Runtime bundles a Clock and Transport with the drive operations the
 // engine and its callers need. The simulated implementation is
 // simnet.SimRuntime; the live one is LiveRuntime.

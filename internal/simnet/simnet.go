@@ -71,6 +71,7 @@ type Network struct {
 	loss      float64 // probability an in-flight message is lost
 	endpoints map[ids.NodeID]Endpoint
 	crashed   map[ids.NodeID]bool
+	cut       func(ids.NodeID) bool // active partition classifier (nil = no cut)
 	stats     Stats
 	traceFn   func(Message, string) // optional trace hook: (msg, outcome)
 
@@ -119,9 +120,24 @@ func (n *Network) SetLoss(p float64) {
 }
 
 // SetTrace installs a hook called for every send with the outcome
-// ("delivered", "lost", "crashed-dest", "crashed-src", "no-endpoint").
-// Pass nil to disable.
+// ("delivered", "lost", "cut", "crashed-dest", "crashed-src",
+// "no-endpoint"). Pass nil to disable.
 func (n *Network) SetTrace(fn func(Message, string)) { n.traceFn = fn }
+
+// Partition implements runtime.Partitionable: until Heal, every
+// message whose endpoints lie on opposite sides of isFar is dropped at
+// egress (counted in Stats.Dropped and Stats.Cut, traced as "cut").
+// Messages already in flight still deliver — a cut severs links, it
+// does not recall packets. A second Partition replaces the classifier.
+func (n *Network) Partition(isFar func(ids.NodeID) bool) {
+	if isFar == nil {
+		panic("simnet: nil partition classifier")
+	}
+	n.cut = isFar
+}
+
+// Heal implements runtime.Partitionable: it removes the active cut.
+func (n *Network) Heal() { n.cut = nil }
 
 // Register attaches an endpoint under the given ID, replacing any
 // previous registration.
@@ -180,6 +196,12 @@ func (n *Network) Send(msg Message) {
 		n.trace(msg, "lost")
 		return
 	}
+	if n.cut != nil && n.cut(msg.From) != n.cut(msg.To) {
+		n.stats.Dropped++
+		n.stats.Cut++
+		n.trace(msg, "cut")
+		return
+	}
 	delay := n.latency.Latency(msg.From, msg.To, n.rng)
 	var fl *inflight
 	if ln := len(n.pool); ln > 0 {
@@ -232,9 +254,10 @@ func (n *Network) SendKind(from, to ids.NodeID, kind Kind, body wire.Payload) {
 
 // The simulated pair satisfies the substrate contracts.
 var (
-	_ runtime.Runtime   = (*SimRuntime)(nil)
-	_ runtime.Transport = (*Network)(nil)
-	_ runtime.Clock     = simClock{}
+	_ runtime.Runtime       = (*SimRuntime)(nil)
+	_ runtime.Transport     = (*Network)(nil)
+	_ runtime.Partitionable = (*Network)(nil)
+	_ runtime.Clock         = simClock{}
 )
 
 // SimRuntime binds the deterministic des kernel and the simulated

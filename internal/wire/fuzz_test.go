@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"github.com/rgbproto/rgb/internal/ids"
 )
 
 // FuzzWireRoundTrip is the codec's safety oracle: decoding arbitrary
@@ -19,6 +21,48 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{magic0, magic1, Version})
 	f.Add([]byte{magic0, magic1, 99, 0, 0})
+
+	// The partition/merge control plane rides the same codec, and its
+	// frames are the ones a mid-cut network mangles in practice: seed
+	// group-tagged MergeRequest/Snapshot/Probe frames whole, truncated
+	// at every interesting boundary, and with the group tag mutated
+	// (bytes 21..24 of a v2 envelope) so decode either routes the frame
+	// to the wrong group cleanly or rejects it — never panics.
+	gid := ids.NewGroupID(9)
+	mergeFrames := [][]byte{
+		AppendFrame(nil, Frame{From: ap(2), To: ap(0), Group: gid, Class: 1, TTL: 4, Payload: MergeRequest{
+			Roster:  []ids.NodeID{ap(2), ap(3)},
+			Members: []ids.MemberInfo{sampleMember(2), sampleMember(3)},
+		}}),
+		AppendFrame(nil, Frame{From: ap(0), To: ap(3), Group: gid, Class: 1, TTL: 4, Payload: Snapshot{
+			Roster:  []ids.NodeID{ap(0), ap(1), ap(2), ap(3)},
+			Leader:  ap(0),
+			Members: []ids.MemberInfo{sampleMember(0), sampleMember(1)},
+		}}),
+		AppendFrame(nil, Frame{From: ap(0), To: ap(4), Group: gid, Class: 1, TTL: 4, Payload: Probe{Seq: 7}}),
+	}
+	for _, b := range mergeFrames {
+		f.Add(b)
+		// Truncations: inside the envelope, at the payload header, at
+		// the tail, and the empty-roster boundary cases in between.
+		for _, cut := range []int{5, envelopeSizeV1, envelopeSize, envelopeSize + 1, envelopeSize + payloadHeaderSize, len(b) - 1} {
+			if cut >= 0 && cut < len(b) {
+				f.Add(append([]byte(nil), b[:cut]...))
+			}
+		}
+		// Group-tag mutations: flip each tag byte, and zero the whole
+		// tag (masquerading as the default group).
+		for off := 21; off < 25; off++ {
+			mut := append([]byte(nil), b...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+		zeroed := append([]byte(nil), b...)
+		for off := 21; off < 25; off++ {
+			zeroed[off] = 0
+		}
+		f.Add(zeroed)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := DecodeFrame(data)

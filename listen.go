@@ -102,6 +102,13 @@ func buildNetConfig(o *serviceOptions) (NetConfig, error) {
 		// so loss experiments run unchanged over real sockets.
 		nc.Loss = o.cfg.Loss
 	}
+	if o.faults != nil && nc.Faults == (FaultPlan{}) {
+		// WithFaults acts on the encoded datagrams of the networked
+		// plane; counters surface in NetStats. A zero plan seed stays
+		// zero here so each group's transport derives its own fault
+		// stream from its per-group seed.
+		nc.Faults = *o.faults
+	}
 	nc.MHSlotShift = mhSlotShift
 
 	nprocs := len(nc.Peers)

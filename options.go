@@ -20,6 +20,9 @@ type serviceOptions struct {
 	netConfig  *NetConfig
 	advertise  string
 	dialClient bool
+
+	// Fault injection (WithFaults).
+	faults *FaultPlan
 }
 
 // Option configures a Service at Open time.
@@ -76,6 +79,18 @@ func WithLatency(model LatencyModel) Option {
 // to the runtime the Service builds itself).
 func WithLoss(p float64) Option {
 	return func(o *serviceOptions) { o.cfg.Loss = p }
+}
+
+// WithFaults injects seeded, deterministic adversarial faults into the
+// message plane: each FaultPlan probability independently corrupts
+// (one byte flipped through the real wire codec), duplicates
+// (replays), misroutes or reorders messages. It applies to runtimes
+// the service builds itself — simulated, live, or networked (where the
+// faults act on the encoded datagrams and surface in NetStats); with a
+// caller-supplied WithRuntime it returns ErrOptionUnsupported. A zero
+// plan Seed derives from the service seed.
+func WithFaults(plan FaultPlan) Option {
+	return func(o *serviceOptions) { p := plan; o.faults = &p }
 }
 
 // WithHeartbeat enables periodic empty token rounds in every ring so

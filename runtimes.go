@@ -33,8 +33,18 @@ type (
 	NetConfig = runtime.NetConfig
 
 	// NetStats counts wire-level events of a networked runtime:
-	// decode errors, version mismatches, routing misses, relays.
+	// decode errors, version mismatches, routing misses, relays, and
+	// injected faults.
 	NetStats = runtime.NetStats
+
+	// FaultPlan configures seeded adversarial fault injection
+	// (WithFaults): per-message probabilities for corrupt, duplicate/
+	// replay, misroute and reorder.
+	FaultPlan = runtime.FaultPlan
+
+	// FaultStats counts the faults a plan injected (engine-level
+	// substrates; the networked substrate counts into NetStats).
+	FaultStats = runtime.FaultStats
 
 	// NetRuntime is the networked UDP substrate. Most callers obtain
 	// one implicitly through Listen/Dial; the concrete type gives

@@ -2,6 +2,7 @@ package rgb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -403,6 +404,41 @@ func (s *Service) Restore(ctx context.Context, id NodeID) error {
 	return s.do(ctx, func() error { s.sys.RestoreNE(id); return nil })
 }
 
+// Partition severs the entities in fragment (plus the mobile hosts
+// they serve) from the rest of the deployment: messages crossing the
+// cut are dropped at the transport, and every ring spanning the cut
+// splits into two independently-functioning fragments. Heal reverses
+// it. Only simulated runtimes support transport cuts — elsewhere
+// Partition returns an error wrapping ErrOptionUnsupported (a real
+// network is partitioned from outside the process; see the chaos
+// harness and docs/OPERATIONS.md).
+//
+// A second Partition before Heal returns ErrPartitioned; a fragment
+// that does not split any ring returns ErrBadFragment.
+func (s *Service) Partition(ctx context.Context, fragment ...NodeID) error {
+	return s.do(ctx, func() error {
+		return mapPartitionErr(s.sys.PartitionNetwork(fragment))
+	})
+}
+
+// Heal removes the cut installed by Partition and merges every split
+// ring's fragments back together (the Membership-Merge extension).
+// Without an active cut it returns ErrNotPartitioned.
+func (s *Service) Heal(ctx context.Context) error {
+	return s.do(ctx, func() error {
+		return mapPartitionErr(s.sys.HealNetwork())
+	})
+}
+
+// mapPartitionErr translates the engine's capability error into the
+// facade's option vocabulary.
+func mapPartitionErr(err error) error {
+	if errors.Is(err, core.ErrPartitionUnsupported) {
+		return fmt.Errorf("rgb: partition on this runtime: %w", ErrOptionUnsupported)
+	}
+	return err
+}
+
 // ApplyTrace schedules a workload scenario onto the service's clock.
 // Drive the runtime afterwards (Settle or Advance) to execute it.
 // Events that have become invalid by execution time (e.g. a handoff
@@ -441,8 +477,9 @@ func (s *Service) Stats() Stats {
 
 // Inspect runs fn in engine context with the underlying protocol
 // System — the escape hatch for diagnostics and scenario tooling that
-// the designed surface does not cover (rosters, partitions, raw
-// member records). fn must not retain the System or block.
+// the designed surface does not cover (rosters, raw member records,
+// per-ring detail beyond Partition/Heal). fn must not retain the
+// System or block.
 func (s *Service) Inspect(fn func(sys *System)) {
 	s.rt.Do(func() { fn(s.sys) })
 }

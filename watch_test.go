@@ -261,6 +261,115 @@ func TestWatchOverflowEmitsDroppedEvent(t *testing.T) {
 	}
 }
 
+// TestWatchAcrossPartitionHeal pins the subscription contract through
+// a network partition: joins committing on both sides of the cut each
+// surface exactly once (the merge's snapshot/NE-Join traffic must not
+// replay them), a prompt subscriber sees no gap, and a subscriber that
+// lagged through the cut gets one EventDropped whose Count is exactly
+// the number of events it lost.
+func TestWatchAcrossPartitionHeal(t *testing.T) {
+	ctx := context.Background()
+	const buf = 2
+	svc := openTest(t, WithHierarchy(2, 5), WithSeed(3), WithWatchBuffer(buf))
+	drained, err := svc.Watch(ctx)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	laggy, err := svc.Watch(ctx)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	aps := svc.APs()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var seen []MembershipEvent
+	drain := func() {
+		for {
+			select {
+			case ev := <-drained:
+				seen = append(seen, ev)
+			default:
+				return
+			}
+		}
+	}
+
+	// Two members before the cut — one per future side.
+	must(svc.JoinAt(ctx, GUID(1), aps[0]))
+	must(svc.JoinAt(ctx, GUID(2), aps[5]))
+	must(svc.Settle(ctx))
+	drain()
+
+	// Cut one topmost subtree away (slot 1 owns aps[5..9]) and join one
+	// member on each side while the partition holds: both fragments
+	// commit at their own topmost fragment, so both events surface.
+	var frag []NodeID
+	svc.Inspect(func(sys *System) {
+		for id, slot := range sys.Hierarchy().SubtreeOwners(2) {
+			if slot == 1 {
+				frag = append(frag, id)
+			}
+		}
+	})
+	must(svc.Partition(ctx, frag...))
+	must(svc.JoinAt(ctx, GUID(3), aps[0]))
+	must(svc.JoinAt(ctx, GUID(4), aps[6]))
+	must(svc.Settle(ctx))
+	drain()
+
+	must(svc.Heal(ctx))
+	must(svc.Settle(ctx))
+	drain()
+
+	// Every join exactly once, and never a gap for the prompt reader.
+	joins := map[GUID]int{}
+	for _, ev := range seen {
+		switch ev.Kind {
+		case EventJoin:
+			joins[ev.Member.GUID]++
+		case EventDropped:
+			t.Fatalf("drained subscriber saw a gap marker: %s", ev)
+		}
+	}
+	for g := 1; g <= 4; g++ {
+		if joins[GUID(g)] != 1 {
+			t.Errorf("join mh-%d observed %d times, want exactly 1 (partition/merge must not drop or replay commits)", g, joins[GUID(g)])
+		}
+	}
+
+	// The laggy subscriber kept only the first buf events; once it
+	// drains, the next commit is preceded by the gap marker counting
+	// everything it lost through the cut and merge.
+	for i := 0; i < buf; i++ {
+		ev := <-laggy
+		if ev.String() != seen[i].String() {
+			t.Fatalf("laggy event %d = %s, want %s (first commits survive)", i, ev, seen[i])
+		}
+	}
+	select {
+	case ev := <-laggy:
+		t.Fatalf("laggy channel held more than its buffer: %s", ev)
+	default:
+	}
+	must(svc.JoinAt(ctx, GUID(5), aps[1]))
+	must(svc.Settle(ctx))
+	gap := <-laggy
+	if gap.Kind != EventDropped {
+		t.Fatalf("first post-drain laggy event = %s, want EventDropped", gap)
+	}
+	if want := len(seen) - buf; gap.Count != want {
+		t.Fatalf("gap.Count = %d, want %d", gap.Count, want)
+	}
+	if next := <-laggy; next.Kind != EventJoin || next.Member.GUID != GUID(5) {
+		t.Fatalf("event after gap = %s, want join mh-5", next)
+	}
+}
+
 // TestCloseUnblocksWatchers: Close must close every subscriber
 // channel so goroutines blocked in receive all wake up.
 func TestCloseUnblocksWatchers(t *testing.T) {
