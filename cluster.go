@@ -100,6 +100,9 @@ func NewCluster(opts ...Option) (*Cluster, error) {
 			c.set.Close()
 			return nil, err
 		}
+		if boot, ok := c.netMux.BootstrapInfo(); ok {
+			adoptBootstrap(&c.base, boot, c.netMux.AdoptOwners, c.netMux.LocalAddr().Port)
+		}
 	case o.liveConfig != nil:
 		lc := *o.liveConfig
 		if o.cfg.Loss > 0 && lc.Loss == 0 {
@@ -190,6 +193,14 @@ func (c *Cluster) Open(gid GroupID) (*Service, error) {
 
 	var sys *core.System
 	rt.Do(func() { sys = core.NewSystemOn(o.cfg, rt) })
+	if nrt, ok := rt.(*rgbruntime.NetRuntime); ok {
+		// Discovery evictions feed the protocol's fail-out path: when
+		// the probe sweep declares a peer process dead, every ring that
+		// spans it excludes the dead entities immediately instead of
+		// waiting out the heartbeat silence window.
+		group := sys
+		nrt.OnPeerEvict(func(dead []NodeID) { group.FailOutRemote(dead...) })
+	}
 	svc := newService(c, gid, rt, owned, sys, &o)
 	c.groups[gid] = svc
 	return svc, nil
@@ -306,6 +317,19 @@ func (c *Cluster) LocalAddr() (*net.UDPAddr, bool) {
 		return nil, false
 	}
 	return c.netMux.LocalAddr(), true
+}
+
+// Peers snapshots the live peer table of a networked cluster's
+// discovery plane — one entry per known peer process with its slot,
+// address, liveness state, last-seen age and frame count — and false
+// for non-networked clusters. A statically configured single-process
+// cluster (no peers, no seeds) runs no discovery plane and reports an
+// empty table.
+func (c *Cluster) Peers() ([]PeerInfo, bool) {
+	if c.netMux == nil {
+		return nil, false
+	}
+	return c.netMux.Peers(), true
 }
 
 // NetStats returns the wire-level counters of a networked cluster's

@@ -68,6 +68,11 @@ func startNode(t *testing.T, bin string, index int, peers []string, h, r int, ex
 		"-seed", "1",
 	}
 	args = append(args, extra...)
+	return launchNode(t, bin, args)
+}
+
+func launchNode(t *testing.T, bin string, args []string) *nodeProc {
+	t.Helper()
 	cmd := exec.Command(bin, args...)
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
@@ -79,7 +84,7 @@ func startNode(t *testing.T, bin string, index int, peers []string, h, r int, ex
 	}
 	cmd.Stderr = nil
 	if err := cmd.Start(); err != nil {
-		t.Fatalf("start rgbnode[%d]: %v", index, err)
+		t.Fatalf("start rgbnode %v: %v", args, err)
 	}
 	p := &nodeProc{t: t, cmd: cmd, stdin: bufio.NewWriter(stdin), lines: make(chan string, 64)}
 	go func() {
@@ -196,6 +201,135 @@ func TestThreeProcessSmoke(t *testing.T) {
 		p.do("quit")
 	}
 	for i, p := range procs {
+		if err := p.cmd.Wait(); err != nil {
+			t.Fatalf("rgbnode[%d] exit: %v", i, err)
+		}
+	}
+}
+
+// TestSeedJoinNode: a three-process static cluster is running; a fourth
+// rgbnode is given nothing but one member's address (-seeds, zero
+// static-topology flags) and must bootstrap the deployment shape and
+// the peer table, then drive membership like any member while every
+// process's peer dump converges on the full roster.
+func TestSeedJoinNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping seed-join smoke")
+	}
+
+	bin := filepath.Join(t.TempDir(), "rgbnode")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	peers := make([]string, 3)
+	conns := make([]*net.UDPConn, 3)
+	for i := range peers {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		peers[i] = c.LocalAddr().String()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+
+	procs := make([]*nodeProc, 3)
+	for i := range procs {
+		procs[i] = startNode(t, bin, i, peers, 2, 3)
+	}
+	for i, p := range procs {
+		p.expect("ready", 15*time.Second)
+		t.Logf("rgbnode[%d] ready", i)
+	}
+
+	// The joiner knows one address and nothing else about the cluster.
+	joiner := launchNode(t, bin, []string{"-bind", "127.0.0.1:0", "-seeds", peers[1]})
+	joiner.expect("ready", 15*time.Second)
+	t.Log("seed joiner ready")
+
+	// Membership driven from a static member and from the joiner.
+	procs[0].do("join 1 0")
+	joiner.do("join 2 4")
+
+	const want = "members=mh-1,mh-2"
+	all := append(append([]*nodeProc{}, procs...), joiner)
+	converged := func(p *nodeProc) bool {
+		p.send("query")
+		return strings.HasSuffix(p.expect("ok query", 10*time.Second), want)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		allOK := true
+		for _, p := range all {
+			if !converged(p) {
+				allOK = false
+			}
+		}
+		if allOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, p := range all {
+				p.send("query")
+				t.Logf("proc %d: %s", i, p.expect("ok query", 5*time.Second))
+			}
+			t.Fatal("seed-joined cluster did not converge")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The joiner's peer table holds all three static slots, up.
+	line := joiner.do("peers")
+	for slot := 0; slot < 3; slot++ {
+		if !strings.Contains(line, fmt.Sprintf(" %d:", slot)) {
+			t.Fatalf("joiner peer dump missing slot %d: %s", slot, line)
+		}
+	}
+	if strings.Count(line, ":up:") < 3 {
+		t.Fatalf("joiner peer dump has <3 live peers: %s", line)
+	}
+
+	// Every static member learns the slotless joiner from its hellos.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		allKnow := true
+		for _, p := range procs {
+			if !strings.Contains(p.do("peers"), " -1:") {
+				allKnow = false
+			}
+		}
+		if allKnow {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, p := range procs {
+				t.Logf("proc %d peers: %s", i, p.do("peers"))
+			}
+			t.Fatal("static members never learned the seed joiner")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Discovery traffic flowed and nothing failed to decode.
+	for _, p := range all {
+		p.send("stats")
+		line := p.expect("ok stats", 10*time.Second)
+		if strings.Contains(line, "received=0 ") || !strings.Contains(line, "decode_errors=0") {
+			t.Fatalf("suspicious stats: %s", line)
+		}
+		if strings.Contains(line, "gossip=0 ") {
+			t.Fatalf("no discovery gossip: %s", line)
+		}
+	}
+
+	for _, p := range all {
+		p.do("quit")
+	}
+	for i, p := range all {
 		if err := p.cmd.Wait(); err != nil {
 			t.Fatalf("rgbnode[%d] exit: %v", i, err)
 		}

@@ -23,6 +23,7 @@
 //	members                 local topmost-ring view (empty if not hosted here)
 //	settle                  wait for local quiescence
 //	stats                   transport + wire counters
+//	peers                   live peer table (slot, address, state, age, frames)
 //	block <slot> [slot...]  drop all traffic to/from the given peer slots
 //	unblock                 clear the block rules (heal the partition)
 //	use <group>             switch the current group (multi-group mode)
@@ -37,6 +38,15 @@
 //
 // A single process (no -peers) serves the whole hierarchy; rgb.Dial
 // clients can point at any process, preferably slot 0.
+//
+// Instead of a static -peers list, a process can join a running
+// deployment knowing only one member's address: -seeds bootstraps the
+// topology and the peer table from that seed and keeps the address
+// book fresh by gossip. By default it joins as a slotless observer;
+// -seedslot claims a cluster slot — the way to restart a member on a
+// new address with no config reload anywhere:
+//
+//	rgbnode -bind 127.0.0.1:0 -seeds 127.0.0.1:7000 -seedslot 2
 package main
 
 import (
@@ -48,6 +58,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/rgbproto/rgb"
 )
@@ -57,6 +68,8 @@ func main() {
 	advertise := flag.String("advertise", "", "address peers use to reach this process (default: bind)")
 	index := flag.Int("index", 0, "this process's slot in -peers")
 	peers := flag.String("peers", "", "comma-separated advertise addresses of all processes (empty = single process)")
+	seeds := flag.String("seeds", "", "comma-separated seed addresses: bootstrap into a running deployment instead of -peers")
+	seedSlot := flag.Int("seedslot", -1, "cluster slot to claim when bootstrapping via -seeds (-1 = slotless observer)")
 	h := flag.Int("h", 2, "hierarchy height (ring levels)")
 	r := flag.Int("r", 3, "entities per ring")
 	seed := flag.Uint64("seed", 1, "deployment seed")
@@ -78,6 +91,12 @@ func main() {
 		Misroute: *misroute, Reorder: *reorder,
 	}); plan.Active() {
 		extra = append(extra, rgb.WithFaults(plan))
+	}
+	if *seeds != "" {
+		extra = append(extra, rgb.WithSeeds(strings.Split(*seeds, ",")...))
+		if *seedSlot >= 0 {
+			extra = append(extra, rgb.WithSeedSlot(*seedSlot))
+		}
 	}
 	if err := run(*bind, *advertise, *index, *peers, *h, *r, *seed, *groups, extra); err != nil {
 		fmt.Fprintln(os.Stderr, "rgbnode:", err)
@@ -283,9 +302,25 @@ func run(bind, advertise string, index int, peerList string, h, r int, seed uint
 			} else {
 				ns = nrt.NetStats()
 			}
-			fmt.Printf("ok stats sent=%d delivered=%d dropped=%d received=%d relayed=%d decode_errors=%d unknown_version=%d unknown_group=%d cut=%d faults=%d/%d/%d/%d\n",
+			fmt.Printf("ok stats sent=%d delivered=%d dropped=%d received=%d relayed=%d decode_errors=%d unknown_version=%d unknown_group=%d cut=%d faults=%d/%d/%d/%d joined=%d evicted=%d gossip=%d dup=%d\n",
 				st.Sent, st.Delivered, st.Dropped, ns.Received, ns.Relayed, ns.DecodeErrors, ns.UnknownVersion, ns.UnknownGroup,
-				st.Cut, ns.FaultCorrupt, ns.FaultReplay, ns.FaultMisroute, ns.FaultReorder)
+				st.Cut, ns.FaultCorrupt, ns.FaultReplay, ns.FaultMisroute, ns.FaultReorder,
+				ns.PeerJoined, ns.PeerEvicted, ns.GossipFrames, ns.DupDropped)
+		case "peers":
+			var peers []rgb.PeerInfo
+			if cluster != nil {
+				peers, _ = cluster.Peers()
+			} else {
+				peers = nrt.Peers()
+			}
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "ok peers n=%d", len(peers))
+			now := time.Now()
+			for _, p := range peers {
+				fmt.Fprintf(&sb, " %d:%s:%s:%s:%d",
+					p.Slot, p.Addr, p.State, now.Sub(p.LastSeen).Truncate(time.Millisecond), p.Frames)
+			}
+			fmt.Println(sb.String())
 		default:
 			fmt.Println("err unknown command:", cmd)
 		}

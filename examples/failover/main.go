@@ -109,16 +109,16 @@ repairScan:
 	var frag []rgb.NodeID
 	var nearTop, farTop rgb.NodeID
 	svc.Inspect(func(sys *rgb.System) {
-		for id, slot := range sys.Hierarchy().SubtreeOwners(2) {
-			if slot == 1 {
-				frag = append(frag, id)
-			}
+		frag = sys.Hierarchy().OwnedBy(2, 1)
+		cut := make(map[rgb.NodeID]bool, len(frag))
+		for _, id := range frag {
+			cut[id] = true
 		}
 		for _, id := range sys.Hierarchy().Rings()[0].Nodes() {
-			if sys.Hierarchy().SubtreeOwners(2)[id] == 0 {
-				nearTop = id
-			} else {
+			if cut[id] {
 				farTop = id
+			} else {
+				nearTop = id
 			}
 		}
 	})

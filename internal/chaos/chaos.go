@@ -134,7 +134,7 @@ func Launch(cfg Config) (*Engine, error) {
 }
 
 func (e *Engine) start(index int) (*Proc, error) {
-	cmd := exec.Command(e.cfg.Bin,
+	return e.launch(index,
 		"-bind", e.peers[index],
 		"-index", strconv.Itoa(index),
 		"-peers", strings.Join(e.peers, ","),
@@ -142,6 +142,10 @@ func (e *Engine) start(index int) (*Proc, error) {
 		"-seed", strconv.FormatUint(e.cfg.Seed, 10),
 		"-heartbeat", e.cfg.Heartbeat.String(),
 	)
+}
+
+func (e *Engine) launch(index int, args ...string) (*Proc, error) {
+	cmd := exec.Command(e.cfg.Bin, args...)
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, err
@@ -166,6 +170,48 @@ func (e *Engine) start(index int) (*Proc, error) {
 
 // Procs returns the deployment's processes, slot-indexed.
 func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Restart kills the process at slot and relaunches it on a fresh
+// ephemeral UDP address, rejoining its slot through the seed process's
+// address (-seeds/-seedslot) — the address-churn scenario: no surviving
+// process's configuration mentions the new address, so only the
+// discovery gossip can restore routing, and the probe/merge protocol
+// must readmit the blank-state process to its rings.
+func (e *Engine) Restart(slot, seedIndex int) error {
+	if slot == seedIndex {
+		return fmt.Errorf("chaos: restart slot %d cannot seed from itself", slot)
+	}
+	if e.procs[seedIndex].Dead() {
+		return fmt.Errorf("chaos: seed rgbnode[%d] is dead", seedIndex)
+	}
+	e.procs[slot].Kill()
+
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return fmt.Errorf("chaos: reserve restart port: %w", err)
+	}
+	addr := c.LocalAddr().String()
+	c.Close()
+	old := e.peers[slot]
+	e.peers[slot] = addr
+
+	p, err := e.launch(slot,
+		"-bind", addr,
+		"-seeds", e.peers[seedIndex],
+		"-seedslot", strconv.Itoa(slot),
+		"-seed", strconv.FormatUint(e.cfg.Seed, 10),
+		"-heartbeat", e.cfg.Heartbeat.String(),
+	)
+	if err != nil {
+		return err
+	}
+	if _, err := p.Expect("ready", 20*time.Second); err != nil {
+		return fmt.Errorf("chaos: restarted rgbnode[%d] never became ready: %w", slot, err)
+	}
+	e.procs[slot] = p
+	e.logf("chaos: rgbnode[%d] restarted on %s (was %s), seeded by rgbnode[%d]", slot, addr, old, seedIndex)
+	return nil
+}
 
 // Proc returns the process at the given cluster slot.
 func (e *Engine) Proc(i int) *Proc { return e.procs[i] }

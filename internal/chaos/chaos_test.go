@@ -121,6 +121,71 @@ func TestPartitionKillHeal(t *testing.T) {
 	}
 }
 
+// TestAddressChurn covers the failure mode static topology maps cannot
+// survive: one member's UDP address changes mid-run. The harness kills
+// process 2 and relaunches it on a brand-new ephemeral port, giving the
+// new process nothing but process 0's address (-seeds) and its old slot
+// (-seedslot); no surviving process's configuration is touched. The
+// discovery gossip must propagate the new address cluster-wide, the
+// probe/merge protocol must readmit the blank-state process, and the
+// deployment must keep accepting membership at the restarted slot's
+// access proxies.
+func TestAddressChurn(t *testing.T) {
+	bin := buildRgbnode(t)
+
+	eng, err := Launch(Config{
+		Bin: bin, Nodes: 3, H: 2, R: 3, Seed: 1,
+		Heartbeat: 200 * time.Millisecond,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Members at APs owned by the surviving slots (slot k owns AP
+	// indexes 3k..3k+2), joined at their owning processes so no
+	// membership endpoint lives in the process about to churn.
+	for i, ap := range []int{0, 1, 3} {
+		mustDo(t, eng.Proc(ap/3), fmt.Sprintf("join %d %d", i+1, ap))
+	}
+	if err := eng.AwaitConvergence("members=mh-1,mh-2,mh-3", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Change process 2's address mid-run: kill, relaunch on a new port,
+	// bootstrap through process 0.
+	if err := eng.Restart(2, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restarted process comes back blank; the merge machinery must
+	// hand it the membership, and everyone must route to its new
+	// address.
+	if err := eng.AwaitConvergence("members=mh-1,mh-2,mh-3", 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The churned slot serves new joins again: AP 7 is owned by slot 2,
+	// submitted from process 0 — the join crosses to the new address.
+	mustDo(t, eng.Proc(0), "join 4 7")
+	if err := eng.AwaitConvergence("members=mh-1,mh-2,mh-3,mh-4", 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every survivor's peer table converged on the new address, up.
+	wantAddr := eng.peers[2]
+	for _, p := range eng.Procs() {
+		line, err := p.Do("peers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Index != 2 && !strings.Contains(line, "2:"+wantAddr+":up") {
+			t.Fatalf("rgbnode[%d] peer table missed the address change: %s", p.Index, line)
+		}
+	}
+}
+
 // TestPauseResume covers the stall failure mode: SIGSTOP freezes one
 // process long enough for its peers to fail it out of the topmost
 // ring, then SIGCONT revives it and the probe/merge protocol must

@@ -489,6 +489,42 @@ func (s *System) suspectSilentLeader(id ring.ID, ringNodes []ids.NodeID) {
 	s.noteTokenSeen(id)
 }
 
+// FailOutRemote feeds a liveness verdict from outside the protocol —
+// the networked runtime's discovery plane has evicted a peer process —
+// into the ordinary repair path: dead lists the hierarchy entities the
+// evicted process owned, and every live locally-owned member of a ring
+// containing one excludes it immediately (electing the deterministic
+// successor where the dead node led), instead of waiting out the
+// heartbeat silence window of suspectSilentLeader. If the process comes
+// back (same slot, any address), the probe/merge machinery readmits its
+// entities exactly as it readmits a healed partition.
+func (s *System) FailOutRemote(dead ...ids.NodeID) {
+	for _, d := range dead {
+		if s.owns(d) {
+			continue // local entities answer to Crash/Restore, not gossip
+		}
+		rg := s.hier.RingOf(d)
+		if rg == nil {
+			continue
+		}
+		excluded := false
+		for _, m := range rg.Nodes() {
+			n := s.nodes[m]
+			if n == nil || s.tr.Crashed(m) || s.neStale(m) || !s.owns(m) {
+				continue
+			}
+			if n.rosterContains(d) && n.id != d {
+				n.excludeFromRoster(d)
+				excluded = true
+			}
+		}
+		if excluded {
+			s.noteRepair(rg.ID(), d)
+			s.noteTokenSeen(rg.ID())
+		}
+	}
+}
+
 // currentLeaderOf finds a locally-owned, live node of the ring whose
 // leader view is itself local and live (falling back across crashed
 // entities).

@@ -21,7 +21,6 @@ import (
 	"time"
 
 	"github.com/rgbproto/rgb/internal/core"
-	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/mathx"
 	"github.com/rgbproto/rgb/internal/metrics"
 	"github.com/rgbproto/rgb/internal/simnet"
@@ -292,13 +291,7 @@ func schedulePartition(sys *core.System, sc Scenario) {
 	if sc.Partition <= 0 {
 		return
 	}
-	owners := sys.Hierarchy().SubtreeOwners(2)
-	var frag []ids.NodeID
-	for id, slot := range owners {
-		if slot == 1 {
-			frag = append(frag, id)
-		}
-	}
+	frag := sys.Hierarchy().OwnedBy(2, 1)
 	clock := sys.Clock()
 	// Errors are deliberately swallowed: under heavy churn or crashes
 	// the fragment may have lost all live members by Duration/2, and a

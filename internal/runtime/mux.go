@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/rgbproto/rgb/internal/discovery"
 	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/wire"
 )
@@ -225,6 +226,15 @@ type NetMux struct {
 	sock *netSock
 	book *netBook
 
+	// disc is the socket-scoped discovery plane, shared by every group
+	// (nil on a single-process mux with no peers and no seeds).
+	disc *discoverer
+
+	// boot holds what a seed bootstrap learned (bootOK false on a
+	// statically configured mux).
+	boot   BootstrapInfo
+	bootOK bool
+
 	closedCh  chan struct{}
 	closeOnce sync.Once
 
@@ -256,14 +266,52 @@ func NewNetMux(cfg NetConfig, set *ShardSet) (*NetMux, error) {
 		closedCh: make(chan struct{}),
 		groups:   make(map[ids.GroupID]*NetRuntime),
 	}
+	if len(cfg.Peers) > 1 || len(cfg.Seeds) > 0 {
+		m.disc, err = newDiscoverer(sock, book, cfg)
+		if err != nil {
+			sock.conn.Close()
+			return nil, err
+		}
+	}
 	go sock.readLoop(m.closedCh, m.resolve)
+	if m.disc != nil {
+		if len(cfg.Seeds) > 0 && len(cfg.Peers) == 0 {
+			boot, berr := m.disc.bootstrap()
+			if berr != nil {
+				m.Close()
+				return nil, berr
+			}
+			m.boot, m.bootOK = boot, true
+		}
+		m.disc.start()
+	}
 	return m, nil
 }
 
+// BootstrapInfo reports what a seed bootstrap learned about the
+// deployment; ok is false on a statically configured mux.
+func (m *NetMux) BootstrapInfo() (info BootstrapInfo, ok bool) {
+	return m.boot, m.bootOK
+}
+
+// AdoptOwners swaps in the entity-ownership partition shared by every
+// group (derived by the caller from the bootstrapped shape).
+func (m *NetMux) AdoptOwners(owners map[ids.NodeID]int) { m.book.adopt(owners) }
+
+// Peers snapshots the live peer table shared by every group.
+func (m *NetMux) Peers() []discovery.PeerInfo { return m.book.table.Snapshot() }
+
 // resolve routes one inbound frame to the owning group's transport. It
-// runs on the read goroutine; the group table is read-locked (writes
-// only happen in Open/Close).
-func (m *NetMux) resolve(f wire.Frame) *netTransport {
+// runs on the read goroutine; discovery control frames are intercepted
+// (and liveness recorded) before the group table is consulted under
+// its read lock (writes only happen in Open/Close).
+func (m *NetMux) resolve(f wire.Frame, src *net.UDPAddr) *netTransport {
+	if m.disc != nil {
+		m.book.table.Seen(src)
+		if m.disc.intercept(f, src) {
+			return nil
+		}
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if f.Group != 0 {
@@ -307,6 +355,8 @@ func (m *NetMux) Open(gid ids.GroupID, shard int, seed uint64) (Runtime, error) 
 		muxGID:        gid,
 	}
 	view.tr = newNetTransport(sh.eng, sh.clock, m.sock, m.book, sh.bufs, cfg, gid)
+	view.disc = m.disc
+	view.tr.disc = m.disc
 	m.groups[gid] = view
 	if m.defGroup == nil {
 		m.defGroup = view
@@ -357,7 +407,13 @@ func (m *NetMux) NetStats() NetStats {
 			ns.FaultReplay += v.tr.nstats.FaultReplay
 			ns.FaultMisroute += v.tr.nstats.FaultMisroute
 			ns.FaultReorder += v.tr.nstats.FaultReorder
+			ns.DupDropped += v.tr.nstats.DupDropped
 		})
+	}
+	ns.PeerJoined = m.book.table.Joined()
+	ns.PeerEvicted = m.book.table.Evicted()
+	if m.disc != nil {
+		ns.GossipFrames = m.disc.gossipFrames.Load()
 	}
 	return ns
 }
@@ -370,6 +426,9 @@ func (m *NetMux) Close() error {
 		m.mu.Lock()
 		m.closed = true
 		m.mu.Unlock()
+		if m.disc != nil {
+			m.disc.stop()
+		}
 		close(m.closedCh)
 		err = m.sock.conn.Close()
 	})

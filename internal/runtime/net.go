@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/rgbproto/rgb/internal/discovery"
 	"github.com/rgbproto/rgb/internal/ids"
 	"github.com/rgbproto/rgb/internal/mathx"
 	"github.com/rgbproto/rgb/internal/wire"
@@ -49,6 +50,45 @@ type NetConfig struct {
 	// are sent — the client ("Dial") mode: a process that owns no
 	// entities routes everything at one cluster member, which relays.
 	DefaultRoute string
+
+	// Seeds, when non-empty (and Peers is empty), switches the process
+	// to seed bootstrap: instead of a static address book it sends a
+	// PeerHello to each seed address, adopts the PeerList reply
+	// (deployment shape plus every known peer address), and keeps the
+	// table fresh by gossip from then on.
+	Seeds []string
+
+	// SeedSlot is the cluster slot a seed-bootstrapping process claims
+	// (replacing a member whose address changed, or filling a known
+	// slot). Negative joins as a slotless observer that owns no
+	// entities. Ignored when Peers is set (Index rules there).
+	SeedSlot int
+
+	// H, R and Slots describe the deployment to bootstrapping joiners
+	// (hierarchy height, ring capacity, process-slot count) via the
+	// PeerList reply. Filled automatically by the rgb layer; a joiner
+	// leaves them zero and adopts the seed's answer.
+	H, R  int
+	Slots int
+
+	// BootstrapTimeout bounds the seed bootstrap RPC, retried every
+	// half second against every seed until a PeerList arrives
+	// (default 5s).
+	BootstrapTimeout time.Duration
+
+	// GossipInterval paces the endpoint-exchange gossip piggybacked on
+	// egress traffic (default 1s). ProbeInterval paces the liveness
+	// sweep (default 1s). A peer silent past SuspectAfter (default 3s)
+	// is probed; silent past EvictAfter (default 10s) it is evicted —
+	// its slot stops routing and the eviction feeds the protocol's
+	// fail-out path. DedupTTL is the relay dedup window (default
+	// 200ms, under the protocol's retransmit period so a legitimate
+	// retransmission is never starved).
+	GossipInterval time.Duration
+	ProbeInterval  time.Duration
+	SuspectAfter   time.Duration
+	EvictAfter     time.Duration
+	DedupTTL       time.Duration
 
 	// Group, when nonzero, is the single group this runtime hosts:
 	// inbound frames tagged with a different nonzero group are dropped
@@ -115,6 +155,14 @@ type NetStats struct {
 	FaultReplay   uint64 // datagrams written twice
 	FaultMisroute uint64 // datagrams sent to a random peer
 	FaultReorder  uint64 // datagrams held back and released after the next send
+
+	// Discovery-plane counters. PeerJoined/PeerEvicted/GossipFrames
+	// are table-level (maintained once per socket on a NetMux);
+	// DupDropped is per group and aggregated like the routing counters.
+	PeerJoined   uint64 // peers that joined, rejoined or moved address
+	PeerEvicted  uint64 // liveness evictions issued by the probe sweep
+	GossipFrames uint64 // discovery frames sent (hello/peer-list/probe)
+	DupDropped   uint64 // duplicate relayed frames dropped by the dedup map
 }
 
 // netSock is the shared socket of a networked runtime: the one UDP
@@ -151,10 +199,12 @@ func (s *netSock) stats() NetStats {
 // readLoop runs off-engine: it blocks on the socket, decodes each
 // datagram (decoding shares no state), resolves the owning transport —
 // for a NetMux, by the frame's group tag — and hands the frame to that
-// transport's engine goroutine. resolve runs on the read goroutine and
-// must only touch read-safe state; returning nil drops the frame (the
-// resolver has already accounted it).
-func (s *netSock) readLoop(closed <-chan struct{}, resolve func(wire.Frame) *netTransport) {
+// transport's engine goroutine. resolve runs on the read goroutine with
+// the datagram's source address (the discovery plane intercepts its
+// control frames there, before any group demux) and must only touch
+// read-safe state; returning nil drops the frame (the resolver has
+// already accounted it).
+func (s *netSock) readLoop(closed <-chan struct{}, resolve func(wire.Frame, *net.UDPAddr) *netTransport) {
 	buf := make([]byte, wire.MaxDatagram)
 	for {
 		n, src, err := s.conn.ReadFromUDP(buf)
@@ -184,7 +234,7 @@ func (s *netSock) readLoop(closed <-chan struct{}, resolve func(wire.Frame) *net
 			s.decodeErrors.Add(1)
 			continue
 		}
-		t := resolve(f)
+		t := resolve(f, src)
 		if t == nil {
 			continue
 		}
@@ -193,23 +243,71 @@ func (s *netSock) readLoop(closed <-chan struct{}, resolve func(wire.Frame) *net
 	}
 }
 
-// netBook is the static routing state of a networked deployment: the
-// peer address book and the deterministic ownership partition. It is
-// immutable after construction, so every group of a NetMux shares one
-// without synchronization.
+// netBook is the routing state of a networked deployment: the identity
+// of this process plus two concurrency-safe layers — the ownership
+// partition (entity -> slot, swapped wholesale when a bootstrap adopts
+// the deployment shape) and the discovery peer table (slot -> address,
+// mutated continuously by hello/gossip/liveness). Every group of a
+// NetMux shares one; all mutation goes through atomics or the table's
+// own lock, so readers stay lock-free on the send hot path.
 type netBook struct {
 	self     *net.UDPAddr // what peers are told (Advertise)
 	loopback *net.UDPAddr // how this process reaches itself
 
-	// peers/selfIndex/mhShift route mobile-host-tier IDs by ownership
-	// block (see NetConfig.MHSlotShift).
-	peers     []*net.UDPAddr
+	// selfIndex/mhShift route mobile-host-tier IDs by ownership block
+	// (see NetConfig.MHSlotShift); selfIndex is this process's slot
+	// (negative for slotless clients).
 	selfIndex int
 	mhShift   uint
 
-	// static routes entity IDs to their owning process (self included).
-	static       map[ids.NodeID]*net.UDPAddr
+	// owner maps entity IDs to their owning slot; table maps slots to
+	// live addresses. The two layers deliberately separate "who owns
+	// what" (changes only on bootstrap adoption) from "where is who"
+	// (changes on every address churn).
+	owner atomic.Pointer[map[ids.NodeID]int]
+	table *discovery.Table
+
 	defaultRoute *net.UDPAddr
+}
+
+// ownerOf resolves the owning slot of an entity ID.
+func (b *netBook) ownerOf(id ids.NodeID) (int, bool) {
+	m := b.owner.Load()
+	if m == nil {
+		return 0, false
+	}
+	slot, ok := (*m)[id]
+	return slot, ok
+}
+
+// ownedBy lists the entity IDs owned by a slot (the peer-eviction to
+// protocol-fail-out translation).
+func (b *netBook) ownedBy(slot int) []ids.NodeID {
+	m := b.owner.Load()
+	if m == nil {
+		return nil
+	}
+	var out []ids.NodeID
+	for id, s := range *m {
+		if s == slot {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// adopt swaps in a new ownership partition (seed bootstrap learned the
+// deployment shape).
+func (b *netBook) adopt(owners map[ids.NodeID]int) { b.owner.Store(&owners) }
+
+// slotAddr resolves a slot to a routable address: self routes over the
+// loopback, everything else through the live peer table (nil when the
+// slot is unknown or evicted).
+func (b *netBook) slotAddr(slot int) *net.UDPAddr {
+	if slot == b.selfIndex && slot >= 0 {
+		return b.loopback
+	}
+	return b.table.AddrOf(slot)
 }
 
 // netBufs holds the reusable encode buffers of one engine shard, so
@@ -226,7 +324,10 @@ func newNetBufs() *netBufs {
 }
 
 // resolveNetBook resolves and validates the address-book parts of a
-// NetConfig against the bound socket.
+// NetConfig against the bound socket: the peer table is prefilled from
+// the static Peers list (when given) and the ownership layer from
+// Owners. A seed-bootstrapping process starts with an empty table that
+// the bootstrap and gossip fill.
 func resolveNetBook(cfg NetConfig, conn *net.UDPConn) (*netBook, error) {
 	// loopback is where this process reaches itself: the bound socket,
 	// with an unspecified host rewritten to 127.0.0.1. self is what
@@ -244,15 +345,31 @@ func resolveNetBook(cfg NetConfig, conn *net.UDPConn) (*netBook, error) {
 		}
 	}
 
-	peerAddrs := make([]*net.UDPAddr, len(cfg.Peers))
+	selfIndex := cfg.Index
+	slots := len(cfg.Peers)
+	if slots == 0 {
+		// Seed mode: the slot is claimed (or declined) by SeedSlot and
+		// the width comes from config or the bootstrap reply.
+		selfIndex = cfg.SeedSlot
+		slots = cfg.Slots
+		if selfIndex >= slots {
+			slots = selfIndex + 1
+		}
+	}
+	table := discovery.NewTable(selfIndex, slots)
 	for i, p := range cfg.Peers {
 		if i == cfg.Index {
-			peerAddrs[i] = loopback
+			table.Set(i, loopback)
 			continue
 		}
-		if peerAddrs[i], err = net.ResolveUDPAddr("udp", p); err != nil {
+		a, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
 			return nil, fmt.Errorf("runtime: peer %q: %w", p, err)
 		}
+		table.Set(i, a)
+	}
+	if len(cfg.Peers) == 0 && selfIndex >= 0 {
+		table.Set(selfIndex, loopback)
 	}
 
 	var defaultRoute *net.UDPAddr
@@ -262,24 +379,22 @@ func resolveNetBook(cfg NetConfig, conn *net.UDPConn) (*netBook, error) {
 		}
 	}
 
-	static := make(map[ids.NodeID]*net.UDPAddr, len(cfg.Owners))
-	for id, slot := range cfg.Owners {
-		if slot == cfg.Index || slot < 0 || slot >= len(peerAddrs) {
-			static[id] = loopback
-			continue
-		}
-		static[id] = peerAddrs[slot]
-	}
-
-	return &netBook{
+	b := &netBook{
 		self:         self,
 		loopback:     loopback,
-		peers:        peerAddrs,
-		selfIndex:    cfg.Index,
+		selfIndex:    selfIndex,
 		mhShift:      cfg.MHSlotShift,
-		static:       static,
+		table:        table,
 		defaultRoute: defaultRoute,
-	}, nil
+	}
+	if cfg.Owners != nil {
+		owners := make(map[ids.NodeID]int, len(cfg.Owners))
+		for id, slot := range cfg.Owners {
+			owners[id] = slot
+		}
+		b.adopt(owners)
+	}
+	return b, nil
 }
 
 // bindNetSock binds the configured UDP socket.
@@ -311,6 +426,24 @@ func netDefaults(cfg *NetConfig) {
 	if cfg.QuiesceIdle <= 0 {
 		cfg.QuiesceIdle = 50 * time.Millisecond
 	}
+	if cfg.BootstrapTimeout <= 0 {
+		cfg.BootstrapTimeout = 5 * time.Second
+	}
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 3 * time.Second
+	}
+	if cfg.EvictAfter <= 0 {
+		cfg.EvictAfter = 10 * time.Second
+	}
+	if cfg.DedupTTL <= 0 {
+		cfg.DedupTTL = 200 * time.Millisecond
+	}
 }
 
 // NetRuntime runs the protocol engine over real UDP sockets: the same
@@ -332,6 +465,16 @@ type NetRuntime struct {
 
 	settleTimeout time.Duration
 	quiesceIdle   time.Duration
+
+	// disc is the discovery plane (nil on a deployment with no peers
+	// and no seeds — a single process has nothing to discover). On a
+	// NetMux view it points at the mux's shared discoverer.
+	disc *discoverer
+
+	// boot holds what a seed bootstrap learned (bootOK false on a
+	// statically configured or single-process runtime).
+	boot   BootstrapInfo
+	bootOK bool
 
 	// mux/muxGID are set on views obtained from NetMux.Open: the mux
 	// owns the socket and the engine shards, so a view's Close only
@@ -361,19 +504,89 @@ func NewNetRuntime(cfg NetConfig) (*NetRuntime, error) {
 	}
 	rt.clock = &liveClock{eng: rt.eng}
 	rt.tr = newNetTransport(rt.eng, rt.clock, sock, book, newNetBufs(), cfg, cfg.Group)
+	// The discovery plane runs whenever there is anything to discover:
+	// a static peer set to keep fresh, or seeds to bootstrap from.
+	if len(cfg.Peers) > 1 || len(cfg.Seeds) > 0 {
+		disc, derr := newDiscoverer(sock, book, cfg)
+		if derr != nil {
+			sock.conn.Close()
+			rt.eng.stop(nil)
+			return nil, derr
+		}
+		rt.disc = disc
+		rt.tr.disc = disc
+	}
 	// A single-group runtime accepts untagged frames and (when it
 	// knows its group) its own tag; a mismatched nonzero tag would
 	// deliver another group's protocol state into this engine, so it
-	// is dropped and counted instead.
-	us, group := rt.tr, cfg.Group
-	go sock.readLoop(rt.eng.closed, func(f wire.Frame) *netTransport {
+	// is dropped and counted instead. Discovery control frames are
+	// intercepted on the read goroutine before any group filtering.
+	us, group, disc := rt.tr, cfg.Group, rt.disc
+	go sock.readLoop(rt.eng.closed, func(f wire.Frame, src *net.UDPAddr) *netTransport {
+		if disc != nil {
+			book.table.Seen(src)
+			if disc.intercept(f, src) {
+				return nil
+			}
+		}
 		if group != 0 && f.Group != 0 && f.Group != group {
 			sock.unknownGroup.Add(1)
 			return nil
 		}
 		return us
 	})
+	if rt.disc != nil {
+		if len(cfg.Seeds) > 0 && len(cfg.Peers) == 0 {
+			boot, berr := rt.disc.bootstrap()
+			if berr != nil {
+				rt.Close()
+				return nil, berr
+			}
+			rt.boot, rt.bootOK = boot, true
+		}
+		rt.disc.start()
+	}
 	return rt, nil
+}
+
+// BootstrapInfo reports what a seed bootstrap learned about the
+// deployment; ok is false on a statically configured runtime.
+func (rt *NetRuntime) BootstrapInfo() (info BootstrapInfo, ok bool) {
+	return rt.boot, rt.bootOK
+}
+
+// AdoptOwners swaps in the entity-ownership partition (derived by the
+// caller from the bootstrapped deployment shape).
+func (rt *NetRuntime) AdoptOwners(owners map[ids.NodeID]int) {
+	rt.tr.book.adopt(owners)
+}
+
+// Peers snapshots the live peer table (empty when the discovery plane
+// is off).
+func (rt *NetRuntime) Peers() []discovery.PeerInfo {
+	return rt.tr.book.table.Snapshot()
+}
+
+// OnPeerEvict registers a callback invoked in engine context with the
+// entity IDs owned by a peer the liveness sweep evicted — the glue
+// feeding discovery's process-level verdicts into the protocol's
+// entity-level fail-out path. No-op when the discovery plane is off.
+func (rt *NetRuntime) OnPeerEvict(fn func(dead []ids.NodeID)) {
+	if rt.disc == nil {
+		return
+	}
+	eng, book := rt.eng, rt.tr.book
+	rt.disc.addOnEvict(func(slot int) {
+		dead := book.ownedBy(slot)
+		if len(dead) == 0 {
+			return
+		}
+		eng.pending.Add(1)
+		eng.submit(func() {
+			defer eng.pending.Add(-1)
+			fn(dead)
+		})
+	})
 }
 
 // LocalAddr returns the address the socket actually bound (useful
@@ -407,7 +620,13 @@ func (rt *NetRuntime) NetStats() NetStats {
 		ns.FaultReplay = rt.tr.nstats.FaultReplay
 		ns.FaultMisroute = rt.tr.nstats.FaultMisroute
 		ns.FaultReorder = rt.tr.nstats.FaultReorder
+		ns.DupDropped = rt.tr.nstats.DupDropped
 	})
+	ns.PeerJoined = rt.tr.book.table.Joined()
+	ns.PeerEvicted = rt.tr.book.table.Evicted()
+	if rt.disc != nil {
+		ns.GossipFrames = rt.disc.gossipFrames.Load()
+	}
 	return ns
 }
 
@@ -491,6 +710,9 @@ func (rt *NetRuntime) Close() error {
 		rt.mux.release(rt.muxGID)
 		return nil
 	}
+	if rt.disc != nil {
+		rt.disc.stop()
+	}
 	err := rt.tr.sock.conn.Close()
 	rt.eng.stop(nil)
 	return err
@@ -517,11 +739,14 @@ type netTransport struct {
 
 	// Fault injection (NetConfig.Faults): a dedicated RNG so faults do
 	// not perturb the loss-emulation stream, plus the one datagram held
-	// back by the reorder fault.
-	faults   FaultPlan
-	frng     *mathx.RNG
-	heldBuf  []byte
-	heldAddr *net.UDPAddr
+	// back by the reorder fault. faultSlots freezes the misroute target
+	// range at the configured deployment width: a seeded fault stream
+	// must not shift when the live peer table grows or shrinks.
+	faults     FaultPlan
+	frng       *mathx.RNG
+	faultSlots int
+	heldBuf    []byte
+	heldAddr   *net.UDPAddr
 
 	// blocked, when non-nil, cuts traffic to/from the listed peer
 	// addresses (the chaos harness's process-level partition: both
@@ -530,8 +755,17 @@ type netTransport struct {
 	blocked map[string]bool
 
 	// learned holds return addresses observed for transient endpoints
-	// (mobile hosts, query apps) that no static entry covers.
+	// (mobile hosts, query apps) that no ownership entry covers.
 	learned map[ids.NodeID]*net.UDPAddr
+
+	// dedup drops duplicate relayed frames (replayed or routed here
+	// twice) inside a TTL window, so a relay loop or replay fault
+	// cannot amplify through this process.
+	dedup *discovery.TmpMap
+
+	// disc, when non-nil, is the discovery plane: egress traffic
+	// piggybacks a paced endpoint-exchange hello along active routes.
+	disc *discoverer
 
 	local   map[ids.NodeID]Endpoint
 	crashed map[ids.NodeID]bool
@@ -560,20 +794,22 @@ func newNetTransport(eng *engineCore, clock *liveClock, sock *netSock, book *net
 		fseed = cfg.Seed ^ 0xfa17fa17fa17fa17
 	}
 	t := &netTransport{
-		eng:     eng,
-		clock:   clock,
-		sock:    sock,
-		book:    book,
-		bufs:    bufs,
-		rng:     mathx.NewRNG(cfg.Seed),
-		loss:    cfg.Loss,
-		ttl:     cfg.TTL,
-		group:   group,
-		faults:  cfg.Faults,
-		frng:    mathx.NewRNG(fseed),
-		learned: make(map[ids.NodeID]*net.UDPAddr),
-		local:   make(map[ids.NodeID]Endpoint),
-		crashed: make(map[ids.NodeID]bool),
+		eng:        eng,
+		clock:      clock,
+		sock:       sock,
+		book:       book,
+		bufs:       bufs,
+		rng:        mathx.NewRNG(cfg.Seed),
+		loss:       cfg.Loss,
+		ttl:        cfg.TTL,
+		group:      group,
+		faults:     cfg.Faults,
+		frng:       mathx.NewRNG(fseed),
+		faultSlots: len(cfg.Peers),
+		learned:    make(map[ids.NodeID]*net.UDPAddr),
+		dedup:      discovery.NewTmpMap(cfg.DedupTTL, bookLimit),
+		local:      make(map[ids.NodeID]Endpoint),
+		crashed:    make(map[ids.NodeID]bool),
 	}
 	t.touch()
 	return t
@@ -591,10 +827,12 @@ func (t *netTransport) block(slots []int) {
 	}
 	t.blocked = make(map[string]bool, len(slots))
 	for _, s := range slots {
-		if s == t.book.selfIndex || s < 0 || s >= len(t.book.peers) {
+		if s == t.book.selfIndex {
 			continue
 		}
-		t.blocked[t.book.peers[s].String()] = true
+		if a := t.book.slotAddr(s); a != nil {
+			t.blocked[a.String()] = true
+		}
 	}
 }
 
@@ -609,11 +847,12 @@ func (t *netTransport) dispatch(f wire.Frame, src *net.UDPAddr) {
 		return
 	}
 	// Return-address learning: transient endpoints (MHs, query apps)
-	// are not in the static book; remember where their traffic comes
-	// from so replies route back. Static entries are never overridden,
-	// and the book is bounded so a flood of spoofed sender IDs cannot
-	// grow it without limit.
-	if _, isStatic := t.book.static[f.From]; !isStatic && !f.From.IsZero() {
+	// are not in the ownership partition; remember where their traffic
+	// comes from so replies route back. Owned entities are never
+	// overridden — their routing follows the peer table — and the book
+	// is bounded so a flood of spoofed sender IDs cannot grow it
+	// without limit.
+	if _, owned := t.book.ownerOf(f.From); !owned && !f.From.IsZero() {
 		if _, isLocal := t.local[f.From]; !isLocal {
 			if _, known := t.learned[f.From]; !known && len(t.learned) >= bookLimit {
 				clear(t.learned)
@@ -665,27 +904,59 @@ func (t *netTransport) relay(f wire.Frame) {
 		t.stats.Dropped++
 		return
 	}
+	// Dedup window: a frame replayed at us (or routed here twice by a
+	// relay loop) is forwarded once per TTL window. The hash skips the
+	// envelope's TTL byte so the same frame arriving over paths of
+	// different length still collapses to one key.
+	if !t.dedup.Add(relayKey(t.bufs.relayBuf)) {
+		t.nstats.DupDropped++
+		t.stats.Dropped++
+		return
+	}
 	if !t.writeDatagram(t.bufs.relayBuf, addr) {
 		return
 	}
 	t.nstats.Relayed++
 }
 
+// relayKey hashes one encoded frame (FNV-1a), skipping the TTL byte at
+// envelope offset 4 — the one field a relay hop legitimately rewrites.
+func relayKey(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+		ttlOff   = 4
+	)
+	h := uint64(offset64)
+	for i, c := range b {
+		if i == ttlOff {
+			continue
+		}
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
 // route resolves a destination: local endpoints to self, hierarchy
-// entities through the static book, cluster-resident mobile-host
-// endpoints by ownership block, external transient endpoints through
-// the learned addresses, everything else to the default route (if
-// any).
+// entities through the ownership partition and the live peer table,
+// cluster-resident mobile-host endpoints by ownership block, external
+// transient endpoints through the learned addresses, everything else
+// to the default route (if any). An owned entity whose slot is evicted
+// resolves to nil — the send is dropped and counted as UnknownPeer
+// until the peer is heard from again.
 func (t *netTransport) route(id ids.NodeID) *net.UDPAddr {
 	if _, ok := t.local[id]; ok {
 		return t.book.loopback
 	}
-	if a, ok := t.book.static[id]; ok {
-		return a
+	if slot, ok := t.book.ownerOf(id); ok {
+		return t.book.slotAddr(slot)
 	}
 	if t.book.mhShift > 0 && id.Tier() == ids.TierMH {
-		if slot := id.Ordinal() >> t.book.mhShift; slot >= 0 && slot < len(t.book.peers) {
-			return t.book.peers[slot]
+		if slot := id.Ordinal() >> t.book.mhShift; slot >= 0 && slot < t.book.table.Slots() {
+			if a := t.book.slotAddr(slot); a != nil {
+				return a
+			}
 		}
 	}
 	if a, ok := t.learned[id]; ok {
@@ -785,6 +1056,11 @@ func (t *netTransport) writeDatagram(buf []byte, addr *net.UDPAddr) bool {
 	}
 	t.touch()
 	t.sock.touch()
+	if t.disc != nil {
+		// Endpoint-exchange gossip rides the active traffic edges: at
+		// most one paced hello alongside the protocol's own frames.
+		t.disc.maybeGossip(addr)
+	}
 	return true
 }
 
@@ -816,8 +1092,10 @@ func (t *netTransport) writeFaulted(buf []byte, addr *net.UDPAddr) {
 		buf[t.frng.Intn(len(buf))] ^= byte(1 + t.frng.Intn(255))
 		t.nstats.FaultCorrupt++
 	}
-	if t.faults.Misroute > 0 && len(t.book.peers) > 0 && t.frng.Bernoulli(t.faults.Misroute) {
-		addr = t.book.peers[t.frng.Intn(len(t.book.peers))]
+	if t.faults.Misroute > 0 && t.faultSlots > 0 && t.frng.Bernoulli(t.faults.Misroute) {
+		if a := t.book.slotAddr(t.frng.Intn(t.faultSlots)); a != nil {
+			addr = a
+		}
 		t.nstats.FaultMisroute++
 	}
 	n := 1

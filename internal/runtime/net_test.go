@@ -177,6 +177,123 @@ func TestNetTransportRelay(t *testing.T) {
 	}
 }
 
+// TestNetTransportRelayDedup: a duplicate of a relayed frame inside the
+// dedup TTL window is dropped, not forwarded — including a copy that
+// differs only in its TTL byte, the one field a relay hop legitimately
+// rewrites.
+func TestNetTransportRelayDedup(t *testing.T) {
+	a := ids.MakeNodeID(ids.TierAP, 1)
+	b := ids.MakeNodeID(ids.TierAP, 2)
+	owners := map[ids.NodeID]int{a: 0, b: 1}
+
+	addr0, close0 := reserveUDP(t)
+	addr1, close1 := reserveUDP(t)
+	close0()
+	close1()
+	peers := []string{addr0, addr1}
+
+	rt0 := newTestNet(t, NetConfig{Bind: addr0, Peers: peers, Index: 0, Owners: owners, DedupTTL: 10 * time.Second})
+	rt1 := newTestNet(t, NetConfig{Bind: addr1, Peers: peers, Index: 1, Owners: owners})
+	epB := &countingEndpoint{rt: rt1, id: b}
+	rt1.Do(func() { rt1.Transport().Register(b, epB) })
+
+	conn, err := net.DialUDP("udp", nil, rt0.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	from := ids.MakeNodeID(ids.TierMH, 5)
+	frame := wire.AppendFrame(nil, wire.Frame{From: from, To: b, Class: 0, TTL: 4, Payload: wire.Probe{Seq: 11}})
+	conn.Write(frame)
+	waitFor(t, func() bool { return rt0.NetStats().Relayed == 1 })
+
+	// The identical datagram again, then a copy with a different TTL:
+	// both must hash to the relayed frame and be dropped.
+	conn.Write(frame)
+	conn.Write(wire.AppendFrame(nil, wire.Frame{From: from, To: b, Class: 0, TTL: 7, Payload: wire.Probe{Seq: 11}}))
+	waitFor(t, func() bool { return rt0.NetStats().DupDropped == 2 })
+
+	// A genuinely new frame still relays.
+	conn.Write(wire.AppendFrame(nil, wire.Frame{From: from, To: b, Class: 0, TTL: 4, Payload: wire.Probe{Seq: 12}}))
+	waitFor(t, func() bool { return epB.got.Load() == 2 })
+	if ns := rt0.NetStats(); ns.Relayed != 2 || ns.DupDropped != 2 {
+		t.Fatalf("relay dedup stats = %+v", ns)
+	}
+}
+
+// TestNetTransportReplayFloodBounded: a sender whose fault plan replays
+// every datagram floods a relay with duplicates; the relay forwards
+// each frame once, and the dedup map's two-generation rotation releases
+// the flood's memory once the TTL window passes.
+func TestNetTransportReplayFloodBounded(t *testing.T) {
+	a := ids.MakeNodeID(ids.TierAP, 1)
+	b := ids.MakeNodeID(ids.TierAP, 2)
+
+	addr0, close0 := reserveUDP(t)
+	addr1, close1 := reserveUDP(t)
+	addr2, close2 := reserveUDP(t)
+	close0()
+	close1()
+	close2()
+	peers := []string{addr0, addr1, addr2}
+
+	// rt0's book knows b lives at slot 1; the sender's stale book says
+	// slot 0, so every frame lands on rt0 and must be relayed onward.
+	rt0 := newTestNet(t, NetConfig{Bind: addr0, Peers: peers, Index: 0,
+		Owners: map[ids.NodeID]int{a: 2, b: 1}, DedupTTL: 100 * time.Millisecond})
+	rt1 := newTestNet(t, NetConfig{Bind: addr1, Peers: peers, Index: 1,
+		Owners: map[ids.NodeID]int{a: 2, b: 1}})
+	rtS := newTestNet(t, NetConfig{Bind: addr2, Peers: peers, Index: 2,
+		Owners: map[ids.NodeID]int{a: 2, b: 0},
+		Faults: FaultPlan{Seed: 1, Duplicate: 1}})
+
+	epA := &countingEndpoint{rt: rtS, id: a}
+	epB := &countingEndpoint{rt: rt1, id: b}
+	rtS.Do(func() { rtS.Transport().Register(a, epA) })
+	rt1.Do(func() { rt1.Transport().Register(b, epB) })
+
+	// Flood in paced batches so loopback buffers never overflow: every
+	// egress datagram is written twice by the replay fault.
+	const total = 1500
+	for sent := 0; sent < total; sent += 100 {
+		lo, hi := sent, sent+100
+		rtS.Do(func() {
+			for i := lo; i < hi; i++ {
+				rtS.Transport().Send(Message{From: a, To: b, Kind: KindNotify, Body: wire.Probe{Seq: uint64(i)}})
+			}
+		})
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Every frame arrives exactly once despite the 2x flood.
+	waitFor(t, func() bool { return epB.got.Load() == total })
+	ns := rt0.NetStats()
+	if ns.Relayed != total || ns.DupDropped != total {
+		t.Fatalf("flood stats = %+v, want Relayed=DupDropped=%d", ns, total)
+	}
+	if fr := rtS.NetStats().FaultReplay; fr < total {
+		t.Fatalf("fault replays = %d, want >= %d", fr, total)
+	}
+
+	// The flood pinned at most one TTL window of keys; after two quiet
+	// windows the next relay rotates both generations away.
+	if n := rt0.tr.dedup.Len(); n == 0 || n > total+1 {
+		t.Fatalf("dedup entries after flood = %d", n)
+	}
+	time.Sleep(250 * time.Millisecond)
+	conn, err := net.DialUDP("udp", nil, rt0.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write(wire.AppendFrame(nil, wire.Frame{From: ids.MakeNodeID(ids.TierMH, 9), To: b, Class: 0, TTL: 4, Payload: wire.Probe{Seq: 1 << 40}}))
+	waitFor(t, func() bool { return rt0.NetStats().Relayed == total+1 })
+	if n := rt0.tr.dedup.Len(); n > 2 {
+		t.Fatalf("dedup map held %d entries after two idle TTL windows", n)
+	}
+}
+
 // TestNetRuntimeTimers: the clock shared with LiveRuntime works on the
 // networked substrate.
 func TestNetRuntimeTimers(t *testing.T) {

@@ -246,3 +246,18 @@ func (rh *RingHierarchy) SubtreeOwners(nprocs int) map[ids.NodeID]int {
 	}
 	return owners
 }
+
+// OwnedBy returns the entities SubtreeOwners(nprocs) assigns to one
+// slot, in deterministic hierarchy order — the "one side of the
+// partition" selector shared by the partition tests, examples and
+// experiment scenarios.
+func (rh *RingHierarchy) OwnedBy(nprocs, slot int) []ids.NodeID {
+	owners := rh.SubtreeOwners(nprocs)
+	var out []ids.NodeID
+	for _, id := range rh.AllNodes() {
+		if owners[id] == slot {
+			out = append(out, id)
+		}
+	}
+	return out
+}

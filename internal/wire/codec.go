@@ -180,6 +180,10 @@ func DecodePayload(b []byte) (Payload, int, error) {
 
 // --- Append helpers ---------------------------------------------------
 
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+
 func appendU32(b []byte, v uint32) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
@@ -194,6 +198,17 @@ func appendBool(b []byte, v bool) []byte {
 		return append(b, 1)
 	}
 	return append(b, 0)
+}
+
+// appendString encodes a u16-length-prefixed string (an address, never
+// longer than a hostname:port; anything past 64 KiB is truncated rather
+// than corrupting the length field).
+func appendString(b []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
 }
 
 func appendRingID(b []byte, id ring.ID) []byte {
@@ -249,6 +264,10 @@ func appendBatch(b []byte, batch mq.Batch) []byte {
 const (
 	memberInfoSize = 4 + 8 + 8 + 4 + 8 + 1
 	changeSize     = 1 + memberInfoSize + 8 + 8 + 8 + 8
+
+	// peerEntrySize is the minimum encoding of one PeerEntry (its
+	// variable-length address contributes only the u16 length here).
+	peerEntrySize = 4 + 1 + 4 + 2
 )
 
 // --- Reader -----------------------------------------------------------
@@ -269,6 +288,16 @@ func (r *reader) u8() uint8 {
 	}
 	v := r.b[r.off]
 	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.bad || r.off+2 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
 	return v
 }
 
@@ -302,6 +331,17 @@ func (r *reader) boolean() bool {
 		r.bad = true
 		return false
 	}
+}
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	if r.bad || n > len(r.b)-r.off {
+		r.bad = true
+		return ""
+	}
+	v := string(r.b[r.off : r.off+n])
+	r.off += n
+	return v
 }
 
 // count reads a slice length and validates it against the bytes left
@@ -544,6 +584,59 @@ func (m Probe) AppendTo(b []byte) []byte { return appendU64(b, m.Seq) }
 
 func decodeProbe(r *reader) Payload { return Probe{Seq: r.u64()} }
 
+// AppendTo implements Payload.
+func (m PeerHello) AppendTo(b []byte) []byte {
+	b = appendU64(b, m.Seq)
+	b = appendU32(b, uint32(m.Slot))
+	return appendString(b, m.Addr)
+}
+
+func decodePeerHello(r *reader) Payload {
+	return PeerHello{Seq: r.u64(), Slot: int32(r.u32()), Addr: r.str()}
+}
+
+func appendPeerEntry(b []byte, e PeerEntry) []byte {
+	b = appendU32(b, uint32(e.Slot))
+	b = append(b, e.State)
+	b = appendU32(b, e.AgeMillis)
+	return appendString(b, e.Addr)
+}
+
+func (r *reader) peerEntry() PeerEntry {
+	return PeerEntry{
+		Slot:      int32(r.u32()),
+		State:     r.u8(),
+		AgeMillis: r.u32(),
+		Addr:      r.str(),
+	}
+}
+
+// AppendTo implements Payload.
+func (m PeerList) AppendTo(b []byte) []byte {
+	b = appendU64(b, m.Seq)
+	b = appendU16(b, m.H)
+	b = appendU16(b, m.R)
+	b = appendU32(b, m.Slots)
+	b = appendU32(b, uint32(len(m.Peers)))
+	for _, e := range m.Peers {
+		b = appendPeerEntry(b, e)
+	}
+	return b
+}
+
+func decodePeerList(r *reader) Payload {
+	m := PeerList{Seq: r.u64(), H: r.u16(), R: r.u16(), Slots: r.u32()}
+	n := r.count(peerEntrySize)
+	if r.bad || n == 0 {
+		return m
+	}
+	m.Peers = make([]PeerEntry, n)
+	for i := range m.Peers {
+		m.Peers[i] = r.peerEntry()
+	}
+	return m
+}
+
 // decodeBody dispatches on the payload kind.
 func decodeBody(k PayloadKind, r *reader) Payload {
 	switch k {
@@ -573,6 +666,10 @@ func decodeBody(k PayloadKind, r *reader) Payload {
 		return decodeTreeProposal(r)
 	case KindProbe:
 		return decodeProbe(r)
+	case KindPeerHello:
+		return decodePeerHello(r)
+	case KindPeerList:
+		return decodePeerList(r)
 	default:
 		r.bad = true
 		return nil

@@ -64,6 +64,38 @@ func FuzzWireRoundTrip(f *testing.F) {
 		f.Add(zeroed)
 	}
 
+	// The discovery plane (seed bootstrap + gossip) adds the only
+	// variable-length strings on the wire: seed PeerHello/PeerList
+	// frames whole and truncated at every envelope boundary — including
+	// mid-string cuts, where the u16 length prefix must catch the short
+	// read — following the same conventions as the merge corpus above.
+	discFrames := [][]byte{
+		AppendFrame(nil, Frame{Class: 5, TTL: 1, Payload: PeerHello{
+			Seq: 11, Slot: 2, Addr: "127.0.0.1:7002",
+		}}),
+		AppendFrame(nil, Frame{Class: 5, TTL: 1, Payload: PeerHello{Slot: -1}}),
+		AppendFrame(nil, Frame{Class: 5, TTL: 1, Payload: PeerList{
+			Seq: 11, H: 2, R: 3, Slots: 3, Peers: []PeerEntry{
+				{Slot: 0, State: 0, AgeMillis: 40, Addr: "127.0.0.1:7000"},
+				{Slot: 1, State: 2, AgeMillis: 12000, Addr: "127.0.0.1:7001"},
+			},
+		}}),
+		AppendFrame(nil, Frame{Class: 5, TTL: 1, Payload: PeerList{Seq: 11, H: 2, R: 3, Slots: 3}}),
+	}
+	for _, b := range discFrames {
+		f.Add(b)
+		for _, cut := range []int{5, envelopeSizeV1, envelopeSize, envelopeSize + 1, envelopeSize + payloadHeaderSize, len(b) - 1} {
+			if cut >= 0 && cut < len(b) {
+				f.Add(append([]byte(nil), b[:cut]...))
+			}
+		}
+		// Cut inside the trailing address string (past its u16 length
+		// prefix) so the string reader's bounds check is exercised.
+		if len(b) > envelopeSize+payloadHeaderSize+8 {
+			f.Add(append([]byte(nil), b[:len(b)-4]...))
+		}
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := DecodeFrame(data)
 		if err != nil {

@@ -56,6 +56,8 @@ const (
 	KindQueryReply
 	KindTreeProposal
 	KindProbe
+	KindPeerHello
+	KindPeerList
 	numPayloadKinds
 )
 
@@ -90,6 +92,10 @@ func (k PayloadKind) String() string {
 		return "tree-proposal"
 	case KindProbe:
 		return "probe"
+	case KindPeerHello:
+		return "peer-hello"
+	case KindPeerList:
+		return "peer-list"
 	default:
 		return "PayloadKind(" + itoa(uint64(k)) + ")"
 	}
@@ -218,6 +224,38 @@ type Probe struct {
 	Seq uint64
 }
 
+// PeerHello announces a process's endpoint to the discovery plane: the
+// cluster slot it claims (-1 = slotless observer) and its advertised
+// UDP address. A nonzero Seq requests a PeerList reply echoing the Seq
+// (the seed-bootstrap RPC, taschain-pending style); gossiped hellos
+// carry Seq 0. An empty Addr means "use the datagram's source address".
+type PeerHello struct {
+	Seq  uint64
+	Slot int32
+	Addr string
+}
+
+// PeerEntry is one gossiped peer-table row. AgeMillis is how long ago
+// the sender last heard from the peer — a relative age survives clock
+// skew between processes where an absolute timestamp would not.
+type PeerEntry struct {
+	Slot      int32
+	State     uint8 // discovery.State, carried opaquely
+	AgeMillis uint32
+	Addr      string
+}
+
+// PeerList is a snapshot of the sender's peer table: the deployment
+// shape (H, R, Slots) a bootstrapping joiner adopts, plus one entry per
+// known peer. Seq echoes the requesting PeerHello's Seq (0 marks an
+// unsolicited gossip broadcast).
+type PeerList struct {
+	Seq   uint64
+	H, R  uint16
+	Slots uint32
+	Peers []PeerEntry
+}
+
 // PayloadKind implementations.
 func (TokenMsg) PayloadKind() PayloadKind     { return KindTokenMsg }
 func (MemberChange) PayloadKind() PayloadKind { return KindMemberChange }
@@ -232,6 +270,8 @@ func (Query) PayloadKind() PayloadKind        { return KindQuery }
 func (QueryReply) PayloadKind() PayloadKind   { return KindQueryReply }
 func (TreeProposal) PayloadKind() PayloadKind { return KindTreeProposal }
 func (Probe) PayloadKind() PayloadKind        { return KindProbe }
+func (PeerHello) PayloadKind() PayloadKind    { return KindPeerHello }
+func (PeerList) PayloadKind() PayloadKind     { return KindPeerList }
 
 func (TokenMsg) sealed()     {}
 func (MemberChange) sealed() {}
@@ -246,6 +286,8 @@ func (Query) sealed()        {}
 func (QueryReply) sealed()   {}
 func (TreeProposal) sealed() {}
 func (Probe) sealed()        {}
+func (PeerHello) sealed()    {}
+func (PeerList) sealed()     {}
 
 // itoa is a tiny strconv.FormatUint to keep the package dependency-free
 // beyond the protocol vocabulary.

@@ -78,6 +78,11 @@ func samplePayloads() []Payload {
 		QueryReply{ID: 7, From: ring.ID{Tier: ids.TierAP, Index: 3}, Members: []ids.MemberInfo{sampleMember(4)}},
 		TreeProposal{Change: sampleChange(5), Up: true},
 		Probe{Seq: 42},
+		PeerHello{Seq: 9, Slot: 3, Addr: "127.0.0.1:7003"},
+		PeerList{Seq: 9, H: 2, R: 3, Slots: 4, Peers: []PeerEntry{
+			{Slot: 0, State: 0, AgeMillis: 120, Addr: "127.0.0.1:7000"},
+			{Slot: -1, State: 1, AgeMillis: 9000, Addr: "127.0.0.1:9001"},
+		}},
 	}
 }
 

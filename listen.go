@@ -115,6 +115,19 @@ func buildNetConfig(o *serviceOptions) (NetConfig, error) {
 	if nprocs > 0 && (nc.Index < 0 || nc.Index >= nprocs) {
 		return nc, fmt.Errorf("rgb: cluster index %d with %d peers: %w", nc.Index, nprocs, ErrBadCluster)
 	}
+	if len(nc.Seeds) > 0 && nprocs > 0 {
+		return nc, fmt.Errorf("rgb: WithSeeds with WithCluster (a static peer list needs no bootstrap): %w", ErrBadCluster)
+	}
+	if len(nc.Seeds) == 0 {
+		// Statically configured processes know the deployment shape and
+		// serve it to bootstrapping joiners via the PeerList reply; a
+		// seed-bootstrapping joiner leaves it zero and adopts the seed's
+		// answer instead.
+		nc.H, nc.R = o.cfg.H, o.cfg.R
+		if nc.Slots == 0 {
+			nc.Slots = max(nprocs, 1)
+		}
+	}
 	switch {
 	case o.dialClient:
 		o.cfg.Owns = func(NodeID) bool { return false }
@@ -137,6 +150,27 @@ func buildNetConfig(o *serviceOptions) (NetConfig, error) {
 	return nc, nil
 }
 
+// adoptBootstrap folds what a seed bootstrap learned into the service
+// configuration: the joiner derives the same deterministic ownership
+// partition every static process computed from its config, installs it
+// in the runtime's address book (adopt), and takes on its claimed
+// slot's entities — or, slotless, becomes a pure observer whose
+// transient-endpoint block is derived from its port like a Dial client.
+func adoptBootstrap(o *serviceOptions, boot BootstrapInfo, adopt func(map[NodeID]int), port int) {
+	hier := topology.NewRingHierarchy(boot.H, boot.R)
+	owners := hier.SubtreeOwners(boot.Slots)
+	adopt(owners)
+	o.cfg.H, o.cfg.R = boot.H, boot.R
+	if boot.Slot >= 0 {
+		slot := boot.Slot
+		o.cfg.Owns = func(id NodeID) bool { return owners[id] == slot }
+		o.cfg.MHBase = slot << mhSlotShift
+	} else {
+		o.cfg.Owns = func(NodeID) bool { return false }
+		o.cfg.MHBase = (int(1)<<6 + port) << mhSlotShift
+	}
+}
+
 // buildNetRuntime assembles the networked substrate for a single-group
 // Open.
 func buildNetRuntime(o *serviceOptions) (*NetRuntime, error) {
@@ -147,6 +181,9 @@ func buildNetRuntime(o *serviceOptions) (*NetRuntime, error) {
 	rt, err := NewNetRuntime(nc)
 	if err != nil {
 		return nil, err
+	}
+	if boot, ok := rt.BootstrapInfo(); ok {
+		adoptBootstrap(o, boot, rt.AdoptOwners, rt.LocalAddr().Port)
 	}
 	if o.dialClient {
 		// A client's transient-endpoint block must collide with no

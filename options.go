@@ -23,6 +23,11 @@ type serviceOptions struct {
 
 	// Fault injection (WithFaults).
 	faults *FaultPlan
+
+	// seedSlotSet records an explicit WithSeedSlot, so WithSeeds does
+	// not clobber it with the slotless default whichever order the two
+	// options arrive in.
+	seedSlotSet bool
 }
 
 // Option configures a Service at Open time.
@@ -163,6 +168,43 @@ func WithCluster(index int, peers ...string) Option {
 		}
 		o.netConfig.Index = index
 		o.netConfig.Peers = peers
+	}
+}
+
+// WithSeeds joins a running networked deployment knowing only the
+// addresses of one or more live members: instead of a static WithCluster
+// peer list, the process bootstraps — it asks a seed for the deployment
+// shape and the current peer table, adopts both, and keeps its address
+// book fresh by gossip from then on. By default it joins as a slotless
+// observer (it owns no hierarchy entities but routes, relays and
+// queries like any member); combine with WithSeedSlot to claim a
+// cluster slot — e.g. to replace a member whose address changed.
+// Only meaningful with Listen/ListenCluster; mutually exclusive with
+// WithCluster.
+func WithSeeds(addrs ...string) Option {
+	return func(o *serviceOptions) {
+		if o.netConfig == nil {
+			o.netConfig = &NetConfig{}
+		}
+		o.netConfig.Seeds = addrs
+		if !o.seedSlotSet {
+			o.netConfig.SeedSlot = -1
+		}
+	}
+}
+
+// WithSeedSlot sets the cluster slot a seed-bootstrapping process
+// claims (see WithSeeds): its advertise address replaces whatever the
+// deployment previously recorded for that slot, and it serves the
+// hierarchy entities the slot owns. Use it to restart a member on a new
+// address with no config reload anywhere.
+func WithSeedSlot(slot int) Option {
+	return func(o *serviceOptions) {
+		if o.netConfig == nil {
+			o.netConfig = &NetConfig{}
+		}
+		o.netConfig.SeedSlot = slot
+		o.seedSlotSet = true
 	}
 }
 

@@ -52,11 +52,7 @@ func partitionScenarioDigest(t *testing.T, shards int, seed uint64) string {
 	// both mid-cut joins.
 	var frag []NodeID
 	svc.Inspect(func(sys *System) {
-		for id, slot := range sys.Hierarchy().SubtreeOwners(2) {
-			if slot == 1 {
-				frag = append(frag, id)
-			}
-		}
+		frag = sys.Hierarchy().OwnedBy(2, 1)
 	})
 	must(svc.Partition(ctx, frag...))
 	must(svc.JoinAt(ctx, GUID(7), aps[0]))

@@ -1,6 +1,7 @@
 package rgb
 
 import (
+	"github.com/rgbproto/rgb/internal/discovery"
 	"github.com/rgbproto/rgb/internal/runtime"
 	"github.com/rgbproto/rgb/internal/simnet"
 )
@@ -51,6 +52,20 @@ type (
 	// access to LocalAddr and NetStats.
 	NetRuntime = runtime.NetRuntime
 
+	// BootstrapInfo reports what a seed bootstrap (WithSeeds) learned
+	// about a deployment: hierarchy shape, slot count, and the slot
+	// this process claimed (negative for a slotless observer).
+	BootstrapInfo = runtime.BootstrapInfo
+
+	// PeerInfo is one entry of a networked deployment's live peer
+	// table: slot, address, liveness state, last-seen age and frame
+	// count (see Service.Peers and Cluster.Peers).
+	PeerInfo = discovery.PeerInfo
+
+	// PeerState is a peer-table liveness state (PeerUp, PeerSuspect,
+	// PeerEvicted).
+	PeerState = discovery.State
+
 	// Kind classifies messages for hop-count accounting.
 	Kind = runtime.Kind
 
@@ -62,6 +77,17 @@ type (
 	UniformLatency = runtime.UniformLatency
 	// TierLatency models the 4-tier architecture's per-tier delays.
 	TierLatency = runtime.TierLatency
+)
+
+// Peer-table liveness states (PeerInfo.State): a peer is up while its
+// frames keep arriving, suspect once it has been silent past
+// NetConfig.SuspectAfter (and is being probed), and evicted once silent
+// past EvictAfter — an evicted slot stops routing and its entities are
+// failed out of their rings until the peer returns.
+const (
+	PeerUp      = discovery.StateUp
+	PeerSuspect = discovery.StateSuspect
+	PeerEvicted = discovery.StateEvicted
 )
 
 // Message kinds, for per-kind delivery accounting (Stats.DeliveredOf).

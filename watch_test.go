@@ -310,11 +310,7 @@ func TestWatchAcrossPartitionHeal(t *testing.T) {
 	// commit at their own topmost fragment, so both events surface.
 	var frag []NodeID
 	svc.Inspect(func(sys *System) {
-		for id, slot := range sys.Hierarchy().SubtreeOwners(2) {
-			if slot == 1 {
-				frag = append(frag, id)
-			}
-		}
+		frag = sys.Hierarchy().OwnedBy(2, 1)
 	})
 	must(svc.Partition(ctx, frag...))
 	must(svc.JoinAt(ctx, GUID(3), aps[0]))
