@@ -11,6 +11,7 @@ import (
 	"github.com/rgbproto/rgb/internal/mathx"
 	rgbruntime "github.com/rgbproto/rgb/internal/runtime"
 	"github.com/rgbproto/rgb/internal/simnet"
+	"github.com/rgbproto/rgb/internal/telemetry"
 )
 
 // Cluster hosts many independent RGB groups in one process. A mobile-
@@ -55,6 +56,11 @@ type Cluster struct {
 	mu     sync.Mutex
 	groups map[GroupID]*Service
 	closed bool
+
+	// tel is the lazily-built metrics registry (Telemetry); nil until
+	// the first Telemetry call, and groups opened before that are
+	// instrumented retroactively.
+	tel *telemetry.Registry
 }
 
 // NewCluster builds a multi-group membership container. The options
@@ -203,6 +209,9 @@ func (c *Cluster) Open(gid GroupID) (*Service, error) {
 	}
 	svc := newService(c, gid, rt, owned, sys, &o)
 	c.groups[gid] = svc
+	if c.tel != nil {
+		c.instrumentGroup(svc)
+	}
 	return svc, nil
 }
 
@@ -310,13 +319,31 @@ func (c *Cluster) ShardOf(gid GroupID) int {
 }
 
 // LocalAddr returns the bound UDP address of a networked cluster's
-// shared socket (useful with a ":0" bind), and false for
-// non-networked clusters.
+// socket (useful with a ":0" bind), and false for non-networked
+// clusters. Works for both the shared-socket multi-group form
+// (ListenCluster) and the inline single-group form (rgb.Listen).
 func (c *Cluster) LocalAddr() (*net.UDPAddr, bool) {
-	if c.netMux == nil {
-		return nil, false
+	if c.netMux != nil {
+		return c.netMux.LocalAddr(), true
 	}
-	return c.netMux.LocalAddr(), true
+	if nrt := c.singleNetRuntime(); nrt != nil {
+		return nrt.LocalAddr(), true
+	}
+	return nil, false
+}
+
+// singleNetRuntime finds the networked substrate of an inline
+// single-group cluster (rgb.Listen/Dial build the group directly on a
+// NetRuntime instead of a NetMux), nil for non-networked clusters.
+func (c *Cluster) singleNetRuntime() *rgbruntime.NetRuntime {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, svc := range c.groups {
+		if nrt, ok := svc.rt.(*rgbruntime.NetRuntime); ok {
+			return nrt
+		}
+	}
+	return nil
 }
 
 // Peers snapshots the live peer table of a networked cluster's
@@ -326,20 +353,27 @@ func (c *Cluster) LocalAddr() (*net.UDPAddr, bool) {
 // cluster (no peers, no seeds) runs no discovery plane and reports an
 // empty table.
 func (c *Cluster) Peers() ([]PeerInfo, bool) {
-	if c.netMux == nil {
-		return nil, false
+	if c.netMux != nil {
+		return c.netMux.Peers(), true
 	}
-	return c.netMux.Peers(), true
+	if nrt := c.singleNetRuntime(); nrt != nil {
+		return nrt.Peers(), true
+	}
+	return nil, false
 }
 
 // NetStats returns the wire-level counters of a networked cluster's
-// shared socket (aggregated over all groups), and false for
-// non-networked clusters.
+// socket (aggregated over all groups), and false for non-networked
+// clusters. Works for both the shared-socket multi-group form and the
+// inline single-group form (rgb.Listen).
 func (c *Cluster) NetStats() (NetStats, bool) {
-	if c.netMux == nil {
-		return NetStats{}, false
+	if c.netMux != nil {
+		return c.netMux.NetStats(), true
 	}
-	return c.netMux.NetStats(), true
+	if nrt := c.singleNetRuntime(); nrt != nil {
+		return nrt.NetStats(), true
+	}
+	return NetStats{}, false
 }
 
 // Close shuts down every open group and then the shared substrate

@@ -3,10 +3,13 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -399,5 +402,128 @@ func TestMultiGroupNode(t *testing.T) {
 	p.do("quit")
 	if err := p.cmd.Wait(); err != nil {
 		t.Fatalf("rgbnode exit: %v", err)
+	}
+}
+
+// buildNode compiles the rgbnode binary into the test's temp dir.
+func buildNode(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rgbnode")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// httpGet fetches one admin path from a live daemon.
+func httpGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// statField extracts one "k=v" integer from the stats line.
+func statField(t *testing.T, line, key string) string {
+	t.Helper()
+	for _, f := range strings.Fields(line) {
+		if strings.HasPrefix(f, key+"=") {
+			return strings.TrimPrefix(f, key+"=")
+		}
+	}
+	t.Fatalf("stats line missing %s=: %s", key, line)
+	return ""
+}
+
+// TestHTTPOperabilityPlane: -http serves /metrics and /healthz on a
+// live daemon, the stdin stats line agrees with the exposition, and
+// SIGTERM shuts the process down cleanly.
+func TestHTTPOperabilityPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping process e2e")
+	}
+	bin := buildNode(t)
+	p := launchNode(t, bin, []string{
+		"-bind", "127.0.0.1:0", "-h", "2", "-r", "3", "-seed", "1",
+		"-http", "127.0.0.1:0",
+	})
+	httpLine := p.expect("http ", 10*time.Second)
+	p.expect("ready", 10*time.Second)
+	addr := strings.TrimSpace(strings.TrimPrefix(httpLine, "http "))
+
+	p.do("join 1")
+	p.do("join 2")
+	p.do("settle")
+
+	code, body := httpGet(t, addr, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`rgb_group_members{group="224.0.0.1"} 2`,
+		`rgb_view_changes_total{group="224.0.0.1",kind="join"} 2`,
+		"rgb_view_change_latency_seconds_bucket",
+		"rgb_round_duration_seconds_count",
+		"rgb_net_received_total",
+		"rgb_transport_sent_total",
+		"go_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, health := httpGet(t, addr, "/healthz")
+	if code != http.StatusOK || !strings.Contains(health, `"status":"ok"`) {
+		t.Fatalf("/healthz = %d %s", code, health)
+	}
+
+	// Single source of truth: the stdin stats line and the exposition
+	// report the identical transport counter (quiescent after settle,
+	// heartbeats disabled, so the value cannot move between reads).
+	p.send("stats")
+	stats := p.expect("ok stats", 10*time.Second)
+	sent := statField(t, stats, "sent")
+	_, body = httpGet(t, addr, "/metrics")
+	if !strings.Contains(body, "rgb_transport_sent_total "+sent+"\n") {
+		t.Errorf("stats line sent=%s disagrees with exposition", sent)
+	}
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	p.expect("ok signal", 10*time.Second)
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v", err)
+	}
+}
+
+// TestHTTPBindFailureExitsNonzero: a daemon that cannot bind its -http
+// address must exit nonzero instead of serving blind.
+func TestHTTPBindFailureExitsNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping process e2e")
+	}
+	bin := buildNode(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	p := launchNode(t, bin, []string{
+		"-bind", "127.0.0.1:0", "-h", "2", "-r", "3", "-seed", "1",
+		"-http", ln.Addr().String(),
+	})
+	if err := p.cmd.Wait(); err == nil {
+		t.Fatal("daemon exited zero despite -http bind failure")
 	}
 }

@@ -21,6 +21,7 @@
 //	handoff <guid> <apIndex> move the member to another AP
 //	query [level]           Membership-Query (TMS by default)
 //	members                 local topmost-ring view (empty if not hosted here)
+//	ring                    hosted topmost node's roster size and leader
 //	settle                  wait for local quiescence
 //	stats                   transport + wire counters
 //	peers                   live peer table (slot, address, state, age, frames)
@@ -47,6 +48,19 @@
 // new address with no config reload anywhere:
 //
 //	rgbnode -bind 127.0.0.1:0 -seeds 127.0.0.1:7000 -seedslot 2
+//
+// With -http addr the daemon additionally serves the read-only HTTP
+// operability plane (rgb.NewAdminHandler): GET /metrics in Prometheus
+// text format, GET /healthz (200 ok / 503 bootstrapping or degraded),
+// and the admin JSON API (/v1/members?group=, /v1/peers, /v1/shards).
+// The bound address is announced as an "http <addr>" line before
+// "ready"; a bind failure exits nonzero. The stdin "stats" line
+// renders from the same telemetry registry the exposition serves, so
+// the two can never disagree.
+//
+// SIGINT/SIGTERM shut the daemon down cleanly: the cluster and the
+// HTTP listener close before the process exits (stdin "quit" does the
+// same).
 package main
 
 import (
@@ -54,10 +68,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/rgbproto/rgb"
@@ -75,6 +93,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deployment seed")
 	heartbeat := flag.Duration("heartbeat", 0, "heartbeat interval (0 disables)")
 	groups := flag.Int("groups", 1, "independent groups hosted over this socket")
+	httpAddr := flag.String("http", "", "TCP address for /metrics, /healthz and the admin JSON API (empty disables)")
 	corrupt := flag.Float64("corrupt", 0, "fault injection: per-datagram corruption probability")
 	replay := flag.Float64("replay", 0, "fault injection: per-datagram duplicate/replay probability")
 	misroute := flag.Float64("misroute", 0, "fault injection: per-datagram misroute probability")
@@ -98,13 +117,13 @@ func main() {
 			extra = append(extra, rgb.WithSeedSlot(*seedSlot))
 		}
 	}
-	if err := run(*bind, *advertise, *index, *peers, *h, *r, *seed, *groups, extra); err != nil {
+	if err := run(*bind, *advertise, *index, *peers, *httpAddr, *h, *r, *seed, *groups, extra); err != nil {
 		fmt.Fprintln(os.Stderr, "rgbnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bind, advertise string, index int, peerList string, h, r int, seed uint64, groups int, extra []rgb.Option) error {
+func run(bind, advertise string, index int, peerList, httpAddr string, h, r int, seed uint64, groups int, extra []rgb.Option) error {
 	opts := []rgb.Option{
 		rgb.WithHierarchy(h, r),
 		rgb.WithSeed(seed),
@@ -150,6 +169,13 @@ func run(bind, advertise string, index int, peerList string, h, r int, seed uint
 	}
 	svc := svcs[0]
 
+	// Every mode has an owning cluster (single-group mode an implicit
+	// one): the handle for telemetry, health and the admin surface.
+	// Enabling telemetry before announcing readiness means the
+	// instrumentation observes every round and commit of the run.
+	opc := svc.Cluster()
+	reg := opc.Telemetry()
+
 	topo := svc.Topology()
 	if cluster != nil {
 		la, _ := cluster.LocalAddr()
@@ -159,13 +185,49 @@ func run(bind, advertise string, index int, peerList string, h, r int, seed uint
 		fmt.Printf("rgbnode: listening on %s index=%d entities=%d rings=%d aps=%d\n",
 			nrt.LocalAddr(), index, topo.Entities, topo.Rings, topo.APs)
 	}
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return fmt.Errorf("http listen %s: %w", httpAddr, err)
+		}
+		srv := &http.Server{Handler: rgb.NewAdminHandler(opc)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("http %s\n", ln.Addr())
+	}
 	fmt.Println("ready")
+
+	// Stdin commands and termination signals are served from one
+	// select loop so SIGINT/SIGTERM get the same clean shutdown path
+	// (deferred cluster and HTTP listener closes) as "quit".
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	lines := make(chan string)
+	scanErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		scanErr <- sc.Err()
+		close(lines)
+	}()
 
 	ctx := context.Background()
 	aps := svc.APs()
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+	for {
+		var line string
+		select {
+		case sig := <-sigs:
+			fmt.Printf("ok signal %s\n", sig)
+			return nil
+		case l, ok := <-lines:
+			if !ok {
+				return <-scanErr
+			}
+			line = l
+		}
+		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
 		}
@@ -294,25 +356,17 @@ func run(bind, advertise string, index int, peerList string, h, r int, seed uint
 				continue
 			}
 			fmt.Printf("ok members n=%d members=%s\n", len(members), renderGUIDs(members))
+		case "ring":
+			view, err := svc.RingView(ctx)
+			if err != nil {
+				fmt.Println("err ring:", err)
+				continue
+			}
+			fmt.Printf("ok ring roster=%d leader=%s hosted=%v\n", view.Roster, view.Leader, view.Hosted)
 		case "stats":
-			st := svc.Stats()
-			var ns rgb.NetStats
-			if cluster != nil {
-				ns, _ = cluster.NetStats()
-			} else {
-				ns = nrt.NetStats()
-			}
-			fmt.Printf("ok stats sent=%d delivered=%d dropped=%d received=%d relayed=%d decode_errors=%d unknown_version=%d unknown_group=%d cut=%d faults=%d/%d/%d/%d joined=%d evicted=%d gossip=%d dup=%d\n",
-				st.Sent, st.Delivered, st.Dropped, ns.Received, ns.Relayed, ns.DecodeErrors, ns.UnknownVersion, ns.UnknownGroup,
-				st.Cut, ns.FaultCorrupt, ns.FaultReplay, ns.FaultMisroute, ns.FaultReorder,
-				ns.PeerJoined, ns.PeerEvicted, ns.GossipFrames, ns.DupDropped)
+			fmt.Println(statsLine(reg))
 		case "peers":
-			var peers []rgb.PeerInfo
-			if cluster != nil {
-				peers, _ = cluster.Peers()
-			} else {
-				peers = nrt.Peers()
-			}
+			peers, _ := opc.Peers()
 			var sb strings.Builder
 			fmt.Fprintf(&sb, "ok peers n=%d", len(peers))
 			now := time.Now()
@@ -325,7 +379,6 @@ func run(bind, advertise string, index int, peerList string, h, r int, seed uint
 			fmt.Println("err unknown command:", cmd)
 		}
 	}
-	return sc.Err()
 }
 
 // guidAndAP parses "<guid> [apIndex]" command arguments.
@@ -346,6 +399,27 @@ func guidAndAP(args []string, aps []rgb.NodeID, wantAP bool) (rgb.GUID, rgb.Node
 		ap = aps[i]
 	}
 	return rgb.GUID(g), ap, nil
+}
+
+// statsLine renders the classic "ok stats ..." line from the
+// telemetry registry — the same samples /metrics exposes, summed over
+// label sets (groups), so the stdin protocol, the exposition and
+// Cluster.NetStats can never disagree.
+func statsLine(reg *rgb.Telemetry) string {
+	totals := make(map[string]float64)
+	for _, s := range reg.Gather() {
+		totals[s.Name] += s.Value
+	}
+	u := func(name string) uint64 { return uint64(totals[name]) }
+	return fmt.Sprintf("ok stats sent=%d delivered=%d dropped=%d received=%d relayed=%d decode_errors=%d unknown_version=%d unknown_group=%d cut=%d faults=%d/%d/%d/%d joined=%d evicted=%d gossip=%d dup=%d",
+		u("rgb_transport_sent_total"), u("rgb_transport_delivered_total"), u("rgb_transport_dropped_total"),
+		u("rgb_net_received_total"), u("rgb_net_relayed_total"), u("rgb_net_decode_errors_total"),
+		u("rgb_net_unknown_version_total"), u("rgb_net_unknown_group_total"),
+		u("rgb_transport_cut_total"),
+		u("rgb_net_fault_corrupt_total"), u("rgb_net_fault_replay_total"),
+		u("rgb_net_fault_misroute_total"), u("rgb_net_fault_reorder_total"),
+		u("rgb_net_peer_joined_total"), u("rgb_net_peer_evicted_total"),
+		u("rgb_net_gossip_frames_total"), u("rgb_net_dup_dropped_total"))
 }
 
 // renderGUIDs renders member GUIDs sorted and comma-separated.

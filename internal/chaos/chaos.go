@@ -33,6 +33,11 @@ type Config struct {
 	Seed      uint64        // deployment seed (default 1)
 	Heartbeat time.Duration // heartbeat interval (default 250ms; drives failure detection)
 
+	// HTTP, when true, gives every daemon an ephemeral -http listener
+	// (the /metrics + /healthz + admin plane); the bound address is
+	// recorded in Proc.HTTPAddr. rgbsoak scrapes these mid-churn.
+	HTTP bool
+
 	// Logf, when non-nil, receives harness progress lines (plug in
 	// t.Logf or log.Printf).
 	Logf func(format string, args ...any)
@@ -67,6 +72,10 @@ func (c *Config) defaults() error {
 // protocol. All methods are safe for use from one goroutine at a time.
 type Proc struct {
 	Index int
+
+	// HTTPAddr is the daemon's bound -http address ("127.0.0.1:port"),
+	// empty unless the deployment was launched with Config.HTTP.
+	HTTPAddr string
 
 	cmd   *exec.Cmd
 	mu    sync.Mutex
@@ -124,24 +133,45 @@ func Launch(cfg Config) (*Engine, error) {
 		e.procs = append(e.procs, p)
 	}
 	for _, p := range e.procs {
-		if _, err := p.Expect("ready", 20*time.Second); err != nil {
+		if err := e.awaitReady(p); err != nil {
 			e.Close()
-			return nil, fmt.Errorf("chaos: rgbnode[%d] never became ready: %w", p.Index, err)
+			return nil, err
 		}
 		e.logf("chaos: rgbnode[%d] ready on %s", p.Index, e.peers[p.Index])
 	}
 	return e, nil
 }
 
+// awaitReady consumes a freshly launched daemon's banner: the "http
+// <addr>" line first when the HTTP plane is on (Expect discards
+// non-matching lines, so the order matters), then "ready".
+func (e *Engine) awaitReady(p *Proc) error {
+	if e.cfg.HTTP {
+		line, err := p.Expect("http ", 20*time.Second)
+		if err != nil {
+			return fmt.Errorf("chaos: rgbnode[%d] never bound -http: %w", p.Index, err)
+		}
+		p.HTTPAddr = strings.TrimSpace(strings.TrimPrefix(line, "http "))
+	}
+	if _, err := p.Expect("ready", 20*time.Second); err != nil {
+		return fmt.Errorf("chaos: rgbnode[%d] never became ready: %w", p.Index, err)
+	}
+	return nil
+}
+
 func (e *Engine) start(index int) (*Proc, error) {
-	return e.launch(index,
+	args := []string{
 		"-bind", e.peers[index],
 		"-index", strconv.Itoa(index),
 		"-peers", strings.Join(e.peers, ","),
 		"-h", strconv.Itoa(e.cfg.H), "-r", strconv.Itoa(e.cfg.R),
 		"-seed", strconv.FormatUint(e.cfg.Seed, 10),
 		"-heartbeat", e.cfg.Heartbeat.String(),
-	)
+	}
+	if e.cfg.HTTP {
+		args = append(args, "-http", "127.0.0.1:0")
+	}
+	return e.launch(index, args...)
 }
 
 func (e *Engine) launch(index int, args ...string) (*Proc, error) {
@@ -195,18 +225,22 @@ func (e *Engine) Restart(slot, seedIndex int) error {
 	old := e.peers[slot]
 	e.peers[slot] = addr
 
-	p, err := e.launch(slot,
+	args := []string{
 		"-bind", addr,
 		"-seeds", e.peers[seedIndex],
 		"-seedslot", strconv.Itoa(slot),
 		"-seed", strconv.FormatUint(e.cfg.Seed, 10),
 		"-heartbeat", e.cfg.Heartbeat.String(),
-	)
+	}
+	if e.cfg.HTTP {
+		args = append(args, "-http", "127.0.0.1:0")
+	}
+	p, err := e.launch(slot, args...)
 	if err != nil {
 		return err
 	}
-	if _, err := p.Expect("ready", 20*time.Second); err != nil {
-		return fmt.Errorf("chaos: restarted rgbnode[%d] never became ready: %w", slot, err)
+	if err := e.awaitReady(p); err != nil {
+		return fmt.Errorf("chaos: restarted rgbnode[%d]: %w", slot, err)
 	}
 	e.procs[slot] = p
 	e.logf("chaos: rgbnode[%d] restarted on %s (was %s), seeded by rgbnode[%d]", slot, addr, old, seedIndex)
@@ -357,6 +391,83 @@ func (e *Engine) Heal() error {
 // elapses — in which case the error carries every process's last
 // reply.
 func (e *Engine) AwaitConvergence(want string, timeout time.Duration, except ...int) error {
+	return e.await("query", want, timeout, except...)
+}
+
+// AwaitAuthoritative polls "members" — each process's own topmost
+// node's authoritative view — until every live process not in except
+// renders want. AwaitConvergence proves the hierarchy answers
+// consistently through the query path (which routes via AP 0); this
+// proves every process's topmost ring actually merged and applied the
+// changes. The distinction matters around partitions: a member removed
+// while some fragment is still detached is resurrected when that
+// fragment's stale list folds back in (the merge is a union with no
+// tombstones), so a churn driver must see authoritative agreement
+// before it cuts again.
+func (e *Engine) AwaitAuthoritative(want string, timeout time.Duration, except ...int) error {
+	return e.await("members", want, timeout, except...)
+}
+
+// AwaitRingUnited polls "ring" on every live process not in except
+// until each one's hosted topmost node reports a roster of want
+// entities and all agree on a single leader. Membership agreement
+// (AwaitAuthoritative) is necessary but not sufficient after a heal:
+// fragments can hold identical member lists while their topmost
+// rosters are still split, and a removal committed on a split ring is
+// resurrected when the detached fragment's list folds back in. A churn
+// driver that waits for ring unity closes that window.
+func (e *Engine) AwaitRingUnited(want int, timeout time.Duration, except ...int) error {
+	skip := make(map[int]bool, len(except))
+	for _, i := range except {
+		skip[i] = true
+	}
+	needle := fmt.Sprintf("roster=%d ", want)
+	deadline := time.Now().Add(timeout)
+	last := make(map[int]string)
+	for {
+		all := true
+		leaders := make(map[string]bool)
+		for _, p := range e.procs {
+			if skip[p.Index] || p.Dead() {
+				continue
+			}
+			line, err := p.Do("ring")
+			if err != nil {
+				return err
+			}
+			last[p.Index] = line
+			if !strings.Contains(line, "hosted=true") {
+				continue // pure client slot: no topmost node to compare
+			}
+			if !strings.Contains(line, needle) {
+				all = false
+			}
+			for _, f := range strings.Fields(line) {
+				if l, ok := strings.CutPrefix(f, "leader="); ok {
+					leaders[l] = true
+				}
+			}
+		}
+		if all && len(leaders) <= 1 {
+			e.logf("chaos: ring united at roster=%d", want)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "chaos: ring not united at roster=%d within %s:", want, timeout)
+			for _, p := range e.procs {
+				if skip[p.Index] || p.Dead() {
+					continue
+				}
+				fmt.Fprintf(&sb, "\n  rgbnode[%d]: %s", p.Index, last[p.Index])
+			}
+			return fmt.Errorf("%s", sb.String())
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
+func (e *Engine) await(cmd, want string, timeout time.Duration, except ...int) error {
 	skip := make(map[int]bool, len(except))
 	for _, i := range except {
 		skip[i] = true
@@ -369,7 +480,7 @@ func (e *Engine) AwaitConvergence(want string, timeout time.Duration, except ...
 			if skip[p.Index] || p.Dead() {
 				continue
 			}
-			line, err := p.Do("query")
+			line, err := p.Do(cmd)
 			if err != nil {
 				return err
 			}
@@ -379,12 +490,12 @@ func (e *Engine) AwaitConvergence(want string, timeout time.Duration, except ...
 			}
 		}
 		if all {
-			e.logf("chaos: converged to %q", want)
+			e.logf("chaos: %s converged to %q", cmd, want)
 			return nil
 		}
 		if time.Now().After(deadline) {
 			var sb strings.Builder
-			fmt.Fprintf(&sb, "chaos: no convergence to %q within %s:", want, timeout)
+			fmt.Fprintf(&sb, "chaos: no %s convergence to %q within %s:", cmd, want, timeout)
 			for _, p := range e.procs {
 				if skip[p.Index] || p.Dead() {
 					continue

@@ -100,9 +100,18 @@ const eventDedupWindow = 8192
 // state.
 func (s *System) SetEventSink(fn func(Event)) {
 	s.eventSink = fn
+	s.resetEventDedup()
+}
+
+// resetEventDedup (re)allocates the committed-operation dedup state.
+// Both the event sink and the instrumentation ride the same dedup —
+// each commit is observed once — so the state lives while either
+// observer is installed (Service.Close removes the sink but must not
+// break a still-installed instrumentation).
+func (s *System) resetEventDedup() {
 	s.eventSeen = nil
 	s.eventSeenQ = nil
-	if fn != nil {
+	if s.eventSink != nil || s.instr != nil {
 		s.eventSeen = make(map[changeKey]struct{})
 	}
 }
@@ -135,7 +144,10 @@ func (s *System) emitMemberChange(c mq.Change) {
 	}
 	s.eventSeen[key] = struct{}{}
 	s.eventSeenQ = append(s.eventSeenQ, key)
-	s.eventSink(Event{Kind: kind, Member: c.Member, At: s.clock.Now()})
+	s.observeViewChange(kind, key)
+	if s.eventSink != nil {
+		s.eventSink(Event{Kind: kind, Member: c.Member, At: s.clock.Now()})
+	}
 }
 
 // emitRepair reports one local ring repair.

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/ring"
+	"github.com/rgbproto/rgb/internal/runtime"
+)
+
+// Instrumentation is the protocol engine's timing observer — the
+// operability twin of the event sink. Where SetEventSink reports
+// *what* committed (for Watch subscribers), an Instrumentation
+// reports *how long it took*: token-round duration, submit-to-commit
+// view-change latency, and the silence gap a repair closed. The rgb
+// layer feeds these into the telemetry registry's histograms.
+//
+// Contract: callbacks run in engine context and must not block,
+// send messages, arm timers or draw randomness — instrumentation is
+// purely observational, so installing it never changes protocol
+// behaviour (the golden trace and event-sequence digests are
+// identical with or without it). Nil callbacks are skipped. The hot
+// paths are gated on the Instrumentation pointer, so an
+// uninstrumented System pays nothing.
+type Instrumentation struct {
+	// RoundDone observes one completed token round: the ring's level,
+	// the wall (or virtual) duration from the round's start at the
+	// holder to its completion, and the membership operations carried.
+	RoundDone func(level int, d time.Duration, ops int)
+
+	// ViewChange observes one member operation committing at the
+	// topmost ring — the moment GlobalMembership reflects it. measured
+	// reports whether d is meaningful: the submit timestamp is only
+	// known for operations submitted through this process (a remote
+	// origin's latency is observed by the remote process).
+	ViewChange func(kind EventKind, d time.Duration, measured bool)
+
+	// Repair observes one ring repair (a dead entity excluded), with
+	// the silence gap since the repaired ring last saw a token — how
+	// long the failure went unrepaired.
+	Repair func(d time.Duration)
+}
+
+// instrPendingWindow bounds the submit-timestamp map, mirroring the
+// event dedup window: a change commits within a few rounds of its
+// submission, so the state stays constant-size for the life of the
+// process.
+const instrPendingWindow = 4096
+
+// SetInstrumentation installs (or, with nil, removes) the system's
+// timing observer. Must run in engine context. Installing resets the
+// commit-dedup state shared with the event sink.
+func (s *System) SetInstrumentation(in *Instrumentation) {
+	s.instr = in
+	s.instrRoundStart = nil
+	s.instrPending = nil
+	s.instrPendingQ = nil
+	if in != nil {
+		s.instrRoundStart = make(map[ring.ID]runtime.Time, len(s.ringBusy))
+		s.instrPending = make(map[changeKey]runtime.Time, instrPendingWindow)
+		s.instrPendingQ = make([]changeKey, 0, 64)
+	}
+	s.resetEventDedup()
+}
+
+// noteRoundStart stamps the moment a ring's round began (the holder
+// took ownership). One map store per round, allocation-free in steady
+// state.
+func (s *System) noteRoundStart(id ring.ID) {
+	if s.instr == nil {
+		return
+	}
+	s.instrRoundStart[id] = s.clock.Now()
+}
+
+// observeRoundDone reports a completed round to the instrumentation.
+func (s *System) observeRoundDone(holder *Node, ops int) {
+	if s.instr == nil || s.instr.RoundDone == nil {
+		return
+	}
+	start, ok := s.instrRoundStart[holder.ringID]
+	if !ok {
+		return
+	}
+	s.instr.RoundDone(holder.level, s.clock.Now().Sub(start), ops)
+}
+
+// noteSubmitted stamps a membership operation's entry into the
+// protocol (its Origin+Seq identity was just minted at an access
+// proxy), so the commit at the topmost ring can report the
+// end-to-end view-change latency.
+func (s *System) noteSubmitted(origin ids.NodeID, seq uint64) {
+	if s.instr == nil {
+		return
+	}
+	if len(s.instrPendingQ) >= instrPendingWindow {
+		delete(s.instrPending, s.instrPendingQ[0])
+		s.instrPendingQ = s.instrPendingQ[1:]
+	}
+	key := changeKey{origin: origin, seq: seq}
+	s.instrPending[key] = s.clock.Now()
+	s.instrPendingQ = append(s.instrPendingQ, key)
+}
+
+// observeViewChange reports one deduplicated topmost-ring commit.
+func (s *System) observeViewChange(kind EventKind, key changeKey) {
+	if s.instr == nil || s.instr.ViewChange == nil {
+		return
+	}
+	if at, ok := s.instrPending[key]; ok {
+		delete(s.instrPending, key)
+		s.instr.ViewChange(kind, s.clock.Now().Sub(at), true)
+		return
+	}
+	s.instr.ViewChange(kind, 0, false)
+}
+
+// observeRepair reports one ring repair with the token-silence gap.
+func (s *System) observeRepair(id ring.ID) {
+	if s.instr == nil || s.instr.Repair == nil {
+		return
+	}
+	var d time.Duration
+	if last, ok := s.ringLastTok[id]; ok {
+		d = s.clock.Now().Sub(last)
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.instr.Repair(d)
+}

@@ -59,6 +59,16 @@ type Node struct {
 	notifySeq   uint64
 	notifyWait  map[uint64]*notifyRetry // lazily allocated on first notify
 
+	// openRound retains the operations of this node's outstanding
+	// round as holder, so the token-loss watchdog can re-submit them if
+	// the token dies with a crashed carrier after the pass was already
+	// acknowledged. Cleared when the round terminates at this holder.
+	// openRoundSeq identifies that round, so completing an ADOPTED
+	// round (the original holder died and this node took it over) does
+	// not discard the retained batch of this node's own open round.
+	openRound    mq.Batch
+	openRoundSeq uint64
+
 	// ackScratch is the per-round deduplication scratch reused by
 	// completeRound.
 	ackScratch []ids.NodeID
@@ -264,13 +274,15 @@ func (n *Node) HandleMessage(msg runtime.Message) {
 // receiveMemberMsg queues an MH-observed membership change
 // (Member-Join/Leave/Handoff/Failure) into the MQ and requests a round.
 func (n *Node) receiveMemberMsg(m wire.MemberChange, from ids.NodeID) {
-	n.queue.Insert(mq.Change{
+	c := mq.Change{
 		Op:      m.Op,
 		Member:  m.Member,
 		Origin:  n.id,
 		Seq:     n.nextSeq(),
 		ReplyTo: from,
-	})
+	}
+	n.queue.Insert(c)
+	n.sys.noteSubmitted(c.Origin, c.Seq)
 	n.sys.requestRound(n, token.FromLocal, ring.ID{})
 }
 
@@ -296,6 +308,15 @@ func (n *Node) startRound(dir token.Direction, source ring.ID, extra mq.Batch) {
 	}
 	if dir == token.FromLocal {
 		tok.Fold(n.id, n.queue.DrainBatch(0))
+	}
+	// Retain the batch for watchdog recovery (copied, reusing the
+	// node's scratch: downstream members append repair operations to
+	// the token in place, and the rare post-requeue round starts with
+	// a fresh buffer because requeueOpenRounds hands the old one off).
+	n.openRound = n.openRound[:0]
+	if len(tok.Ops) > 0 {
+		n.openRound = append(n.openRound, tok.Ops...)
+		n.openRoundSeq = tok.Round
 	}
 	// Execute first: NE-Failure/NE-Join operations in the batch prune
 	// or extend the holder's roster, and the itinerary must reflect
@@ -392,7 +413,7 @@ func rewriteReplyTo(ops mq.Batch, forwarder ids.NodeID) mq.Batch {
 
 // applyChange updates the membership lists for one operation.
 func (n *Node) applyChange(c mq.Change, dir token.Direction) {
-	if n.level == 0 && n.sys.eventSink != nil {
+	if n.level == 0 && (n.sys.eventSink != nil || n.sys.instr != nil) {
 		// Commit point for observers: the topmost ring is the
 		// authoritative view, and executing the op here is exactly
 		// when GlobalMembership starts reflecting it.
@@ -500,6 +521,16 @@ func (n *Node) passTimedOut() {
 	if !n.inFlightSet {
 		return
 	}
+	if n.sys.tr.Crashed(n.id) {
+		// A crashed carrier does no protocol work: in a live
+		// deployment the kill destroys the process and its timers, and
+		// the token in its hands is simply lost. Without this gate the
+		// simulated corpse ghost-walks the whole repair (excluding
+		// every ring-mate, completing the round and releasing the
+		// ring), masking exactly the loss the watchdog must recover.
+		n.clearInFlight()
+		return
+	}
 	ps := &n.inFlight
 	if !ps.Exhausted(n.sys.cfg.Retransmit) {
 		ps.Retries++
@@ -559,6 +590,9 @@ func (n *Node) receivePassAck(wire.PassAck) {
 func (n *Node) completeRound(tok *token.Token) {
 	n.roundsCompleted++
 	n.ringOK = true
+	if tok.Round == n.openRoundSeq {
+		n.openRound = n.openRound[:0]
+	}
 	// Acknowledge distinct originators (Figure 3 lines 17-20). The
 	// dedup scratch lives on the node: batches are small (a linear scan
 	// beats a map) and the buffer is reused across rounds.
@@ -763,8 +797,29 @@ func (n *Node) receiveMergeRequest(req wire.MergeRequest) {
 // exactly one of two mutually-probing fragment leaders initiates and
 // the merge direction is deterministic.
 func (n *Node) receiveProbe(from ids.NodeID) {
-	if from.IsZero() || n.rosterContains(from) || !n.sys.sameRing(from, n.id) ||
-		!n.isLeader() || n.sys.neStale(n.id) || n.id <= from {
+	if from.IsZero() || !n.sys.sameRing(from, n.id) {
+		return
+	}
+	if n.rosterContains(from) {
+		// Probes are only ever sent to nodes the prober has excluded
+		// from its roster, so a probe from a node still in OUR roster
+		// exposes an asymmetric split: the prober — typically a leader
+		// that was cut off alone and repaired its ring down to itself —
+		// excluded this side, while this side never noticed. Leader
+		// suspicion would eventually catch the silent leader, but it is
+		// suppressed for as long as the ring sits busy behind the
+		// token-loss watchdog (a cut that swallows an in-flight token
+		// wedges the ring for len(ring)·retries·RTO). Excluding the
+		// prober here turns this side into a self-aware fragment with a
+		// live leader immediately, and the very next probe exchange
+		// merges the two rings back.
+		if from == n.leader && from != n.id {
+			n.sys.noteRepair(n.ringID, from)
+			n.excludeFromRoster(from)
+		}
+		return
+	}
+	if !n.isLeader() || n.sys.neStale(n.id) || n.id <= from {
 		return
 	}
 	n.sys.send(n.id, from, runtime.KindControl, wire.MergeRequest{

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rgbproto/rgb/internal/ids"
+)
+
+// TestProbeFromOwnLeaderExposesAsymmetricSplit guards receiveProbe's
+// split detection. An asymmetric partition isolates the ring leader:
+// its token passes all fail, so it repairs its ring down to a solo
+// roster, while the cut-off majority — typically wedged behind the
+// token-loss watchdog (the cut swallowed an in-flight token, so the
+// ring stays busy and leader suspicion never fires) — keeps the full
+// roster with the unreachable leader still in it. After the heal the
+// solo ex-leader probes everyone it excluded. Since probes only ever
+// target nodes the prober expelled, a probe arriving FROM a node this
+// side still lists — its own leader, no less — proves the split:
+// the receiver must expel that leader locally (electing the live
+// successor) instead of ignoring the probe, or reunion stalls until
+// the much slower token-loss timeout (~len(ring)·retries·RTO).
+func TestProbeFromOwnLeaderExposesAsymmetricSplit(t *testing.T) {
+	sys := NewSystem(quietConfig(2, 6))
+	apNode := sys.Node(sys.APs()[0])
+	roster := apNode.Roster()
+	sys.JoinMemberAt(ids.GUID(1), roster[0])
+	sys.Run()
+
+	ld := sys.Node(apNode.Leader())
+	// The isolated-leader half of the split: every ring-mate excluded
+	// back to back by failed token passes.
+	for _, m := range roster {
+		if m != ld.id {
+			ld.excludeFromRoster(m)
+		}
+	}
+	if got := len(ld.Roster()); got != 1 || !ld.isLeader() {
+		t.Fatalf("setup: isolated leader roster=%d leader=%v", got, ld.leader)
+	}
+
+	// Heal: the ex-leader's heartbeat probes each expelled node. Every
+	// majority node must treat the probe from its own leader as split
+	// evidence and expel that leader.
+	for _, m := range roster {
+		if m == ld.id {
+			continue
+		}
+		n := sys.Node(m)
+		n.receiveProbe(ld.id)
+		if n.rosterContains(ld.id) {
+			t.Fatalf("node %s ignored the probe and still lists the ex-leader %s", m, ld.id)
+		}
+		if n.leader == ld.id {
+			t.Fatalf("node %s expelled the ex-leader but still follows it", m)
+		}
+	}
+	sys.Run()
+
+	// Both fragments are now self-aware with live leaders; the next
+	// probe exchange must merge them organically.
+	var ringNodes []ids.NodeID
+	for _, rg := range sys.hier.Rings() {
+		if rg.ID() == apNode.Ring() {
+			ringNodes = rg.Nodes()
+		}
+	}
+	sys.probeExcluded(ld, ringNodes)
+	sys.Run()
+	for _, m := range roster {
+		n := sys.Node(m)
+		if got := len(n.Roster()); got != len(roster) {
+			t.Errorf("node %s roster size after reunion = %d, want %d", m, got, len(roster))
+		}
+	}
+	if sys.RosterAgreement() != 0 {
+		t.Error("rosters diverged after probe-driven reunion")
+	}
+	if !apNode.RingMembers().Contains(1) {
+		t.Error("ring membership lost across the asymmetric split")
+	}
+}

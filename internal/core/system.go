@@ -109,6 +109,15 @@ type System struct {
 	// cut away in another process) — the trigger for leader suspicion.
 	ringLastTok map[ring.ID]runtime.Time
 
+	// ringRoundStart stamps when this process last put a ring busy with
+	// a locally-held round. The token-loss watchdog measures a round's
+	// age from here rather than from ringLastTok: on a ring spanning
+	// several processes, other holders' heartbeat tokens keep flowing
+	// through local members and refresh ringLastTok, so global token
+	// silence never occurs even when this process's own round died
+	// with its carrier.
+	ringRoundStart map[ring.ID]runtime.Time
+
 	mhOrdinal int
 	luidSeq   map[ids.NodeID]uint32
 
@@ -126,6 +135,14 @@ type System struct {
 	eventSink  func(Event)
 	eventSeen  map[changeKey]struct{}
 	eventSeenQ []changeKey
+
+	// Timing observer (instrument.go). instrRoundStart stamps each
+	// ring's in-flight round; instrPending maps a locally-submitted
+	// change to its submit time until the topmost-ring commit.
+	instr           *Instrumentation
+	instrRoundStart map[ring.ID]runtime.Time
+	instrPending    map[changeKey]runtime.Time
+	instrPendingQ   []changeKey
 
 	heartbeats []runtime.Ticker
 }
@@ -159,20 +176,21 @@ func NewSystemOn(cfg Config, rt runtime.Runtime) *System {
 		leaderOf[rg.ID()] = rg.Leader()
 	}
 	s := &System{
-		cfg:         cfg,
-		rt:          rt,
-		clock:       rt.Clock(),
-		tr:          rt.Transport(),
-		hier:        hier,
-		rng:         mathx.NewRNG(cfg.Seed ^ 0x9b2e5f4ac3d17086),
-		nodes:       make(map[ids.NodeID]*Node, total),
-		members:     make(map[ids.GUID]*Member),
-		mhOwner:     make(map[ids.NodeID]*Member),
-		ringBusy:    make(map[ring.ID]bool, len(leaderOf)),
-		ringPending: make(map[ring.ID][]pendingRound, len(leaderOf)),
-		ringLastTok: make(map[ring.ID]runtime.Time, len(leaderOf)),
-		luidSeq:     make(map[ids.NodeID]uint32),
-		staleNE:     make(map[ids.NodeID]bool),
+		cfg:            cfg,
+		rt:             rt,
+		clock:          rt.Clock(),
+		tr:             rt.Transport(),
+		hier:           hier,
+		rng:            mathx.NewRNG(cfg.Seed ^ 0x9b2e5f4ac3d17086),
+		nodes:          make(map[ids.NodeID]*Node, total),
+		members:        make(map[ids.GUID]*Member),
+		mhOwner:        make(map[ids.NodeID]*Member),
+		ringBusy:       make(map[ring.ID]bool, len(leaderOf)),
+		ringPending:    make(map[ring.ID][]pendingRound, len(leaderOf)),
+		ringLastTok:    make(map[ring.ID]runtime.Time, len(leaderOf)),
+		ringRoundStart: make(map[ring.ID]runtime.Time, len(leaderOf)),
+		luidSeq:        make(map[ids.NodeID]uint32),
+		staleNE:        make(map[ids.NodeID]bool),
 	}
 	owned := 0
 	for _, rg := range hier.Rings() {
@@ -346,7 +364,7 @@ func (s *System) requestRoundWithBatch(n *Node, dir token.Direction, source ring
 	if dir == token.FromLocal && batch == nil && n.queue.Len() == 0 {
 		return // nothing to do
 	}
-	s.ringBusy[n.ringID] = true
+	s.markRingBusy(n.ringID)
 	n.startRound(dir, source, batch)
 }
 
@@ -357,6 +375,7 @@ func (s *System) requestRoundWithBatch(n *Node, dir token.Direction, source ring
 func (s *System) roundDone(holder *Node, tok *token.Token, repaired bool) {
 	s.rounds++
 	s.opsCarried += uint64(len(tok.Ops))
+	s.observeRoundDone(holder, len(tok.Ops))
 	s.ringBusy[holder.ringID] = false
 	if repaired && len(tok.Ops) > 0 {
 		// A mid-round repair means some members executed the token
@@ -387,7 +406,7 @@ func (s *System) dispatchPending(id ring.ID) {
 			continue
 		}
 		s.ringPending[id] = queue
-		s.ringBusy[id] = true
+		s.markRingBusy(id)
 		n.startRound(next.dir, next.source, next.batch)
 		return
 	}
@@ -397,6 +416,7 @@ func (s *System) dispatchPending(id ring.ID) {
 // noteRepair records a repair event.
 func (s *System) noteRepair(id ring.ID, dead ids.NodeID) {
 	s.repairs = append(s.repairs, RepairEvent{Ring: id, Dead: dead})
+	s.observeRepair(id)
 	s.emitRepair(id, dead)
 }
 
@@ -433,9 +453,10 @@ func (s *System) startHeartbeats() {
 		}
 		t := s.clock.Every(s.cfg.HeartbeatInterval, func() {
 			if s.ringBusy[id] {
-				if s.clock.Now().Sub(s.ringLastTok[id]) > lostAfter {
+				if s.clock.Now().Sub(s.ringRoundStart[id]) > lostAfter {
 					s.ringBusy[id] = false
 					s.noteTokenSeen(id)
+					s.requeueOpenRounds(id, ringNodes)
 					s.dispatchPending(id)
 				}
 				return
@@ -446,7 +467,7 @@ func (s *System) startHeartbeats() {
 				return
 			}
 			s.probeExcluded(leaderNode, ringNodes)
-			s.ringBusy[id] = true
+			s.markRingBusy(id)
 			leaderNode.startRound(token.FromLocal, ring.ID{}, nil)
 		})
 		s.heartbeats = append(s.heartbeats, t)
@@ -457,6 +478,35 @@ func (s *System) startHeartbeats() {
 // ring's current leader regime is functioning, so leader suspicion
 // starts its silence window over.
 func (s *System) noteTokenSeen(id ring.ID) { s.ringLastTok[id] = s.clock.Now() }
+
+// markRingBusy claims a ring for a locally-held round and stamps the
+// round's start time for the token-loss watchdog.
+func (s *System) markRingBusy(id ring.ID) {
+	s.ringBusy[id] = true
+	s.ringRoundStart[id] = s.clock.Now()
+	s.noteRoundStart(id)
+}
+
+// requeueOpenRounds re-submits the retained batch of any locally-owned
+// holder whose round the watchdog just declared lost. A token dies
+// with its carrier (kill -9 of a process that acknowledged the pass),
+// and the operations it carried — already acknowledged to their
+// originators — would otherwise vanish: the notify retransmission
+// protection was satisfied the moment the holder folded them in.
+// Membership operations are idempotent (the mid-round-repair
+// re-circulation in roundDone relies on the same property), so if the
+// round was merely slow rather than lost, the extra round is harmless.
+func (s *System) requeueOpenRounds(id ring.ID, ringNodes []ids.NodeID) {
+	for _, m := range ringNodes {
+		n := s.nodes[m]
+		if n == nil || !s.owns(m) || s.tr.Crashed(m) || s.neStale(m) || len(n.openRound) == 0 {
+			continue
+		}
+		batch := n.openRound
+		n.openRound = nil
+		s.ringPending[id] = append([]pendingRound{{at: n.id, dir: token.FromLocal, batch: batch}}, s.ringPending[id]...)
+	}
+}
 
 // suspectSilentLeader is the heartbeat fallback for a ring fragment
 // with no locally-reachable leader: every member of this process's
@@ -648,7 +698,9 @@ func (s *System) FailMember(guid ids.GUID) error {
 		s.send(m.node, m.AP, runtime.KindMemberMsg, wire.MemberChange{Op: mq.OpMemberFailure, Member: s.infoOf(m)})
 		return nil
 	}
-	ap.queue.Insert(mq.Change{Op: mq.OpMemberFailure, Member: s.infoOf(m), Origin: ap.id, Seq: ap.nextSeq()})
+	c := mq.Change{Op: mq.OpMemberFailure, Member: s.infoOf(m), Origin: ap.id, Seq: ap.nextSeq()}
+	ap.queue.Insert(c)
+	s.noteSubmitted(c.Origin, c.Seq)
 	s.requestRound(ap, token.FromLocal, ring.ID{})
 	return nil
 }
@@ -762,6 +814,24 @@ func (s *System) GlobalMembership() []ids.MemberInfo {
 	// only lower rings, or a pure client): the authoritative view
 	// must be fetched with a Membership-Query instead.
 	return nil
+}
+
+// TopmostView reports the repair state of the locally hosted
+// topmost-ring node: how many entities its live roster holds and which
+// node it currently follows as leader. ok is false when no topmost
+// node is hosted here. Fragments of an asymmetric partition report
+// shrunken rosters (or disagreeing leaders) until the probe/merge
+// protocol reunites the ring, so comparing TopmostViews across
+// processes detects split-brain that a Membership-Query — answered by
+// a single fragment's leader — cannot. Engine context required.
+func (s *System) TopmostView() (rosterSize int, leader ids.NodeID, ok bool) {
+	top := s.hier.Level(0)[0]
+	for _, id := range top.Nodes() {
+		if n := s.nodes[id]; n != nil && !s.tr.Crashed(id) {
+			return len(n.roster), n.leader, true
+		}
+	}
+	return 0, ids.NoNode, false
 }
 
 // MembershipDeviation compares the authoritative global membership

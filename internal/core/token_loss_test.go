@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/ids"
+)
+
+// TestTokenLostWithCarrierRequeuesRound guards the watchdog recovery
+// of a round whose token died with a crashed carrier. The sequence is
+// the one a kill -9 produces on a live cluster: the holder passes the
+// token, the successor acknowledges the pass (so the holder's
+// retransmission protection stands down), and then the successor dies
+// before it can complete its own onward pass. The operations the token
+// carried were already acknowledged to their originators when the
+// holder folded them in, so without recovery they simply vanish — the
+// ring stays consistent but the membership change is silently lost.
+// The holder must retain its open round's batch and the token-loss
+// watchdog must re-submit it once the round's age exceeds the
+// worst-case repair walk.
+func TestTokenLostWithCarrierRequeuesRound(t *testing.T) {
+	cfg := quietConfig(2, 5)
+	cfg.HeartbeatInterval = 200 * time.Millisecond
+	sys := NewSystem(cfg)
+
+	holder := sys.Node(sys.APs()[0])
+	roster := holder.Roster()
+	idx := 0
+	for i, m := range roster {
+		if m == holder.ID() {
+			idx = i
+			break
+		}
+	}
+	succ1 := roster[(idx+1)%len(roster)]
+	succ2 := roster[(idx+2)%len(roster)]
+
+	// succ2 is already dead when the round starts: succ1 will
+	// acknowledge the holder's pass, then spin on retransmissions to
+	// succ2 — the window in which we kill it, taking the token along.
+	sys.CrashNE(succ2)
+	if _, err := sys.JoinMemberAt(ids.GUID(1), holder.ID()); err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(5 * time.Millisecond) // join delivered, round started, pass acked by succ1
+	if len(holder.openRound) == 0 {
+		t.Fatal("setup: holder retained no open round batch")
+	}
+	sys.CrashNE(succ1) // the carrier dies holding the token
+
+	// Worst-case walk is len(ring)·(retries+1)·RTO = 3.75s here; the
+	// watchdog then re-submits and the recovered round repair-walks the
+	// two corpses (750ms each) before completing and climbing the
+	// hierarchy. 10s of protocol time covers all of it with margin.
+	sys.RunFor(10 * time.Second)
+
+	if got := len(sys.GlobalMembership()); got != 1 {
+		t.Fatalf("global membership = %d, want 1 (lost round not recovered)", got)
+	}
+	if len(holder.openRound) != 0 {
+		t.Error("holder still retains the recovered round's batch")
+	}
+	for _, m := range holder.Roster() {
+		if m == succ1 || m == succ2 {
+			t.Errorf("crashed %s still in holder's roster after recovery walk", m)
+		}
+		if n := sys.Node(m); !n.RingMembers().Contains(1) {
+			t.Errorf("ring member %s missing the recovered join", m)
+		}
+	}
+}

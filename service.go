@@ -251,6 +251,32 @@ func (s *Service) Members(ctx context.Context) ([]MemberInfo, error) {
 	return out, err
 }
 
+// RingView is the topmost-ring repair state as seen by the locally
+// hosted topmost node. After an asymmetric partition, fragments report
+// shrunken rosters (or disagreeing leaders) until the probe/merge
+// protocol reunites the ring; comparing RingViews across processes
+// therefore detects split-brain that a Membership-Query — answered by
+// a single fragment's leader — cannot. Drivers should wait for all
+// processes to agree on a full roster before treating membership
+// changes as durable.
+type RingView struct {
+	Roster int    // live roster size of the hosted topmost node
+	Leader string // NodeID the hosted topmost node follows as leader
+	Hosted bool   // false when this process hosts no topmost node
+}
+
+// RingView reports the hosted topmost node's roster size and leader.
+func (s *Service) RingView(ctx context.Context) (RingView, error) {
+	var v RingView
+	err := s.do(ctx, func() error {
+		if size, leader, ok := s.sys.TopmostView(); ok {
+			v = RingView{Roster: size, Leader: leader.String(), Hosted: true}
+		}
+		return nil
+	})
+	return v, err
+}
+
 // Query runs a Membership-Query from the given entry access proxy
 // with the service's configured scheme (WithQueryScheme; TMS by
 // default).

@@ -1,0 +1,355 @@
+package rgb
+
+import (
+	goruntime "runtime" // the Go runtime (memstats); the substrate is rgbruntime
+	"sync"
+	"time"
+
+	"github.com/rgbproto/rgb/internal/core"
+	rgbruntime "github.com/rgbproto/rgb/internal/runtime"
+	"github.com/rgbproto/rgb/internal/telemetry"
+)
+
+type (
+	// Telemetry is the cluster's metrics registry: dependency-free
+	// atomic counters, gauges and latency histograms with a Prometheus
+	// text exposition (WriteProm) and a programmatic reader (Gather).
+	// Obtain one with Cluster.Telemetry or Service.Telemetry; see
+	// docs/OPERATIONS.md for the full metric reference.
+	Telemetry = telemetry.Registry
+
+	// Sample is one flattened metric reading from Telemetry.Gather —
+	// the programmatic twin of the /metrics exposition.
+	Sample = telemetry.Sample
+)
+
+// Telemetry returns the cluster's metrics registry, creating and
+// wiring it on first call: every open group (and every group opened
+// later) gets its protocol engine instrumented — membership size,
+// token-round duration, view-change and repair latency histograms —
+// and the shared substrate's socket, discovery and transport counters
+// are registered as scrape-sampled series. Instrumentation is purely
+// observational: it never sends messages, arms timers or draws
+// randomness, so fixed-seed runs behave identically with or without
+// it. A cluster that never calls Telemetry pays nothing.
+func (c *Cluster) Telemetry() *Telemetry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureTelemetryLocked()
+	return c.tel
+}
+
+// Telemetry returns the owning cluster's metrics registry (every
+// Service belongs to one; rgb.Open makes a single-group cluster).
+func (s *Service) Telemetry() *Telemetry { return s.cluster.Telemetry() }
+
+// Cluster returns the container this service belongs to. For a
+// standalone rgb.Open/Listen service this is its implicit one-group
+// cluster — the handle to the shared-substrate surface (Telemetry,
+// Health, Peers, NetStats) that rgbnode's HTTP plane serves.
+func (s *Service) Cluster() *Cluster { return s.cluster }
+
+// ensureTelemetryLocked builds the registry on first use. Caller
+// holds c.mu.
+func (c *Cluster) ensureTelemetryLocked() {
+	if c.tel != nil {
+		return
+	}
+	c.tel = telemetry.New()
+	c.registerClusterMetrics()
+	for _, svc := range c.groups {
+		c.instrumentGroup(svc)
+	}
+}
+
+// registerClusterMetrics registers the process- and substrate-level
+// series: Go memstats, open-group and shard gauges, the networked
+// socket's NetStats counters, discovery peer-state gauges, and the
+// transport delivery totals aggregated over groups. All of them are
+// sampled at scrape time from counters that already live elsewhere —
+// no double accounting, no cost between scrapes.
+func (c *Cluster) registerClusterMetrics() {
+	reg := c.tel
+
+	// Process vitals: the soak runner's memory ceiling reads these.
+	var (
+		pmu  sync.Mutex
+		mem  goruntime.MemStats
+		gors float64
+	)
+	reg.OnScrape(func() {
+		pmu.Lock()
+		defer pmu.Unlock()
+		goruntime.ReadMemStats(&mem)
+		gors = float64(goruntime.NumGoroutine())
+	})
+	procGauge := func(name, help string, f func() float64) {
+		reg.GaugeFunc(name, help, func() float64 {
+			pmu.Lock()
+			defer pmu.Unlock()
+			return f()
+		})
+	}
+	procGauge("go_goroutines", "goroutines currently live", func() float64 { return gors })
+	procGauge("go_heap_alloc_bytes", "bytes of allocated heap objects", func() float64 { return float64(mem.HeapAlloc) })
+	procGauge("go_heap_sys_bytes", "bytes of heap obtained from the OS", func() float64 { return float64(mem.HeapSys) })
+	reg.CounterFunc("go_alloc_bytes_total", "cumulative bytes allocated", func() float64 {
+		pmu.Lock()
+		defer pmu.Unlock()
+		return float64(mem.TotalAlloc)
+	})
+	reg.CounterFunc("go_gc_cycles_total", "completed GC cycles", func() float64 {
+		pmu.Lock()
+		defer pmu.Unlock()
+		return float64(mem.NumGC)
+	})
+
+	reg.GaugeFunc("rgb_uptime_seconds", "seconds since the registry was created", func() float64 {
+		return time.Since(reg.Start()).Seconds()
+	})
+	reg.GaugeFunc("rgb_groups_open", "groups currently open on this cluster", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.groups))
+	})
+	reg.GaugeFunc("rgb_shards", "engine worker shards", func() float64 {
+		return float64(c.Shards())
+	})
+
+	// Socket, discovery and fault counters of the networked substrate
+	// (one shared snapshot per scrape; zero-valued when not networked).
+	var (
+		nmu sync.Mutex
+		ns  NetStats
+	)
+	reg.OnScrape(func() {
+		if s, ok := c.NetStats(); ok {
+			nmu.Lock()
+			ns = s
+			nmu.Unlock()
+		}
+	})
+	netCounter := func(name, help string, f func(*NetStats) uint64) {
+		reg.CounterFunc(name, help, func() float64 {
+			nmu.Lock()
+			defer nmu.Unlock()
+			return float64(f(&ns))
+		})
+	}
+	netCounter("rgb_net_received_total", "datagrams read from the socket", func(n *NetStats) uint64 { return n.Received })
+	netCounter("rgb_net_relayed_total", "frames forwarded toward their owner", func(n *NetStats) uint64 { return n.Relayed })
+	netCounter("rgb_net_decode_errors_total", "frames rejected by the codec", func(n *NetStats) uint64 { return n.DecodeErrors })
+	netCounter("rgb_net_unknown_version_total", "frames from a different wire version", func(n *NetStats) uint64 { return n.UnknownVersion })
+	netCounter("rgb_net_unknown_group_total", "group-tagged frames for a group not hosted here", func(n *NetStats) uint64 { return n.UnknownGroup })
+	netCounter("rgb_net_unknown_peer_total", "frames or sends with no route to the destination", func(n *NetStats) uint64 { return n.UnknownPeer })
+	netCounter("rgb_net_ttl_expired_total", "relay candidates dropped at TTL exhaustion", func(n *NetStats) uint64 { return n.TTLExpired })
+	netCounter("rgb_net_oversize_total", "frames larger than one UDP datagram, dropped", func(n *NetStats) uint64 { return n.Oversize })
+	netCounter("rgb_net_fault_corrupt_total", "datagrams bit-flipped on egress by fault injection", func(n *NetStats) uint64 { return n.FaultCorrupt })
+	netCounter("rgb_net_fault_replay_total", "datagrams written twice by fault injection", func(n *NetStats) uint64 { return n.FaultReplay })
+	netCounter("rgb_net_fault_misroute_total", "datagrams sent to a random peer by fault injection", func(n *NetStats) uint64 { return n.FaultMisroute })
+	netCounter("rgb_net_fault_reorder_total", "datagrams held back and released late by fault injection", func(n *NetStats) uint64 { return n.FaultReorder })
+	netCounter("rgb_net_peer_joined_total", "peers that joined, rejoined or moved address", func(n *NetStats) uint64 { return n.PeerJoined })
+	netCounter("rgb_net_peer_evicted_total", "liveness evictions issued by the probe sweep", func(n *NetStats) uint64 { return n.PeerEvicted })
+	netCounter("rgb_net_gossip_frames_total", "discovery frames sent (hello, peer list, probe)", func(n *NetStats) uint64 { return n.GossipFrames })
+	netCounter("rgb_net_dup_dropped_total", "duplicate relayed frames dropped by the dedup map", func(n *NetStats) uint64 { return n.DupDropped })
+
+	// Discovery peer-state gauges.
+	var (
+		dmu                  sync.Mutex
+		up, suspect, evicted float64
+	)
+	reg.OnScrape(func() {
+		peers, ok := c.Peers()
+		if !ok {
+			return
+		}
+		var u, s, e float64
+		for _, p := range peers {
+			switch p.State {
+			case PeerUp:
+				u++
+			case PeerSuspect:
+				s++
+			case PeerEvicted:
+				e++
+			}
+		}
+		dmu.Lock()
+		up, suspect, evicted = u, s, e
+		dmu.Unlock()
+	})
+	peerGauge := func(state string, f func() float64) {
+		reg.GaugeFunc("rgb_peers", "known peer processes by liveness state", func() float64 {
+			dmu.Lock()
+			defer dmu.Unlock()
+			return f()
+		}, "state", state)
+	}
+	peerGauge("up", func() float64 { return up })
+	peerGauge("suspect", func() float64 { return suspect })
+	peerGauge("evicted", func() float64 { return evicted })
+
+	// Transport delivery totals, aggregated over groups. Each group's
+	// last-seen stats persist in the map so the totals stay monotonic
+	// when a group closes mid-flight.
+	var (
+		tmu  sync.Mutex
+		last = make(map[GroupID]Stats)
+	)
+	reg.OnScrape(func() {
+		c.mu.Lock()
+		svcs := make([]*Service, 0, len(c.groups))
+		for _, svc := range c.groups {
+			svcs = append(svcs, svc)
+		}
+		c.mu.Unlock()
+		tmu.Lock()
+		defer tmu.Unlock()
+		for _, svc := range svcs {
+			var st Stats
+			ran := false
+			svc.rt.Do(func() {
+				st = svc.sys.Transport().Stats()
+				ran = true
+			})
+			if ran {
+				last[svc.gid] = st
+			}
+		}
+	})
+	transportCounter := func(name, help string, f func(*Stats) uint64) {
+		reg.CounterFunc(name, help, func() float64 {
+			tmu.Lock()
+			defer tmu.Unlock()
+			var total uint64
+			for gid := range last {
+				st := last[gid]
+				total += f(&st)
+			}
+			return float64(total)
+		})
+	}
+	transportCounter("rgb_transport_sent_total", "messages submitted to the transport", func(s *Stats) uint64 { return s.Sent })
+	transportCounter("rgb_transport_delivered_total", "messages actually delivered", func(s *Stats) uint64 { return s.Delivered })
+	transportCounter("rgb_transport_dropped_total", "messages lost to crash, random loss or a cut", func(s *Stats) uint64 { return s.Dropped })
+	transportCounter("rgb_transport_cut_total", "messages dropped by an active partition cut or block rule", func(s *Stats) uint64 { return s.Cut })
+}
+
+// instrumentGroup wires one group's protocol engine into the
+// registry: an Instrumentation hook for the timing histograms plus a
+// scrape hook sampling the engine's own counters (membership size,
+// rounds, ops carried, repairs). Caller holds c.mu; a reopened group
+// re-registers onto the same series, so counts continue.
+func (c *Cluster) instrumentGroup(svc *Service) {
+	reg := c.tel
+	gid := svc.gid.String()
+
+	roundH := reg.Histogram("rgb_round_duration_seconds",
+		"token round duration, start at the holder to completion", nil, "group", gid)
+	repairH := reg.Histogram("rgb_repair_gap_seconds",
+		"token silence a ring repair closed (how long the failure went unrepaired)", nil, "group", gid)
+	var (
+		vcH [4]*telemetry.Histogram
+		vcC [4]*telemetry.Counter
+	)
+	for k := core.EventJoin; k <= core.EventHandoff; k++ {
+		vcH[k] = reg.Histogram("rgb_view_change_latency_seconds",
+			"submit-to-commit latency of locally-submitted membership operations", nil,
+			"group", gid, "kind", k.String())
+		vcC[k] = reg.Counter("rgb_view_changes_total",
+			"membership operations committed at the topmost ring",
+			"group", gid, "kind", k.String())
+	}
+
+	instr := &core.Instrumentation{
+		RoundDone: func(level int, d time.Duration, ops int) {
+			roundH.ObserveDuration(d)
+		},
+		ViewChange: func(kind core.EventKind, d time.Duration, measured bool) {
+			if int(kind) >= len(vcC) {
+				return
+			}
+			vcC[kind].Inc()
+			if measured {
+				vcH[kind].ObserveDuration(d)
+			}
+		},
+		Repair: func(d time.Duration) {
+			repairH.ObserveDuration(d)
+		},
+	}
+	hasFaults := false
+	svc.rt.Do(func() {
+		svc.sys.SetInstrumentation(instr)
+		_, hasFaults = svc.sys.Transport().(*rgbruntime.FaultTransport)
+	})
+
+	// Engine-owned counters, sampled in engine context once per
+	// scrape so the snapshot is internally consistent. If the group
+	// has closed (Do drops the fn), the last snapshot holds.
+	var (
+		gmu  sync.Mutex
+		snap struct {
+			members, rounds, ops, repairs, roster float64
+			faults                                FaultStats
+		}
+	)
+	reg.OnScrape(func() {
+		var s struct {
+			members, rounds, ops, repairs, roster float64
+			faults                                FaultStats
+		}
+		ran := false
+		svc.rt.Do(func() {
+			ran = true
+			for _, m := range svc.sys.GlobalMembership() {
+				if m.Status.Operational() {
+					s.members++
+				}
+			}
+			if size, _, ok := svc.sys.TopmostView(); ok {
+				s.roster = float64(size)
+			}
+			s.rounds = float64(svc.sys.Rounds())
+			s.ops = float64(svc.sys.OpsCarried())
+			s.repairs = float64(len(svc.sys.Repairs()))
+			if ft, ok := svc.sys.Transport().(*rgbruntime.FaultTransport); ok {
+				s.faults = ft.FaultStats()
+			}
+		})
+		if !ran {
+			return
+		}
+		gmu.Lock()
+		snap = s
+		gmu.Unlock()
+	})
+	sampled := func(f func() float64) func() float64 {
+		return func() float64 {
+			gmu.Lock()
+			defer gmu.Unlock()
+			return f()
+		}
+	}
+	reg.GaugeFunc("rgb_group_members", "operational members in the authoritative (topmost-ring) view",
+		sampled(func() float64 { return snap.members }), "group", gid)
+	reg.GaugeFunc("rgb_topmost_roster_size", "live roster size of the hosted topmost-ring node; below the ring size it signals an unhealed partition fragment",
+		sampled(func() float64 { return snap.roster }), "group", gid)
+	reg.CounterFunc("rgb_rounds_total", "completed token rounds",
+		sampled(func() float64 { return snap.rounds }), "group", gid)
+	reg.CounterFunc("rgb_round_ops_total", "membership operations carried by token rounds",
+		sampled(func() float64 { return snap.ops }), "group", gid)
+	reg.CounterFunc("rgb_repairs_total", "local ring repairs performed",
+		sampled(func() float64 { return snap.repairs }), "group", gid)
+	if hasFaults {
+		faultCounter := func(kind string, f func() float64) {
+			reg.CounterFunc("rgb_faults_injected_total", "faults injected by the WithFaults plan",
+				sampled(f), "group", gid, "kind", kind)
+		}
+		faultCounter("corrupt", func() float64 { return float64(snap.faults.Corrupted) })
+		faultCounter("replay", func() float64 { return float64(snap.faults.Duplicated) })
+		faultCounter("misroute", func() float64 { return float64(snap.faults.Misrouted) })
+		faultCounter("reorder", func() float64 { return float64(snap.faults.Reordered) })
+		faultCounter("undecodable", func() float64 { return float64(snap.faults.Undecodable) })
+	}
+}
