@@ -1,0 +1,106 @@
+package rgb
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// batchedGoldenDigest pins the end state of the canonical batched
+// view-change scenario: a join burst coalesced by a 100ms batch
+// window, then a leave/fail burst, on a cluster with the K-observer
+// stability filter armed. Every seed and every shard count must
+// produce this one digest — batching changes how many rounds carry
+// the operations, never what the converged view contains. Re-pin only
+// for a deliberate protocol change (use the digest printed by the
+// failure and call the change out in the PR).
+const batchedGoldenDigest = "6113bbb1b1fc2a277622ea64019915a0ae5d0929e7ea361b4a303bbbfb39d3f9"
+
+// batchedScenarioDigest runs the canonical batched-churn script on a
+// fresh cluster and digests the converged end state.
+func batchedScenarioDigest(t *testing.T, shards int, seed uint64) string {
+	t.Helper()
+	ctx := context.Background()
+	c, err := NewCluster(WithHierarchy(2, 5), WithSeed(seed), WithShards(shards),
+		WithBatchWindow(100*time.Millisecond), WithStabilityK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	svc, err := c.Open(NewGroupID(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	aps := svc.APs()
+
+	// A join burst: several members per AP inside one window, so the
+	// access proxies coalesce them into multi-member view changes.
+	for g := 1; g <= 8; g++ {
+		must(svc.JoinAt(ctx, GUID(g), aps[(g*3)%len(aps)]))
+	}
+	must(svc.Settle(ctx))
+
+	// A removal burst rides the same batching path.
+	must(svc.Leave(ctx, GUID(2)))
+	must(svc.Leave(ctx, GUID(5)))
+	must(svc.Fail(ctx, GUID(7)))
+	must(svc.Settle(ctx))
+
+	members, err := svc.Members(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	operational := 0
+	for _, m := range members {
+		if m.Status.Operational() {
+			operational++
+		}
+	}
+	if operational != 5 {
+		t.Fatalf("seed %d shards %d: %d operational members, want 5", seed, shards, operational)
+	}
+	var top []string
+	svc.Inspect(func(sys *System) {
+		if d := sys.RosterAgreement(); d != 0 {
+			t.Errorf("seed %d shards %d: %d rings disagree", seed, shards, d)
+		}
+		roster := sys.Node(sys.Hierarchy().Rings()[0].Nodes()[0]).Roster()
+		start := 0
+		for i, id := range roster {
+			if id < roster[start] {
+				start = i
+			}
+		}
+		for i := range roster {
+			top = append(top, roster[(start+i)%len(roster)].String())
+		}
+	})
+
+	h := sha256.New()
+	fmt.Fprintln(h, strings.Join(renderMembers(members), "\n"))
+	fmt.Fprintln(h, strings.Join(top, " "))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestBatchedViewChangeGoldenDigests: five seeds, each run on 1 and 4
+// shards, all matching the one pinned digest with batching and the
+// stability filter enabled.
+func TestBatchedViewChangeGoldenDigests(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		for _, shards := range []int{1, 4} {
+			if got := batchedScenarioDigest(t, shards, seed); got != batchedGoldenDigest {
+				t.Errorf("seed %d shards %d: digest %s, want %s", seed, shards, got, batchedGoldenDigest)
+			}
+		}
+	}
+}

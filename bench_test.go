@@ -320,6 +320,82 @@ func BenchmarkClusterTokenRound(b *testing.B) {
 	}
 }
 
+// convergenceRounds drives `changes` joins into sys, spaced `spacing`
+// of virtual time apart and round-robined over the first `spread`
+// access proxies (a flash crowd arrives through a few ingress points,
+// which is exactly where per-AP batching earns its keep), drains to
+// quiescence, and returns the number of token rounds the burst cost.
+// firstGUID keeps successive calls on one system from colliding.
+func convergenceRounds(sys *System, firstGUID, changes, spread int, spacing time.Duration) uint64 {
+	aps := sys.APs()
+	start := sys.Rounds()
+	for j := 0; j < changes; j++ {
+		g := firstGUID + j
+		sys.JoinMemberAt(GUID(g), aps[g%spread])
+		sys.RunFor(spacing)
+	}
+	sys.Run()
+	return sys.Rounds() - start
+}
+
+// BenchmarkViewChangeConvergence measures the PR-10 batching claim at
+// paper scale: n=10000 entities (h=4, r=10, path-only dissemination)
+// absorbing a 1% churn burst — 100 joins trickling in 5ms apart, the
+// arrival pattern of a flash crowd. rounds/change is the convergence
+// cost; the batched run must come in at least 5x under the unbatched
+// one (rgbbench diffs this in CI, and TestViewChangeConvergenceGuard
+// pins the ratio deterministically at smaller scale).
+func BenchmarkViewChangeConvergence(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"unbatched", 0},
+		{"batched", 500 * time.Millisecond},
+	} {
+		b.Run("n=10000/churn=1%/"+tc.name, func(b *testing.B) {
+			cfg := fastConfig(4, 10)
+			cfg.Dissemination = DisseminatePathOnly
+			cfg.BatchWindow = tc.window
+			sys := New(cfg)
+			const changes = 100
+			var perChange float64
+			next := 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rounds := convergenceRounds(sys, next, changes, 4, 5*time.Millisecond)
+				next += changes
+				perChange = float64(rounds) / changes
+			}
+			b.ReportMetric(perChange, "rounds/change")
+		})
+	}
+}
+
+// TestViewChangeConvergenceGuard pins the batching win deterministically
+// at a scale the regular test job can afford: the same churn-burst
+// shape as BenchmarkViewChangeConvergence on h=3, r=5, where the
+// batched run must cost at least 5x fewer token rounds per change than
+// the unbatched one.
+func TestViewChangeConvergenceGuard(t *testing.T) {
+	const changes = 60
+	run := func(window time.Duration) uint64 {
+		cfg := fastConfig(3, 5)
+		cfg.Dissemination = DisseminatePathOnly
+		cfg.BatchWindow = window
+		return convergenceRounds(New(cfg), 1, changes, 4, 5*time.Millisecond)
+	}
+	unbatched := run(0)
+	batched := run(250 * time.Millisecond)
+	if batched == 0 || unbatched == 0 {
+		t.Fatalf("degenerate round counts: unbatched=%d batched=%d", unbatched, batched)
+	}
+	if ratio := float64(unbatched) / float64(batched); ratio < 5 {
+		t.Errorf("batched convergence only %.1fx cheaper (unbatched %d rounds, batched %d rounds for %d changes), want >= 5x",
+			ratio, unbatched, batched, changes)
+	}
+}
+
 // BenchmarkMQInsert measures the aggregating queue's insert path.
 func BenchmarkMQInsert(b *testing.B) {
 	for _, aggregate := range []bool{true, false} {

@@ -92,6 +92,8 @@ func main() {
 	r := flag.Int("r", 3, "entities per ring")
 	seed := flag.Uint64("seed", 1, "deployment seed")
 	heartbeat := flag.Duration("heartbeat", 0, "heartbeat interval (0 disables)")
+	batch := flag.Duration("batch", 0, "view-change batch window (0 = per-change rounds)")
+	stability := flag.Int("stability", 0, "observers required to confirm an eviction (<2 disables the stability filter)")
 	groups := flag.Int("groups", 1, "independent groups hosted over this socket")
 	httpAddr := flag.String("http", "", "TCP address for /metrics, /healthz and the admin JSON API (empty disables)")
 	corrupt := flag.Float64("corrupt", 0, "fault injection: per-datagram corruption probability")
@@ -104,6 +106,12 @@ func main() {
 	var extra []rgb.Option
 	if *heartbeat > 0 {
 		extra = append(extra, rgb.WithHeartbeat(*heartbeat))
+	}
+	if *batch > 0 {
+		extra = append(extra, rgb.WithBatchWindow(*batch))
+	}
+	if *stability > 0 {
+		extra = append(extra, rgb.WithStabilityK(*stability))
 	}
 	if plan := (rgb.FaultPlan{
 		Seed: *faultSeed, Corrupt: *corrupt, Duplicate: *replay,

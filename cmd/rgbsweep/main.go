@@ -38,6 +38,7 @@ func main() {
 	hopRates := flag.String("hop-rates", "0", "mobility cell hops/s/host (comma-separated)")
 	loss := flag.String("loss", "0", "message loss probabilities (comma-separated)")
 	crash := flag.String("crash", "0", "mid-run NE crash counts (comma-separated)")
+	churn := flag.String("churn", "0", "flapping-member cycles/s (comma-separated)")
 	partition := flag.String("partition", "0", "mid-run partition hold times, e.g. 0,10s,30s (comma-separated)")
 	diss := flag.String("dissemination", "full", "dissemination modes: full,path-only")
 	schemes := flag.String("schemes", "tms", "query schemes: tms,bms,ims:<level>")
@@ -72,6 +73,7 @@ func main() {
 		HopRate:       parseFloats(*hopRates),
 		Loss:          parseFloats(*loss),
 		Crash:         parseInts(*crash),
+		Churn:         parseFloats(*churn),
 		Partition:     parseDurations(*partition),
 		Dissemination: parseDiss(*diss),
 		Schemes:       splitList(*schemes),

@@ -33,6 +33,13 @@ type Config struct {
 	Seed      uint64        // deployment seed (default 1)
 	Heartbeat time.Duration // heartbeat interval (default 250ms; drives failure detection)
 
+	// BatchWindow > 0 runs the daemons with batched view changes
+	// (rgbnode -batch); StabilityK >= 2 arms the K-observer eviction
+	// filter (rgbnode -stability). Zero values keep the per-change
+	// protocol.
+	BatchWindow time.Duration
+	StabilityK  int
+
 	// HTTP, when true, gives every daemon an ephemeral -http listener
 	// (the /metrics + /healthz + admin plane); the bound address is
 	// recorded in Proc.HTTPAddr. rgbsoak scrapes these mid-churn.
@@ -168,10 +175,24 @@ func (e *Engine) start(index int) (*Proc, error) {
 		"-seed", strconv.FormatUint(e.cfg.Seed, 10),
 		"-heartbeat", e.cfg.Heartbeat.String(),
 	}
+	args = append(args, e.protocolArgs()...)
 	if e.cfg.HTTP {
 		args = append(args, "-http", "127.0.0.1:0")
 	}
 	return e.launch(index, args...)
+}
+
+// protocolArgs renders the optional protocol knobs every daemon of the
+// deployment must agree on.
+func (e *Engine) protocolArgs() []string {
+	var args []string
+	if e.cfg.BatchWindow > 0 {
+		args = append(args, "-batch", e.cfg.BatchWindow.String())
+	}
+	if e.cfg.StabilityK > 0 {
+		args = append(args, "-stability", strconv.Itoa(e.cfg.StabilityK))
+	}
+	return args
 }
 
 func (e *Engine) launch(index int, args ...string) (*Proc, error) {
@@ -232,6 +253,7 @@ func (e *Engine) Restart(slot, seedIndex int) error {
 		"-seed", strconv.FormatUint(e.cfg.Seed, 10),
 		"-heartbeat", e.cfg.Heartbeat.String(),
 	}
+	args = append(args, e.protocolArgs()...)
 	if e.cfg.HTTP {
 		args = append(args, "-http", "127.0.0.1:0")
 	}

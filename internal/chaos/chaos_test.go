@@ -186,6 +186,73 @@ func TestAddressChurn(t *testing.T) {
 	}
 }
 
+// TestFlappingMember is the PR-10 churn scenario over real processes
+// (CI runs it in short mode): three rgbnode daemons launched with the
+// batched view-change window and the K=2 stability filter, with one
+// process flapping — repeatedly cut off just long enough for its peers
+// to fail it out of the topmost ring, then healed so the probe/merge
+// protocol readmits it. Each cycle must complete (no wedged eviction:
+// the filter needs two distinct observers, and a live deployment has
+// them — the token predecessor's pass timeout plus the peer-discovery
+// plane's failure report), and after the last heal the deployment must
+// converge back to the full membership under one leader.
+func TestFlappingMember(t *testing.T) {
+	bin := buildRgbnode(t)
+
+	eng, err := Launch(Config{
+		Bin: bin, Nodes: 3, H: 2, R: 3, Seed: 1,
+		Heartbeat:   200 * time.Millisecond,
+		BatchWindow: 100 * time.Millisecond,
+		StabilityK:  2,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Members only at APs owned by the stable slots (slot k owns AP
+	// indexes 3k..3k+2), so the flapper carries ring entities but no
+	// membership endpoints and the member list must ride out every cut.
+	for i, ap := range []int{0, 1, 3} {
+		mustDo(t, eng.Proc(ap/3), fmt.Sprintf("join %d %d", i+1, ap))
+	}
+	if err := eng.AwaitConvergence("members=mh-1,mh-2,mh-3", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AwaitRingUnited(3, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	for cycle := 1; cycle <= 3; cycle++ {
+		t.Logf("flap cycle %d: cutting process 2", cycle)
+		if err := eng.Partition([]int{0, 1}, []int{2}); err != nil {
+			t.Fatal(err)
+		}
+		// The majority side must evict the flapper's topmost entity —
+		// proving the K=2 filter can actually confirm over live sockets.
+		if err := eng.AwaitRingUnited(2, 60*time.Second, 2); err != nil {
+			t.Fatalf("cycle %d: majority never evicted the flapper: %v", cycle, err)
+		}
+		t.Logf("flap cycle %d: healing", cycle)
+		if err := eng.Heal(); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.AwaitRingUnited(3, 90*time.Second); err != nil {
+			t.Fatalf("cycle %d: flapper never readmitted after heal: %v", cycle, err)
+		}
+	}
+
+	// After the churn the deployment answers with the full membership
+	// everywhere — the flapping never cost a member.
+	if err := eng.AwaitConvergence("members=mh-1,mh-2,mh-3", 45*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AwaitAuthoritative("members=mh-1,mh-2,mh-3", 45*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestPauseResume covers the stall failure mode: SIGSTOP freezes one
 // process long enough for its peers to fail it out of the topmost
 // ring, then SIGCONT revives it and the probe/merge protocol must

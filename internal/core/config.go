@@ -110,6 +110,39 @@ type Config struct {
 	// deployment never mint colliding endpoint identities. Zero for
 	// single-process deployments.
 	MHBase int
+
+	// BatchWindow, when positive, defers locally-submitted membership
+	// changes (Member-Join/Leave/Handoff/Failure arriving at an access
+	// proxy) for up to one window so every change observed in it rides
+	// one multi-member token round — O(changes/window) dissemination
+	// instead of O(changes), the Rapid-style batched view change. Zero
+	// disables batching entirely: every path is byte-identical to the
+	// unbatched protocol, which is what the pinned golden digests run.
+	BatchWindow time.Duration
+
+	// StabilityK, when >= 2, arms the K-observer stability filter: a
+	// network entity is evicted from its ring only once K distinct
+	// observers (pass-timeout detectors, the heartbeat's silent-leader
+	// suspicion, the discovery plane's FailOutRemote) concur within
+	// SuspicionWindow. Unconfirmed suspicions still route the token
+	// around the suspect, so rounds keep completing while confirmation
+	// accumulates. Values <= 1 disable the filter (every suspicion
+	// evicts immediately — the pre-filter protocol).
+	StabilityK int
+
+	// SuspicionWindow bounds how long gathered observers of one suspect
+	// stay valid before the count restarts. Zero selects a default of
+	// five heartbeat intervals (or five retransmit timeouts without
+	// heartbeats) at first use.
+	SuspicionWindow time.Duration
+
+	// QuarantineBase scales the flap quarantine: a member evicted and
+	// readmitted repeatedly (its flap score) is held out of rejoin for
+	// QuarantineBase doubled per repeat offense instead of churning the
+	// ring. Zero selects ten heartbeat intervals (or ten retransmit
+	// timeouts) at first use. The quarantine only arms together with
+	// the stability filter (StabilityK >= 2).
+	QuarantineBase time.Duration
 }
 
 // DefaultConfig returns a ready-to-run configuration for an (h, r)

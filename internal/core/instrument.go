@@ -39,6 +39,11 @@ type Instrumentation struct {
 	// the silence gap since the repaired ring last saw a token — how
 	// long the failure went unrepaired.
 	Repair func(d time.Duration)
+
+	// BatchFlushed observes one batch window closing with work: the
+	// number of aggregated operations the flushed round will carry.
+	// Never invoked with a zero batch window (compat mode).
+	BatchFlushed func(size int)
 }
 
 // instrPendingWindow bounds the submit-timestamp map, mirroring the
@@ -113,6 +118,14 @@ func (s *System) observeViewChange(kind EventKind, key changeKey) {
 		return
 	}
 	s.instr.ViewChange(kind, 0, false)
+}
+
+// observeBatchFlush reports one closed batch window's size.
+func (s *System) observeBatchFlush(size int) {
+	if s.instr == nil || s.instr.BatchFlushed == nil {
+		return
+	}
+	s.instr.BatchFlushed(size)
 }
 
 // observeRepair reports one ring repair with the token-silence gap.

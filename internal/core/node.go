@@ -83,6 +83,17 @@ type Node struct {
 	roundsStarted   uint64
 	roundsCompleted uint64
 	repairsDone     uint64
+
+	// Batched view changes (batch.go): batchArmed marks an open batch
+	// window whose flush timer will circulate the queue's contents.
+	batchArmed bool
+	batchTimer runtime.TimerHandle
+
+	// Merge tombstones (tombstone.go): per-member removal counters,
+	// lazily allocated on the first removal this node applies, FIFO
+	// capped by memVerQ.
+	memVer  map[ids.GUID]uint64
+	memVerQ []ids.GUID
 }
 
 // notifyRetry tracks an unacknowledged notification. It carries its
@@ -283,7 +294,7 @@ func (n *Node) receiveMemberMsg(m wire.MemberChange, from ids.NodeID) {
 	}
 	n.queue.Insert(c)
 	n.sys.noteSubmitted(c.Origin, c.Seq)
-	n.sys.requestRound(n, token.FromLocal, ring.ID{})
+	n.sys.scheduleBatchedRound(n)
 }
 
 // nextSeq draws the next origin-local sequence number. The counter
@@ -475,6 +486,7 @@ func (n *Node) applyMemberPut(c mq.Change, dir token.Direction) {
 
 func (n *Node) applyMemberRemove(c mq.Change, dir token.Direction) {
 	g := c.Member.GUID
+	n.noteMemberRemoved(g)
 	if n.sys.cfg.Dissemination == DisseminateFull {
 		n.global.Remove(g)
 	}
@@ -539,15 +551,20 @@ func (n *Node) passTimedOut() {
 	}
 	// Local repair (§5.2): exclude the dead successor, tell the rest
 	// of the ring via an NE-Failure operation folded into this very
-	// token, and continue the round at the next live entity.
+	// token, and continue the round at the next live entity. With the
+	// stability filter armed, the roster surgery waits until K distinct
+	// observers concur — but the token routes around the suspect either
+	// way, so an unconfirmed suspicion never wedges the round.
 	dead := ps.To
-	n.repairsDone++
-	n.sys.noteRepair(n.ringID, dead)
-	n.excludeFromRoster(dead)
 	tok := ps.Token
-	tok.Repaired = true
+	if n.sys.confirmEviction(dead, n.id) {
+		n.repairsDone++
+		n.sys.noteRepair(n.ringID, dead)
+		n.excludeFromRoster(dead)
+		tok.Repaired = true
+		tok.Ops = append(tok.Ops, mq.Change{Op: mq.OpNEFailure, NE: dead, Origin: n.id, Seq: n.nextSeq()})
+	}
 	tok.DropFromRoute(dead)
-	tok.Ops = append(tok.Ops, mq.Change{Op: mq.OpNEFailure, NE: dead, Origin: n.id, Seq: n.nextSeq()})
 	if tok.Holder == dead {
 		// The round's holder died: this node adopts the round so it
 		// still terminates.
@@ -699,11 +716,19 @@ func (n *Node) receiveJoinRequest(req wire.JoinRequest) {
 		n.sys.send(n.id, n.leader, runtime.KindControl, req)
 		return
 	}
+	if left, held := n.sys.quarantineLeft(req.Node); held {
+		// A repeat-flapping entity serves out its quarantine before
+		// rejoining: deferred, never dropped, so the rejoin still
+		// completes once the hold expires.
+		n.sys.deferJoin(n, req, left)
+		return
+	}
 	n.queue.Insert(mq.Change{Op: mq.OpNEJoin, NE: req.Node, Origin: n.id, Seq: n.nextSeq()})
 	n.sys.send(n.id, req.Node, runtime.KindControl, wire.Snapshot{
-		Roster:  n.Roster(),
-		Leader:  n.leader,
-		Members: n.ringMems.Snapshot(),
+		Roster:     n.Roster(),
+		Leader:     n.leader,
+		Members:    n.ringMems.Snapshot(),
+		Tombstones: n.tombstoneList(),
 	})
 	n.sys.requestRound(n, token.FromLocal, ring.ID{})
 }
@@ -724,6 +749,11 @@ func (n *Node) receiveSnapshot(s wire.Snapshot) {
 	n.ringMems.Clear()
 	for _, m := range s.Members {
 		n.ringMems.Put(m)
+	}
+	// The member list is authoritative; the view counters ride along so
+	// a later merge at THIS node compares removal histories correctly.
+	for _, t := range s.Tombstones {
+		n.adoptVersion(t.GUID, t.Ver)
 	}
 	n.ringOK = true
 	n.sys.clearStale(n.id)
@@ -759,11 +789,35 @@ func (n *Node) receiveMergeRequest(req wire.MergeRequest) {
 			return
 		}
 	}
+	// Tombstone-aware union (tombstone.go): compare removal histories
+	// so the merge neither resurrects a member that left while the cut
+	// held nor discards one that legitimately rejoined in the fragment.
+	inVer := make(map[ids.GUID]uint64, len(req.Tombstones))
+	for _, t := range req.Tombstones {
+		inVer[t.GUID] = t.Ver
+	}
 	incoming := ids.NewMemberList()
 	for _, m := range req.Members {
+		if n.versionOf(m.GUID) > inVer[m.GUID] {
+			// The fragment's entry predates a removal this side applied
+			// during the cut: a stale record, not a rejoin. Drop it.
+			continue
+		}
 		incoming.Put(m)
 	}
 	n.ringMems.MergeFrom(incoming)
+	for _, t := range req.Tombstones {
+		if t.Ver <= n.versionOf(t.GUID) {
+			continue // removal history already known here
+		}
+		if !incoming.Contains(t.GUID) {
+			// A tombstone proper: the fragment saw this member leave or
+			// fail after the histories diverged, so the kept side's
+			// live entry is the stale one.
+			n.ringMems.Remove(t.GUID)
+		}
+		n.adoptVersion(t.GUID, t.Ver)
+	}
 	var joiners []ids.NodeID
 	for _, joined := range req.Roster {
 		if joined != n.id && !n.rosterContains(joined) {
@@ -778,7 +832,7 @@ func (n *Node) receiveMergeRequest(req wire.MergeRequest) {
 	// the joiners: the NE-Join operations circulated below extend the
 	// kept side's rosters but carry no membership records, so the
 	// merged ListOfRingMembers must ship explicitly.
-	snap := wire.Snapshot{Roster: n.Roster(), Leader: n.id, Members: n.ringMems.Snapshot()}
+	snap := wire.Snapshot{Roster: n.Roster(), Leader: n.id, Members: n.ringMems.Snapshot(), Tombstones: n.tombstoneList()}
 	for _, m := range n.roster {
 		if m != n.id {
 			n.sys.send(n.id, m, runtime.KindControl, snap)
@@ -823,7 +877,8 @@ func (n *Node) receiveProbe(from ids.NodeID) {
 		return
 	}
 	n.sys.send(n.id, from, runtime.KindControl, wire.MergeRequest{
-		Roster:  n.Roster(),
-		Members: n.ringMems.Snapshot(),
+		Roster:     n.Roster(),
+		Members:    n.ringMems.Snapshot(),
+		Tombstones: n.tombstoneList(),
 	})
 }

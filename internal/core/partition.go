@@ -86,8 +86,9 @@ func (s *System) MergeFragments(fragmentLeader, keptLeader ids.NodeID) {
 		panic("core: unknown fragment leader")
 	}
 	s.send(fragmentLeader, keptLeader, runtime.KindControl, wire.MergeRequest{
-		Roster:  fl.Roster(),
-		Members: fl.ringMems.Snapshot(),
+		Roster:     fl.Roster(),
+		Members:    fl.ringMems.Snapshot(),
+		Tombstones: fl.tombstoneList(),
 	})
 	// The joining entities adopt the kept fragment's identity once the
 	// NE-Join round completes; prime them to accept a snapshot.

@@ -144,6 +144,18 @@ type System struct {
 	instrPending    map[changeKey]runtime.Time
 	instrPendingQ   []changeKey
 
+	// K-observer stability filter state (stability.go); the maps are
+	// allocated only when Config.StabilityK arms the filter.
+	suspects    map[ids.NodeID]*suspicion
+	flapScore   map[ids.NodeID]int
+	quarantined map[ids.NodeID]runtime.Time
+
+	// Batch / stability counters (batch.go, stability.go).
+	batchFlushes      uint64
+	batchedOps        uint64
+	flapQuarantines   uint64
+	evictionsDeferred uint64
+
 	heartbeats []runtime.Ticker
 }
 
@@ -191,6 +203,11 @@ func NewSystemOn(cfg Config, rt runtime.Runtime) *System {
 		ringRoundStart: make(map[ring.ID]runtime.Time, len(leaderOf)),
 		luidSeq:        make(map[ids.NodeID]uint32),
 		staleNE:        make(map[ids.NodeID]bool),
+	}
+	if s.stabilityOn() {
+		s.suspects = make(map[ids.NodeID]*suspicion)
+		s.flapScore = make(map[ids.NodeID]int)
+		s.quarantined = make(map[ids.NodeID]runtime.Time)
 	}
 	owned := 0
 	for _, rg := range hier.Rings() {
@@ -466,6 +483,9 @@ func (s *System) startHeartbeats() {
 				s.suspectSilentLeader(id, ringNodes)
 				return
 			}
+			if s.stabilityOn() {
+				s.suspectCrashedLeader(id, leaderNode)
+			}
 			s.probeExcluded(leaderNode, ringNodes)
 			s.markRingBusy(id)
 			leaderNode.startRound(token.FromLocal, ring.ID{}, nil)
@@ -534,6 +554,9 @@ func (s *System) suspectSilentLeader(id ring.ID, ringNodes []ids.NodeID) {
 		return
 	}
 	dead := n.leader
+	if !s.confirmEviction(dead, n.id) {
+		return // stability filter: await more observers before surgery
+	}
 	s.noteRepair(id, dead)
 	n.excludeFromRoster(dead)
 	s.noteTokenSeen(id)
@@ -557,6 +580,9 @@ func (s *System) FailOutRemote(dead ...ids.NodeID) {
 		if rg == nil {
 			continue
 		}
+		// The discovery verdict is decisive — a probed process death,
+		// not one more glance; see confirmEvictionDecisive.
+		s.confirmEvictionDecisive(d)
 		excluded := false
 		for _, m := range rg.Nodes() {
 			n := s.nodes[m]
@@ -701,7 +727,7 @@ func (s *System) FailMember(guid ids.GUID) error {
 	c := mq.Change{Op: mq.OpMemberFailure, Member: s.infoOf(m), Origin: ap.id, Seq: ap.nextSeq()}
 	ap.queue.Insert(c)
 	s.noteSubmitted(c.Origin, c.Seq)
-	s.requestRound(ap, token.FromLocal, ring.ID{})
+	s.scheduleBatchedRound(ap)
 	return nil
 }
 

@@ -325,6 +325,14 @@ func (t *Table) Sweep(suspectAfter, evictAfter time.Duration) (probe []*net.UDPA
 			probe = append(probe, rec.addr)
 		case rec.state == StateSuspect:
 			probe = append(probe, rec.addr)
+		case rec.state == StateEvicted:
+			// Eviction is a routing verdict, not a restraining order:
+			// keep probing the corpse so a healed partition (or a
+			// rebooted process on its old address) revives the slot.
+			// Without this, two sides that evicted each other stop
+			// exchanging datagrams entirely and no Seen can ever
+			// resurrect either table — a permanent split.
+			probe = append(probe, rec.addr)
 		}
 	}
 	for key, rec := range t.extras {

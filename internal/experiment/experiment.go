@@ -50,6 +50,13 @@ type Scenario struct {
 	// subtree is split away at Duration/2 and healed Partition later,
 	// exercising the fragment/merge protocol under the cell's churn.
 	Partition time.Duration `json:"partition_ns,omitempty"`
+
+	// Churn, when positive, adds a flapping-member stream on top of
+	// the Poisson processes: members leave and promptly rejoin at this
+	// many cycles per second, the workload the batching and stability
+	// layers absorb. The stream draws from its own RNG, so cells with
+	// Churn 0 reproduce the exact pre-flap traces.
+	Churn float64 `json:"churn,omitempty"`
 }
 
 // Name renders the cell's canonical key, stable across runs and used
@@ -69,6 +76,9 @@ func (sc Scenario) Name() string {
 	}
 	if sc.Partition > 0 {
 		fmt.Fprintf(&b, ",part=%s", sc.Partition)
+	}
+	if sc.Churn > 0 {
+		fmt.Fprintf(&b, ",flap=%g", sc.Churn)
 	}
 	fmt.Fprintf(&b, ",%s,%s", sc.Dissemination, sc.Scheme)
 	return b.String()
@@ -217,7 +227,8 @@ func RunScenario(sc Scenario, seed uint64) RunResult {
 			// members coincide with the draws that drop messages.
 			Seed: seed ^ 0x94d049bb133111eb,
 		},
-		HopRate: sc.HopRate,
+		HopRate:  sc.HopRate,
+		FlapRate: sc.Churn,
 	}, 1)
 	core.ApplyTrace(sys, tr)
 	scheduleCrashes(sys, sc, seed)

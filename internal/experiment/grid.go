@@ -22,6 +22,7 @@ type Grid struct {
 	HopRate       []float64
 	Loss          []float64
 	Crash         []int
+	Churn         []float64       // flapping-member cycles per second; 0 = no flaps
 	Partition     []time.Duration // mid-run partition hold times; 0 = no cut
 	Dissemination []core.DisseminationMode
 	Schemes       []string // "tms", "bms", "ims:<level>"
@@ -41,6 +42,7 @@ var (
 	defaultHop     = []float64{0}
 	defaultLoss    = []float64{0}
 	defaultCrash   = []int{0}
+	defaultChurn   = []float64{0}
 	defaultPart    = []time.Duration{0}
 	defaultDiss    = []core.DisseminationMode{core.DisseminateFull}
 	defaultSchemes = []string{"tms"}
@@ -71,6 +73,7 @@ func (g Grid) normalized() Grid {
 	g.HopRate = orFloats(g.HopRate, defaultHop)
 	g.Loss = orFloats(g.Loss, defaultLoss)
 	g.Crash = orInts(g.Crash, defaultCrash)
+	g.Churn = orFloats(g.Churn, defaultChurn)
 	if len(g.Partition) == 0 {
 		g.Partition = defaultPart
 	}
@@ -120,6 +123,11 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("experiment: negative crash count %d", c)
 		}
 	}
+	for _, f := range n.Churn {
+		if f < 0 {
+			return fmt.Errorf("experiment: negative churn rate %g", f)
+		}
+	}
 	for _, p := range n.Partition {
 		if p < 0 {
 			return fmt.Errorf("experiment: negative partition duration %s", p)
@@ -146,7 +154,7 @@ func (g Grid) Size() int {
 	n := g.normalized()
 	return len(n.H) * len(n.R) * len(n.Members) *
 		len(n.JoinRate) * len(n.LeaveRate) * len(n.FailRate) *
-		len(n.HopRate) * len(n.Loss) * len(n.Crash) *
+		len(n.HopRate) * len(n.Loss) * len(n.Crash) * len(n.Churn) *
 		len(n.Partition) * len(n.Dissemination) * len(n.Schemes)
 }
 
@@ -166,19 +174,22 @@ func (g Grid) Expand() []Scenario {
 							for _, hop := range n.HopRate {
 								for _, loss := range n.Loss {
 									for _, crash := range n.Crash {
-										for _, part := range n.Partition {
-											for _, diss := range n.Dissemination {
-												for _, scheme := range n.Schemes {
-													cells = append(cells, Scenario{
-														H: h, R: r, Members: m,
-														JoinRate: join, LeaveRate: leave, FailRate: fail,
-														HopRate: hop, Loss: loss, Crash: crash,
-														Partition:     part,
-														Dissemination: diss.String(),
-														Scheme:        scheme,
-														Duration:      n.Duration,
-														Queries:       n.Queries,
-													})
+										for _, flap := range n.Churn {
+											for _, part := range n.Partition {
+												for _, diss := range n.Dissemination {
+													for _, scheme := range n.Schemes {
+														cells = append(cells, Scenario{
+															H: h, R: r, Members: m,
+															JoinRate: join, LeaveRate: leave, FailRate: fail,
+															HopRate: hop, Loss: loss, Crash: crash,
+															Churn:         flap,
+															Partition:     part,
+															Dissemination: diss.String(),
+															Scheme:        scheme,
+															Duration:      n.Duration,
+															Queries:       n.Queries,
+														})
+													}
 												}
 											}
 										}

@@ -253,6 +253,9 @@ func (d *discoverer) maybeGossip(addr *net.UDPAddr) {
 // deliberately does not touch the transport activity clocks: discovery
 // chatter must not starve Settle's quiescence detection.
 func (d *discoverer) sendPayload(addr *net.UDPAddr, p wire.Payload) {
+	if d.sock.cutAddr(addr) {
+		return // partition cut: discovery is as silent as the protocol
+	}
 	d.mu.Lock()
 	d.buf = wire.AppendFrame(d.buf[:0], wire.Frame{Class: uint8(KindControl), TTL: 1, Payload: p})
 	_, err := d.sock.conn.WriteToUDP(d.buf, addr)

@@ -178,6 +178,24 @@ type netSock struct {
 	decodeErrors   atomic.Uint64
 	unknownVersion atomic.Uint64
 	unknownGroup   atomic.Uint64
+
+	// blocked mirrors the transport's blocked-peer cut for the paths
+	// that run off the engine goroutine: the ingress read loop and the
+	// discovery plane's egress. A partition that only cut protocol
+	// frames while discovery kept hearing the peer would never declare
+	// it dead — the cut must silence every datagram, like a real one.
+	blocked atomic.Pointer[map[string]bool]
+	cut     atomic.Uint64
+}
+
+// cutAddr reports (and counts) whether traffic with addr is blocked.
+func (s *netSock) cutAddr(addr *net.UDPAddr) bool {
+	m := s.blocked.Load()
+	if m == nil || addr == nil || !(*m)[addr.String()] {
+		return false
+	}
+	s.cut.Add(1)
+	return true
 }
 
 func (s *netSock) touch() { s.lastActivity.Store(time.Now().UnixNano()) }
@@ -218,6 +236,9 @@ func (s *netSock) readLoop(closed <-chan struct{}, resolve func(wire.Frame, *net
 				return
 			}
 			continue
+		}
+		if s.cutAddr(src) {
+			continue // partitioned peer: drop before decode, like lost bytes
 		}
 		s.touch()
 		s.received.Add(1)
@@ -823,6 +844,7 @@ func newNetTransport(eng *engineCore, clock *liveClock, sock *netSock, book *net
 func (t *netTransport) block(slots []int) {
 	if slots == nil {
 		t.blocked = nil
+		t.sock.blocked.Store(nil)
 		return
 	}
 	t.blocked = make(map[string]bool, len(slots))
@@ -834,6 +856,15 @@ func (t *netTransport) block(slots []int) {
 			t.blocked[a.String()] = true
 		}
 	}
+	// Publish the cut to the off-engine paths (ingress read loop,
+	// discovery egress): a partition silences every datagram, protocol
+	// and discovery alike — otherwise the liveness sweep keeps hearing
+	// the "partitioned" peer and never declares it dead.
+	mirror := make(map[string]bool, len(t.blocked))
+	for a := range t.blocked {
+		mirror[a] = true
+	}
+	t.sock.blocked.Store(&mirror)
 }
 
 // dispatch runs on the transport's engine goroutine: return-address
@@ -1119,7 +1150,16 @@ func (t *netTransport) Restore(id ids.NodeID) { delete(t.crashed, id) }
 func (t *netTransport) Crashed(id ids.NodeID) bool { return t.crashed[id] }
 
 // Stats implements Transport.
-func (t *netTransport) Stats() Stats { return t.stats }
+func (t *netTransport) Stats() Stats {
+	s := t.stats
+	// Ingress frames cut on the read goroutine (before group demux)
+	// are accounted at the socket; fold them in so the cut counter
+	// reflects both directions of a partition.
+	cut := t.sock.cut.Load()
+	s.Cut += cut
+	s.Dropped += cut
+	return s
+}
 
 // ResetStats implements Transport.
 func (t *netTransport) ResetStats() { t.stats = Stats{} }

@@ -35,6 +35,14 @@ import (
 // receiver drops (and counts) datagrams with an unknown version,
 // except for the grandfathered version-1 envelope above. Payload kinds
 // are append-only — never renumbered.
+//
+// Optional trailing sections: a body layout may grow by appending a
+// length-prefixed section at its end (Snapshot/MergeRequest tombstones
+// use this). Encoders always emit the section; decoders read it only
+// when bytes remain after the legacy fields, so pre-extension frames
+// decode with the section empty. Like the v1 envelope, compatibility
+// is one-directional: a pre-extension receiver rejects the longer body
+// as malformed, so a mixed deployment must upgrade together.
 const (
 	// Version is the wire-format version emitted by this build.
 	Version = 2
@@ -258,12 +266,22 @@ func appendBatch(b []byte, batch mq.Batch) []byte {
 	return b
 }
 
+func appendTombstones(b []byte, s []Tombstone) []byte {
+	b = appendU32(b, uint32(len(s)))
+	for _, t := range s {
+		b = appendU64(b, uint64(t.GUID))
+		b = appendU64(b, t.Ver)
+	}
+	return b
+}
+
 // Fixed element sizes, used to bound slice counts against the bytes
 // actually present (a hostile length field must not drive a huge
 // allocation).
 const (
 	memberInfoSize = 4 + 8 + 8 + 4 + 8 + 1
 	changeSize     = 1 + memberInfoSize + 8 + 8 + 8 + 8
+	tombstoneSize  = 8 + 8
 
 	// peerEntrySize is the minimum encoding of one PeerEntry (its
 	// variable-length address contributes only the u16 length here).
@@ -419,6 +437,24 @@ func (r *reader) batch() mq.Batch {
 	return out
 }
 
+// tombstones reads the optional trailing tombstone section: absent on
+// pre-extension frames (no bytes remain after the legacy fields), in
+// which case the decode is complete and the slice stays nil.
+func (r *reader) tombstones() []Tombstone {
+	if r.bad || r.off >= len(r.b) {
+		return nil
+	}
+	n := r.count(tombstoneSize)
+	if r.bad || n == 0 {
+		return nil
+	}
+	out := make([]Tombstone, n)
+	for i := range out {
+		out[i] = Tombstone{GUID: ids.GUID(r.u64()), Ver: r.u64()}
+	}
+	return out
+}
+
 // --- Per-payload bodies -----------------------------------------------
 
 // AppendTo implements Payload.
@@ -520,21 +556,32 @@ func decodeJoinRequest(r *reader) Payload { return JoinRequest{Node: r.nodeID()}
 func (m Snapshot) AppendTo(b []byte) []byte {
 	b = appendNodeIDs(b, m.Roster)
 	b = appendU64(b, uint64(m.Leader))
-	return appendMembers(b, m.Members)
+	b = appendMembers(b, m.Members)
+	return appendTombstones(b, m.Tombstones)
 }
 
 func decodeSnapshot(r *reader) Payload {
-	return Snapshot{Roster: r.nodeIDs(), Leader: r.nodeID(), Members: r.members()}
+	return Snapshot{
+		Roster:     r.nodeIDs(),
+		Leader:     r.nodeID(),
+		Members:    r.members(),
+		Tombstones: r.tombstones(),
+	}
 }
 
 // AppendTo implements Payload.
 func (m MergeRequest) AppendTo(b []byte) []byte {
 	b = appendNodeIDs(b, m.Roster)
-	return appendMembers(b, m.Members)
+	b = appendMembers(b, m.Members)
+	return appendTombstones(b, m.Tombstones)
 }
 
 func decodeMergeRequest(r *reader) Payload {
-	return MergeRequest{Roster: r.nodeIDs(), Members: r.members()}
+	return MergeRequest{
+		Roster:     r.nodeIDs(),
+		Members:    r.members(),
+		Tombstones: r.tombstones(),
+	}
 }
 
 // AppendTo implements Payload.

@@ -5,6 +5,9 @@ import (
 	"testing"
 
 	"github.com/rgbproto/rgb/internal/ids"
+	"github.com/rgbproto/rgb/internal/mq"
+	"github.com/rgbproto/rgb/internal/ring"
+	"github.com/rgbproto/rgb/internal/token"
 )
 
 // FuzzWireRoundTrip is the codec's safety oracle: decoding arbitrary
@@ -62,6 +65,66 @@ func FuzzWireRoundTrip(f *testing.F) {
 			zeroed[off] = 0
 		}
 		f.Add(zeroed)
+	}
+
+	// Batched view changes put the largest repeated section on the
+	// wire: a token whose Ops batch coalesced a whole churn window.
+	// Seed one such frame whole, truncated at every batch-element
+	// boundary (the u32 count plus k full changes, for every k), and
+	// cut mid-element — the repeated-section reader must classify all
+	// of them as truncations, never panic or over-read.
+	bigBatch := make(mq.Batch, 32)
+	for i := range bigBatch {
+		bigBatch[i] = sampleChange(i)
+	}
+	batched := AppendFrame(nil, Frame{From: ap(1), To: ap(2), Group: gid, Class: 1, TTL: 4, Payload: TokenMsg{
+		Tok: &token.Token{
+			GID:    ids.NewGroupID(9),
+			Ring:   ring.ID{Tier: ids.TierAP, Index: 1},
+			Holder: ap(1),
+			Round:  3,
+			Ops:    bigBatch,
+			Route:  []ids.NodeID{ap(1), ap(2)},
+		},
+	}})
+	f.Add(batched)
+	// The Ops section starts after the token's fixed prefix: GID u32,
+	// Ring (u8+u32), Holder u64, Round u64.
+	opsStart := envelopeSize + payloadHeaderSize + 4 + 5 + 8 + 8
+	for k := 0; k <= len(bigBatch); k++ {
+		cut := opsStart + 4 + k*changeSize
+		if cut < len(batched) {
+			f.Add(append([]byte(nil), batched[:cut]...))
+		}
+		if mid := cut + changeSize/2; mid < len(batched) {
+			f.Add(append([]byte(nil), batched[:mid]...))
+		}
+	}
+
+	// Tombstone-carrying snapshot/merge frames: the optional trailing
+	// section, whole and truncated inside its count word and at every
+	// entry boundary, so a pre-tombstone peer's view (no section) and a
+	// mangled section are both handled cleanly.
+	tombFrames := [][]byte{
+		AppendFrame(nil, Frame{From: ap(0), To: ap(3), Group: gid, Class: 1, TTL: 4, Payload: Snapshot{
+			Roster:     []ids.NodeID{ap(0), ap(1)},
+			Leader:     ap(0),
+			Members:    []ids.MemberInfo{sampleMember(0)},
+			Tombstones: []Tombstone{{GUID: 100, Ver: 3}, {GUID: 200, Ver: 1}, {GUID: 300, Ver: 7}},
+		}}),
+		AppendFrame(nil, Frame{From: ap(2), To: ap(0), Group: gid, Class: 1, TTL: 4, Payload: MergeRequest{
+			Roster:     []ids.NodeID{ap(2), ap(3)},
+			Members:    []ids.MemberInfo{sampleMember(2)},
+			Tombstones: []Tombstone{{GUID: 102, Ver: 2}},
+		}}),
+	}
+	for _, b := range tombFrames {
+		f.Add(b)
+		for _, strip := range []int{1, 2, tombstoneSize - 1, tombstoneSize, tombstoneSize + 3, 2 * tombstoneSize} {
+			if strip < len(b) {
+				f.Add(append([]byte(nil), b[:len(b)-strip]...))
+			}
+		}
 	}
 
 	// The discovery plane (seed bootstrap + gossip) adds the only

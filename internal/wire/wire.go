@@ -172,12 +172,29 @@ type JoinRequest struct {
 	Node ids.NodeID
 }
 
-// Snapshot initializes a rejoining node: current roster, leader and
-// ring membership list.
+// Tombstone is one membership view counter carried alongside a state
+// snapshot: GUID plus the number of Leave/Failure removals the sender
+// has applied for it. An entry whose GUID is absent from the
+// accompanying member list is a tombstone proper (the member is dead
+// at the sender); an entry for a listed member protects a rejoin from
+// a peer's stale tombstone. Merges compare these counters so a member
+// that departed inside one partition fragment is not resurrected by
+// the union (and one that legitimately rejoined is not dropped).
+type Tombstone struct {
+	GUID ids.GUID
+	Ver  uint64
+}
+
+// Snapshot initializes a rejoining node: current roster, leader, ring
+// membership list, and the sender's removal tombstones.
 type Snapshot struct {
 	Roster  []ids.NodeID
 	Leader  ids.NodeID
 	Members []ids.MemberInfo
+
+	// Tombstones is an optional trailing section on the wire: frames
+	// from pre-tombstone senders decode with a nil slice.
+	Tombstones []Tombstone
 }
 
 // MergeRequest carries one ring fragment's state to the leader of
@@ -185,6 +202,10 @@ type Snapshot struct {
 type MergeRequest struct {
 	Roster  []ids.NodeID
 	Members []ids.MemberInfo
+
+	// Tombstones is an optional trailing section on the wire: frames
+	// from pre-tombstone senders decode with a nil slice.
+	Tombstones []Tombstone
 }
 
 // Query implements the Membership-Query algorithm. Phase "up" climbs

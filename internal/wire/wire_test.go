@@ -69,11 +69,16 @@ func samplePayloads() []Payload {
 		HolderAck{Ring: ring.ID{Tier: ids.TierAP, Index: 1}, Round: 8, Count: 2},
 		JoinRequest{Node: ap(5)},
 		Snapshot{
-			Roster:  []ids.NodeID{ap(0), ap(1)},
-			Leader:  ap(0),
-			Members: []ids.MemberInfo{sampleMember(0), sampleMember(1)},
+			Roster:     []ids.NodeID{ap(0), ap(1)},
+			Leader:     ap(0),
+			Members:    []ids.MemberInfo{sampleMember(0), sampleMember(1)},
+			Tombstones: []Tombstone{{GUID: 100, Ver: 2}, {GUID: 555, Ver: 1}},
 		},
-		MergeRequest{Roster: []ids.NodeID{ap(2)}, Members: []ids.MemberInfo{sampleMember(3)}},
+		MergeRequest{
+			Roster:     []ids.NodeID{ap(2)},
+			Members:    []ids.MemberInfo{sampleMember(3)},
+			Tombstones: []Tombstone{{GUID: 103, Ver: 1}},
+		},
 		Query{ID: 7, Level: 2, ReplyTo: ids.MakeNodeID(ids.TierMH, 1), Down: true, Entry: ap(1), EntryRing: ring.ID{Tier: ids.TierAP, Index: 3}},
 		QueryReply{ID: 7, From: ring.ID{Tier: ids.TierAP, Index: 3}, Members: []ids.MemberInfo{sampleMember(4)}},
 		TreeProposal{Change: sampleChange(5), Up: true},

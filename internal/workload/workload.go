@@ -149,22 +149,74 @@ func Churn(aps []ids.NodeID, cfg ChurnConfig, firstGUID ids.GUID) Trace {
 	return tr
 }
 
+// FlapConfig parameterizes the flapping-member stream: members that
+// leave and promptly rejoin, the pathological churn the batching and
+// stability layers exist to absorb.
+type FlapConfig struct {
+	Rate     float64       // flap cycles per second across the group
+	Down     time.Duration // leave-to-rejoin gap; 0 selects 2s
+	Duration time.Duration // horizon for flap starts
+	Seed     uint64
+}
+
+// Flaps builds a flapping-member trace over the initial member
+// population (GUIDs firstGUID .. firstGUID+members-1): a Poisson
+// process at cfg.Rate picks a victim, emits its Leave, and rejoins it
+// cfg.Down later at a freshly drawn AP. The stream draws from its own
+// RNG, so enabling flaps never perturbs the churn or mobility streams
+// of the same scenario seed.
+func Flaps(aps []ids.NodeID, cfg FlapConfig, members int, firstGUID ids.GUID) Trace {
+	if cfg.Rate <= 0 || members <= 0 || len(aps) == 0 {
+		return nil
+	}
+	down := cfg.Down
+	if down <= 0 {
+		down = 2 * time.Second
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	var tr Trace
+	now := time.Duration(0)
+	for {
+		now += time.Duration(rng.ExpFloat64(cfg.Rate) * float64(time.Second))
+		if now > cfg.Duration {
+			return tr
+		}
+		g := firstGUID + ids.GUID(rng.Intn(members))
+		ap := aps[rng.Intn(len(aps))]
+		tr = append(tr,
+			Event{At: now, Kind: EvLeave, GUID: g},
+			Event{At: now + down, Kind: EvJoin, GUID: g, AP: ap})
+	}
+}
+
 // Spec bundles everything needed to construct one scenario trace:
 // Poisson churn plus, when HopRate is positive, Markov cell-hopping
-// mobility over a square grid of the target APs. It is the
-// construction hook the experiment sweeper drives — one Spec, one
-// deterministic Trace.
+// mobility over a square grid of the target APs, plus, when FlapRate
+// is positive, a flapping-member stream. It is the construction hook
+// the experiment sweeper drives — one Spec, one deterministic Trace.
 type Spec struct {
 	Churn    ChurnConfig
 	HopRate  float64 // expected cell hops per second per host; 0 = static hosts
 	CellSize float64 // grid cell edge in meters; 0 selects 100m
+	FlapRate float64 // flapping-member cycles per second; 0 = no flaps
 }
 
-// Build constructs the merged churn+mobility trace for the Spec over
-// the given APs. The mobility stream derives its seed from the churn
-// seed so a Spec maps to exactly one trace.
+// Build constructs the merged churn+mobility+flap trace for the Spec
+// over the given APs. The mobility and flap streams derive their seeds
+// from the churn seed so a Spec maps to exactly one trace.
 func Build(aps []ids.NodeID, spec Spec, firstGUID ids.GUID) Trace {
 	tr := Churn(aps, spec.Churn, firstGUID)
+	if spec.FlapRate > 0 && spec.Churn.InitialMembers > 0 {
+		flaps := Flaps(aps, FlapConfig{
+			Rate:     spec.FlapRate,
+			Duration: spec.Churn.Duration,
+			// Own stream: decorrelated from churn (raw seed) and
+			// mobility (seed ^ 0x5bd1e995cc9e2d51).
+			Seed: spec.Churn.Seed ^ 0x6a09e667f3bcc909,
+		}, spec.Churn.InitialMembers, firstGUID)
+		tr = append(tr, flaps...)
+		sort.SliceStable(tr, func(i, j int) bool { return tr[i].At < tr[j].At })
+	}
 	if spec.HopRate > 0 && spec.Churn.InitialMembers > 0 {
 		cell := spec.CellSize
 		if cell <= 0 {

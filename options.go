@@ -104,6 +104,27 @@ func WithHeartbeat(interval time.Duration) Option {
 	return func(o *serviceOptions) { o.cfg.HeartbeatInterval = interval }
 }
 
+// WithBatchWindow coalesces locally-observed membership changes
+// (joins, leaves, failures) arriving within the window into one
+// multi-member view change per token round, Rapid-style. Zero (the
+// default) keeps the classic behaviour: every submission requests its
+// own round immediately. A good starting point is one heartbeat
+// interval.
+func WithBatchWindow(window time.Duration) Option {
+	return func(o *serviceOptions) { o.cfg.BatchWindow = window }
+}
+
+// WithStabilityK gates failure evictions behind K independent
+// observers: a suspected entity is only excluded once K distinct
+// observers (token-pass timeout holder, silent-leader watchdog,
+// discovery prober) concur within the suspicion window, and members
+// that flap repeatedly are quarantined with exponentially longer
+// rejoin holds. K < 2 (the default) disables the filter: the first
+// observer evicts immediately, as in the base protocol.
+func WithStabilityK(k int) Option {
+	return func(o *serviceOptions) { o.cfg.StabilityK = k }
+}
+
 // WithAggregation toggles MQ aggregation (on by default).
 func WithAggregation(on bool) Option {
 	return func(o *serviceOptions) { o.cfg.Aggregate = on }

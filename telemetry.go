@@ -246,6 +246,9 @@ func (c *Cluster) instrumentGroup(svc *Service) {
 
 	roundH := reg.Histogram("rgb_round_duration_seconds",
 		"token round duration, start at the holder to completion", nil, "group", gid)
+	batchH := reg.Histogram("rgb_viewchange_batch_size",
+		"membership operations coalesced per batched view-change flush (WithBatchWindow)",
+		[]float64{1, 2, 5, 10, 25, 50, 100}, "group", gid)
 	repairH := reg.Histogram("rgb_repair_gap_seconds",
 		"token silence a ring repair closed (how long the failure went unrepaired)", nil, "group", gid)
 	var (
@@ -277,6 +280,9 @@ func (c *Cluster) instrumentGroup(svc *Service) {
 		Repair: func(d time.Duration) {
 			repairH.ObserveDuration(d)
 		},
+		BatchFlushed: func(size int) {
+			batchH.Observe(float64(size))
+		},
 	}
 	hasFaults := false
 	svc.rt.Do(func() {
@@ -290,14 +296,16 @@ func (c *Cluster) instrumentGroup(svc *Service) {
 	var (
 		gmu  sync.Mutex
 		snap struct {
-			members, rounds, ops, repairs, roster float64
-			faults                                FaultStats
+			members, rounds, ops, repairs, roster         float64
+			batchFlushes, batchedOps, quarantines, defers float64
+			faults                                        FaultStats
 		}
 	)
 	reg.OnScrape(func() {
 		var s struct {
-			members, rounds, ops, repairs, roster float64
-			faults                                FaultStats
+			members, rounds, ops, repairs, roster         float64
+			batchFlushes, batchedOps, quarantines, defers float64
+			faults                                        FaultStats
 		}
 		ran := false
 		svc.rt.Do(func() {
@@ -313,6 +321,10 @@ func (c *Cluster) instrumentGroup(svc *Service) {
 			s.rounds = float64(svc.sys.Rounds())
 			s.ops = float64(svc.sys.OpsCarried())
 			s.repairs = float64(len(svc.sys.Repairs()))
+			s.batchFlushes = float64(svc.sys.BatchFlushes())
+			s.batchedOps = float64(svc.sys.BatchedOps())
+			s.quarantines = float64(svc.sys.FlapQuarantines())
+			s.defers = float64(svc.sys.EvictionsDeferred())
 			if ft, ok := svc.sys.Transport().(*rgbruntime.FaultTransport); ok {
 				s.faults = ft.FaultStats()
 			}
@@ -341,6 +353,14 @@ func (c *Cluster) instrumentGroup(svc *Service) {
 		sampled(func() float64 { return snap.ops }), "group", gid)
 	reg.CounterFunc("rgb_repairs_total", "local ring repairs performed",
 		sampled(func() float64 { return snap.repairs }), "group", gid)
+	reg.CounterFunc("rgb_batch_flushes_total", "batch windows closed with at least one pending operation",
+		sampled(func() float64 { return snap.batchFlushes }), "group", gid)
+	reg.CounterFunc("rgb_batched_ops_total", "membership operations coalesced through batched flushes",
+		sampled(func() float64 { return snap.batchedOps }), "group", gid)
+	reg.CounterFunc("rgb_flap_quarantines_total", "flapping members quarantined by the stability filter",
+		sampled(func() float64 { return snap.quarantines }), "group", gid)
+	reg.CounterFunc("rgb_evictions_deferred_total", "suspected evictions held back awaiting K-observer confirmation",
+		sampled(func() float64 { return snap.defers }), "group", gid)
 	if hasFaults {
 		faultCounter := func(kind string, f func() float64) {
 			reg.CounterFunc("rgb_faults_injected_total", "faults injected by the WithFaults plan",
